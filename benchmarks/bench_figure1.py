@@ -1,0 +1,45 @@
+"""Figure 1: daily utilization of two sample vehicles.
+
+Regenerates the exploration plot's data: a steady worker at 20-30 k
+seconds/day with sporadic idle days, against a regime-switcher that
+parks for weeks and then works at full capacity.
+"""
+
+import numpy as np
+
+from repro.experiments.figures_data import figure1_data
+from repro.experiments.reporting import format_table
+
+
+def test_figure1(benchmark, setup, report):
+    series = benchmark.pedantic(
+        figure1_data, args=(setup,), kwargs={"n_days": 90}, rounds=1
+    )
+
+    rows = []
+    for s in series:
+        working = s.y[s.y > 0]
+        idle_days = int((s.y == 0).sum())
+        rows.append(
+            (
+                s.label,
+                float(working.mean()) if working.size else 0.0,
+                float(s.y.max()),
+                idle_days,
+            )
+        )
+    report(
+        "figure1",
+        format_table(
+            ["vehicle", "mean working U(t) [s]", "max U(t) [s]",
+             "idle days (of 90)"],
+            rows,
+            title="Figure 1: daily utilization U_v(t), first 90 days",
+        ),
+    )
+
+    v1, v2 = series
+    # v1 steady: most days active; v2 switcher: long inactive stretches.
+    assert (v1.y > 0).mean() > 0.6
+    assert (v2.y == 0).sum() > (v1.y == 0).sum()
+    assert 10_000 <= v1.y[v1.y > 0].mean() <= 35_000

@@ -1,0 +1,44 @@
+"""Figure 2: the target sawtooth D_v(t) over many maintenance cycles."""
+
+import numpy as np
+
+from repro.experiments.figures_data import figure2_data
+from repro.experiments.reporting import format_table
+
+
+def test_figure2(benchmark, setup, report):
+    series = benchmark.pedantic(figure2_data, args=(setup,), rounds=1)
+
+    rows = []
+    for s in series:
+        d = s.y
+        finite = d[np.isfinite(d)]
+        n_cycles = int((finite == 0).sum())
+        resets = np.diff(d)
+        cycle_lengths = finite[np.concatenate([[True], np.diff(finite) > 0])]
+        rows.append(
+            (
+                s.label,
+                n_cycles,
+                float(np.nanmax(d)),
+                float(np.median(cycle_lengths) + 1),
+            )
+        )
+    report(
+        "figure2",
+        format_table(
+            ["vehicle", "completed cycles", "max D_v(t) [days]",
+             "median cycle length [days]"],
+            rows,
+            title="Figure 2: days to next maintenance D_v(t), full span",
+        ),
+    )
+
+    for s in series:
+        d = s.y
+        finite = d[np.isfinite(d)]
+        assert (finite == 0).sum() >= 5  # many cycles over 4.75 years
+        # Sawtooth: within-cycle slope is exactly -1.
+        diffs = np.diff(d)
+        down = diffs[np.isfinite(diffs) & (diffs < 0)]
+        assert np.all(down == -1)

@@ -1,0 +1,40 @@
+"""Figure 4: improvement (%) per algorithm as the window W grows.
+
+Reproduced shape: RF and XGB gain strongly from past-usage lags (paper:
++44 % and +25 %) and plateau by ~W=15; BL is flat by construction; the
+linear models gain much less than the ensembles.
+"""
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4(benchmark, setup, figure4_result, report):
+    report("figure4", figure4_result.render())
+
+    # Benchmark one representative slice (the session fixture already
+    # paid for the full sweep): RF at W=6 on the bench fleet.
+    from repro.core.old_vehicles import OldVehicleConfig, OldVehicleExperiment
+
+    def probe():
+        experiment = OldVehicleExperiment(
+            OldVehicleConfig(window=6, restrict_to_horizon=True)
+        )
+        return experiment.run_fleet(setup.old_series[:2], "RF").e_mre
+
+    benchmark.pedantic(probe, rounds=1)
+
+    improvement = figure4_result.improvement()
+    assert all(v == 0.0 for v in improvement["BL"].values())
+    for key in ("RF", "XGB"):
+        assert max(improvement[key].values()) > 10.0
+
+    # Ensembles profit more from lags than the linear baseline model.
+    assert max(improvement["RF"].values()) > max(
+        improvement["BL"].values()
+    )
+    best = {
+        key: min(figure4_result.e_mre[key].values())
+        for key in ("LR", "LSVR", "RF", "XGB")
+    }
+    assert best["RF"] < best["LR"]
+    assert best["XGB"] < best["LR"]

@@ -1,0 +1,40 @@
+"""Figure 5: E_MRE({d}) per single day d = 1..29, best configurations.
+
+Reproduced shape: every algorithm's error shrinks approaching the
+deadline; BL stays worst across the horizon; RF stays accurate even ~29
+days out (paper: average error 2.4 at d=29).
+"""
+
+import numpy as np
+
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.table2 import run_table2
+
+
+def test_figure5(benchmark, setup, figure4_result, report):
+    table2 = run_table2(setup, figure4_result)
+    result = benchmark.pedantic(
+        run_figure5, args=(setup, table2), rounds=1
+    )
+    report("figure5", result.render())
+
+    def near_far(curve):
+        days = sorted(curve)
+        near = np.nanmean([curve[d] for d in days[:5]])
+        far = np.nanmean([curve[d] for d in days[-5:]])
+        return near, far
+
+    for algorithm, curve in result.curves.items():
+        near, far = near_far(curve)
+        assert near < far + 1e-9, f"{algorithm}: error should shrink near deadline"
+
+    # BL worst across the horizon (mean over all plotted days).
+    means = {
+        algorithm: np.nanmean(list(curve.values()))
+        for algorithm, curve in result.curves.items()
+    }
+    assert means["BL"] == max(means.values())
+    # RF stays reasonable even far out.
+    far_rf = result.curves["RF"][29]
+    far_bl = result.curves["BL"][29]
+    assert far_rf < far_bl

@@ -1,0 +1,30 @@
+"""Section 4.3's per-vehicle model selection rule.
+
+The deployed system picks, per vehicle, the algorithm minimizing
+E_MRE({1..29}).  This bench quantifies the payoff: the selection policy
+must match or beat the best fixed fleet-wide algorithm, and the winners
+should be dominated by the non-linear models (the paper: "RF presents
+the best results", "non-linear regression models outperform...").
+"""
+
+import numpy as np
+
+from repro.experiments.model_selection import run_model_selection
+
+
+def test_model_selection(benchmark, setup, report):
+    result = benchmark.pedantic(run_model_selection, args=(setup,), rounds=1)
+    report("model_selection", result.render())
+
+    fixed = result.single_algorithm_e_mre()
+    selected = result.selected_e_mre()
+    assert np.isfinite(selected)
+    # Selecting per vehicle can only help relative to the best fixed
+    # policy (it is a per-vehicle argmin of the same numbers).
+    assert selected <= min(fixed.values()) + 1e-9
+
+    counts = result.winner_counts()
+    nonlinear = counts.get("RF", 0) + counts.get("XGB", 0)
+    assert nonlinear >= len(result.winners) / 2
+    # The naive baseline never wins a vehicle.
+    assert counts.get("BL", 0) == 0

@@ -1,0 +1,26 @@
+"""Table 2: best window per algorithm and the resulting E_MRE.
+
+Reproduced shape (paper: BL W=0/20.2, LR 0/10.8, LSVR 6/5.2, RF 18/1.3,
+XGB 12/4.2): the non-linear ensembles pick non-trivial windows and land
+at the lowest errors, BL keeps W=0 by construction, and the final
+ordering puts RF/XGB ahead of the linear models ahead of BL.
+"""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark, setup, figure4_result, report):
+    result = benchmark.pedantic(
+        run_table2, args=(setup, figure4_result), rounds=1
+    )
+    report("table2", result.render())
+
+    assert result.row("BL").best_window == 0
+    for key in ("RF", "XGB"):
+        assert result.row(key).best_window > 0
+
+    bl = result.row("BL").e_mre
+    for key in ("LR", "LSVR", "RF", "XGB"):
+        assert result.row(key).e_mre < bl
+    assert result.row("RF").e_mre < result.row("LR").e_mre
+    assert result.row("XGB").e_mre < result.row("LR").e_mre

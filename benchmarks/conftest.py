@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper.  The
+experiment setup and the expensive Figure-4 sweep are session-scoped so
+Table 2 and Figure 5 (which are derived from it, as in the paper) reuse
+the same run.  Every bench prints its paper-style rows (so the tee'd
+bench log doubles as the reproduction report) and writes them under
+``results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.figure4 import run_figure4
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def setup() -> ExperimentSetup:
+    """Bench-scale setup: full 24-vehicle fleet, 8 old-vehicle subset,
+    registry-default hyper-parameters (no grid) to keep runtime bounded.
+    """
+    return ExperimentSetup(seed=0, fast=True)
+
+
+@pytest.fixture(scope="session")
+def figure4_result(setup):
+    """The W-sweep of Figure 4, shared with Table 2 and Figure 5."""
+    return run_figure4(setup)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a rendered table to the real stdout and persist it."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+    return _report

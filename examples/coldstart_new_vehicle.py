@@ -1,0 +1,77 @@
+"""Cold start: predicting for vehicles without enough history.
+
+Reproduces the Section 4.4 scenario interactively: a vehicle that has
+only partially completed its first maintenance cycle gets predictions
+from (a) its own past average (the baseline), (b) one model unified over
+the fleet's first cycles (``Model_Uni``), and (c) a model trained on the
+single most similar fleet vehicle (``Model_Sim``).
+
+Run:  python examples/coldstart_new_vehicle.py
+"""
+
+from repro.core import (
+    ColdStartConfig,
+    ColdStartExperiment,
+    VehicleSeries,
+    aggregate_by_label,
+    categorize,
+    half_cycle_day,
+)
+from repro.fleet import FleetGenerator
+
+
+def main() -> None:
+    fleet = FleetGenerator(seed=0).generate()
+    all_series = [VehicleSeries.from_vehicle(v) for v in fleet]
+
+    experiment = ColdStartExperiment(ColdStartConfig(window=0, seed=0))
+    train, test = experiment.split_fleet(all_series)
+    print(
+        f"Fleet split: {len(train)} training vehicles / "
+        f"{len(test)} test vehicles (paper: 17 / 7)\n"
+    )
+
+    # A close-up on one test vehicle's cold-start timeline.
+    target = test[0]
+    half = half_cycle_day(target)
+    first_cycle_end = target.first_cycle().end
+    print(f"Test vehicle {target.vehicle_id}:")
+    print(f"  new       : days 0 .. {half - 1} (< T_v/2 used)")
+    print(f"  semi-new  : days {half} .. {first_cycle_end}")
+    print(f"  old       : day {first_cycle_end + 1} onward")
+    print(f"  category today: {categorize(target).value}\n")
+
+    # Which fleet vehicle does Model_Sim pick as a donor?
+    predictor, donor_id = experiment.fit_similarity(target, train, "RF")
+    donor_profile = fleet[donor_id].spec.profile.name
+    target_profile = fleet[target.vehicle_id].spec.profile.name
+    print(
+        f"Model_Sim donor for {target.vehicle_id} ({target_profile}): "
+        f"{donor_id} ({donor_profile})\n"
+    )
+
+    # The full Table-3 style evaluation over all test vehicles.
+    algorithms = ("LR", "LSVR", "RF", "XGB")
+    print("Semi-new vehicles, E_MRE({1..29}) per method:")
+    semi = experiment.run_semi_new(train, test, algorithms)
+    for label, value in sorted(
+        aggregate_by_label(semi, "e_mre").items(), key=lambda kv: kv[1]
+    ):
+        print(f"  {label:10s} {value:6.1f}")
+
+    print("\nNew vehicles, E_Global (Model_Uni only):")
+    new = experiment.run_new(train, test, algorithms)
+    for label, value in sorted(
+        aggregate_by_label(new, "e_global").items(), key=lambda kv: kv[1]
+    ):
+        print(f"  {label:10s} {value:6.1f}")
+
+    print(
+        "\nReading: the own-history baseline collapses (first cycles ramp "
+        "up, so the first-half average underestimates the burn rate), "
+        "while donor/unified ML models stay useful."
+    )
+
+
+if __name__ == "__main__":
+    main()

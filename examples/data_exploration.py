@@ -1,0 +1,87 @@
+"""Data exploration: the series behind the paper's Figures 1-3.
+
+Prints compact ASCII renderings of the exploratory plots of Section 3.1:
+daily utilization heterogeneity (Figure 1), the target sawtooth
+(Figure 2), and the L-vs-D relationship within a cycle (Figure 3),
+plus the fleet calibration report.
+
+Run:  python examples/data_exploration.py
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentSetup,
+    figure1_data,
+    figure2_data,
+    figure3_data,
+)
+from repro.fleet import calibrate
+
+BARS = " .:-=+*#%@"
+
+
+def sparkline(values, width=72) -> str:
+    """Down-sample a series into a one-line character plot."""
+    values = np.asarray(values, dtype=float)
+    values = np.nan_to_num(values, nan=0.0)
+    if values.size > width:
+        chunks = np.array_split(values, width)
+        values = np.array([chunk.mean() for chunk in chunks])
+    top = values.max()
+    if top <= 0:
+        return " " * len(values)
+    levels = np.minimum(
+        (values / top * (len(BARS) - 1)).astype(int), len(BARS) - 1
+    )
+    return "".join(BARS[level] for level in levels)
+
+
+def main() -> None:
+    setup = ExperimentSetup(seed=0)
+
+    print("Fleet calibration (vs the paper's published statistics):")
+    print(calibrate(setup.fleet).summary())
+
+    print("\n--- Figure 1: daily utilization U_v(t), first 90 days ---")
+    for s in figure1_data(setup, n_days=90):
+        profile = setup.fleet[s.label].spec.profile.name
+        print(f"{s.label} ({profile})")
+        print(f"  {sparkline(s.y)}")
+        working = s.y[s.y > 0]
+        print(
+            f"  working days: {working.size}/90, "
+            f"mean {working.mean():,.0f} s, max {s.y.max():,.0f} s"
+        )
+
+    print("\n--- Figure 2: days to maintenance D_v(t), full span ---")
+    for s in figure2_data(setup):
+        print(f"{s.label}")
+        print(f"  {sparkline(s.y)}")
+        finite = s.y[np.isfinite(s.y)]
+        print(
+            f"  cycles completed: {int((finite == 0).sum())}, "
+            f"max D: {np.nanmax(s.y):.0f} days"
+        )
+
+    print("\n--- Figure 3: L_v(t) vs D_v(t), one cycle ---")
+    for s in figure3_data(setup):
+        flat_steps = int((np.diff(s.x) == 0).sum())
+        slope = (s.y[0] - s.y[-1]) / (s.x[0] - s.x[-1] + 1e-12)
+        print(
+            f"{s.label}: cycle of {len(s.x)} days, "
+            f"{flat_steps} zero-usage steps, "
+            f"~{1 / (slope * 86400) if slope else 0:.2f} day-equivalents "
+            "of budget burned per calendar day"
+        )
+
+    print(
+        "\nReading: utilization is heterogeneous and non-stationary, and "
+        "zero-usage runs put vertical steps into D(L) — which is why the "
+        "paper evaluates with E_MRE near the deadline, where usage is "
+        "steady and predictions actionable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Running the system as a deployed service.
+
+The paper closes with "the present application [is] under deployment,
+thus enabling further tests, tunings, and extensions".  This example
+replays the fleet's history day by day through the online
+:class:`~repro.serving.MaintenancePredictionService`: vehicles are
+routed by category (per-vehicle / similarity / unified models), models
+retrain when cycles complete, fitted models are persisted, and resolved
+forecasts feed the drift monitor.
+
+Run:  python examples/deployment_service.py
+"""
+
+import tempfile
+
+from repro.core import VehicleCategory
+from repro.fleet import FleetGenerator
+from repro.serving import DriftMonitor, MaintenancePredictionService, ModelStore
+
+
+def main() -> None:
+    fleet = FleetGenerator(n_vehicles=6, seed=5).generate()
+    store_dir = tempfile.mkdtemp(prefix="repro-models-")
+    monitor = DriftMonitor(threshold_days=10.0, min_samples=3)
+    service = MaintenancePredictionService(
+        t_v=fleet.t_v,
+        window=3,
+        algorithm="XGB",
+        store=ModelStore(store_dir),
+        monitor=monitor,
+    )
+
+    # v02..v05 are the established fleet; warm them up with history.
+    veterans = fleet.vehicles[1:5]
+    newcomer = fleet.vehicles[0]  # a steady worker joining from day 0
+    for vehicle in veterans:
+        service.register_vehicle(vehicle.vehicle_id)
+        service.ingest_series(vehicle.vehicle_id, vehicle.usage[:900])
+
+    # A newcomer joins the fleet with no history; replay it monthly.
+    service.register_vehicle(newcomer.vehicle_id)
+    print(f"Newcomer {newcomer.vehicle_id} joins the fleet.\n")
+    print(f"{'day':>5s} {'category':10s} {'strategy':12s} {'pred. days left':>16s}")
+    for day in range(0, 360, 30):
+        service.ingest_series(
+            newcomer.vehicle_id, newcomer.usage[day : day + 30]
+        )
+        if service.series(newcomer.vehicle_id).n_days <= service.window:
+            continue
+        forecast = service.predict(newcomer.vehicle_id)
+        print(
+            f"{day + 30:>5d} {forecast.category.value:10s} "
+            f"{forecast.strategy:12s} {forecast.days_to_maintenance:16.1f}"
+        )
+
+    assert service.category(newcomer.vehicle_id) is VehicleCategory.OLD
+    print("\nThe newcomer graduated through new -> semi-new -> old,")
+    print("switching from the unified model to a similarity donor to its")
+    print("own per-vehicle model along the way.")
+
+    # Veterans keep operating: weekly forecasts over another 200 days,
+    # resolved into the monitor as their cycles complete.
+    veteran = veterans[0]
+    for day in range(900, 1100):
+        if (day - 900) % 7 == 0:
+            service.predict(veteran.vehicle_id)
+        service.ingest(veteran.vehicle_id, float(veteran.usage[day]))
+
+    print(f"\nPersisted model artifacts in {store_dir}:")
+    for key in service.store.keys():
+        versions = service.store.versions(key)
+        print(f"  {key:28s} versions {versions}")
+
+    print("\nDrift monitor summary (resolved forecasts):")
+    for vehicle_id, stats in sorted(monitor.summary().items()):
+        print(
+            f"  {vehicle_id}: n={stats['n']:.0f} "
+            f"mae={stats['mae']:.1f} bias={stats['bias']:+.1f}"
+        )
+    alerts = monitor.alerts()
+    print(f"\nActive drift alerts: {len(alerts)}")
+    for alert in alerts:
+        print(f"  {alert}")
+    print(
+        "\nNote: these residuals pool forecasts made far from the "
+        "deadline, where errors are proportionally larger — the very "
+        "observation that led the paper to evaluate with E_MRE over the "
+        "last 29 days.  A production threshold would weight residuals "
+        "by forecast horizon the same way."
+    )
+
+
+if __name__ == "__main__":
+    main()

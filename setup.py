@@ -1,0 +1,10 @@
+"""Setup shim for offline editable installs.
+
+The sandboxed environment has no ``wheel`` package, so PEP 517 editable
+installs fail; ``pip install -e . --no-build-isolation`` falls back to this
+legacy path (``setup.py develop``), which only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

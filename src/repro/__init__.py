@@ -1,0 +1,58 @@
+"""repro — reproduction of "Machine Learning Supported Next-Maintenance
+Prediction for Industrial Vehicles" (Mishra et al., EDBT/ICDT 2020
+workshops).
+
+Subpackages
+-----------
+``repro.learn``
+    From-scratch ML substrate (linear models, linear SVR, CART trees,
+    random forests, histogram gradient boosting, CV / grid search).
+``repro.telemetry``
+    CAN-bus acquisition simulator (frames, on-board controller, cloud).
+``repro.fleet``
+    Calibrated synthetic fleet usage generator (the proprietary-data
+    substitute).
+``repro.dataprep``
+    The five-step Section-3 preparation pipeline.
+``repro.similarity``
+    Series similarity measures (point-wise, correlation, DTW).
+``repro.core``
+    The paper's contribution: problem formalization, error model,
+    predictors, old-vehicle and cold-start methodologies, fleet planner.
+``repro.experiments``
+    One module per table/figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro.fleet import FleetGenerator
+>>> from repro.core import VehicleSeries, OldVehicleExperiment, OldVehicleConfig
+>>> fleet = FleetGenerator(seed=0).generate()
+>>> series = VehicleSeries.from_vehicle(fleet.vehicles[0])
+>>> experiment = OldVehicleExperiment(OldVehicleConfig(window=6))
+>>> result = experiment.run_vehicle(series, "RF")
+"""
+
+from . import (
+    context,
+    core,
+    dataprep,
+    fleet,
+    learn,
+    serving,
+    similarity,
+    telemetry,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "context",
+    "core",
+    "dataprep",
+    "fleet",
+    "learn",
+    "serving",
+    "similarity",
+    "telemetry",
+    "__version__",
+]

@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+Operational entry points for the reproduction:
+
+* ``generate``  — write the synthetic fleet to CSV/JSON;
+* ``calibrate`` — print the fleet calibration report;
+* ``evaluate``  — regenerate a table/figure of the paper;
+* ``predict``   — train a model for one vehicle of a stored fleet and
+  forecast its next maintenance.
+
+Usage: ``python -m repro <command> [options]`` (see ``--help`` per
+command).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_generate(args) -> int:
+    from .fleet import FleetGenerator, calibrate, save_fleet
+
+    fleet = FleetGenerator(
+        n_vehicles=args.vehicles, t_v=args.t_v, seed=args.seed
+    ).generate()
+    usage_path, meta_path = save_fleet(fleet, args.output, stem=args.stem)
+    print(f"Wrote {usage_path}")
+    print(f"Wrote {meta_path}")
+    print()
+    print(calibrate(fleet).summary())
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from .fleet import FleetGenerator, calibrate, load_fleet
+
+    if args.input:
+        fleet = load_fleet(args.input, stem=args.stem)
+    else:
+        fleet = FleetGenerator(
+            n_vehicles=args.vehicles, t_v=args.t_v, seed=args.seed
+        ).generate()
+    print(calibrate(fleet).summary())
+    return 0
+
+
+_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "figure4",
+    "figure5",
+    "timing",
+    "model-selection",
+    "all",
+)
+
+
+def _cmd_evaluate(args) -> int:
+    from .experiments import (
+        ExperimentSetup,
+        run_figure4,
+        run_figure5,
+        run_model_selection,
+        run_table1,
+        run_table2,
+        run_table3,
+        run_timing,
+    )
+
+    setup = ExperimentSetup(
+        seed=args.seed,
+        n_vehicles=args.vehicles,
+        fast=not args.paper_grids,
+        n_old_vehicles=args.old_vehicles,
+    )
+
+    def render_all() -> list[str]:
+        figure4 = run_figure4(setup)
+        table2 = run_table2(setup, figure4)
+        return [
+            run_table1(setup).render(),
+            figure4.render(),
+            table2.render(),
+            run_figure5(setup, table2).render(),
+            run_table3(setup).render(),
+            run_model_selection(setup).render(),
+            run_timing(setup).render(),
+        ]
+
+    if args.experiment == "all":
+        for text in render_all():
+            print(text)
+            print()
+        return 0
+    if args.experiment == "table1":
+        result = run_table1(setup)
+    elif args.experiment == "table3":
+        result = run_table3(setup)
+    elif args.experiment == "timing":
+        result = run_timing(setup)
+    elif args.experiment == "model-selection":
+        result = run_model_selection(setup)
+    else:
+        figure4 = run_figure4(setup)
+        if args.experiment == "figure4":
+            result = figure4
+        elif args.experiment == "table2":
+            result = run_table2(setup, figure4)
+        else:  # figure5
+            result = run_figure5(setup, run_table2(setup, figure4))
+    print(result.render())
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    import datetime as dt
+
+    from .core import FleetMaintenancePlanner, VehicleSeries, make_predictor
+    from .dataprep import build_relational_dataset
+    from .fleet import load_fleet
+
+    fleet = load_fleet(args.input, stem=args.stem)
+    try:
+        vehicle = fleet[args.vehicle]
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    series = VehicleSeries.from_vehicle(vehicle)
+    dataset = build_relational_dataset(series.bundle, window=args.window)
+    if dataset.n_records == 0:
+        print(
+            f"Vehicle {args.vehicle!r} has no completed cycles to train on.",
+            file=sys.stderr,
+        )
+        return 2
+    predictor = make_predictor(args.algorithm)
+    predictor.fit(dataset, usage=series.usage)
+    forecast = FleetMaintenancePlanner.forecast_vehicle(
+        series, predictor, window=args.window
+    )
+    due = vehicle.date_of_day(series.n_days - 1) + dt.timedelta(
+        days=int(round(forecast.days_to_maintenance))
+    )
+    print(f"vehicle          : {forecast.vehicle_id}")
+    print(f"category         : {forecast.category.value}")
+    print(f"budget left      : {forecast.usage_left:,.0f} s")
+    print(f"days to maint.   : {forecast.days_to_maintenance:.1f}")
+    print(f"predicted due    : {due.isoformat()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Next-maintenance prediction for industrial vehicles "
+            "(EDBT/ICDT 2020 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_fleet_args(p, with_input=False):
+        p.add_argument("--vehicles", type=int, default=24)
+        p.add_argument("--t-v", dest="t_v", type=float, default=2_000_000.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--stem", default="fleet")
+        if with_input:
+            p.add_argument(
+                "--input", default=None, help="directory with a saved fleet"
+            )
+
+    generate = sub.add_parser(
+        "generate", help="generate the synthetic fleet and save it as CSV"
+    )
+    add_fleet_args(generate)
+    generate.add_argument("--output", required=True, help="output directory")
+    generate.set_defaults(func=_cmd_generate)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="print fleet calibration statistics"
+    )
+    add_fleet_args(calibrate, with_input=True)
+    calibrate.set_defaults(func=_cmd_calibrate)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="regenerate one table/figure of the paper"
+    )
+    evaluate.add_argument("experiment", choices=_EXPERIMENTS)
+    evaluate.add_argument("--vehicles", type=int, default=24)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--old-vehicles",
+        type=int,
+        default=None,
+        help="subset size for the old-vehicle experiments",
+    )
+    evaluate.add_argument(
+        "--paper-grids",
+        action="store_true",
+        help="use the paper's full hyper-parameter grids (slow)",
+    )
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    predict = sub.add_parser(
+        "predict", help="forecast one vehicle's next maintenance"
+    )
+    predict.add_argument("--input", required=True, help="saved fleet directory")
+    predict.add_argument("--stem", default="fleet")
+    predict.add_argument("--vehicle", required=True)
+    predict.add_argument("--algorithm", default="RF")
+    predict.add_argument("--window", type=int, default=6)
+    predict.set_defaults(func=_cmd_predict)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

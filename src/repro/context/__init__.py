@@ -1,0 +1,27 @@
+"""Contextual enrichment (the paper's stated future work).
+
+Synthetic site weather, usage/weather coupling, weather-derived model
+features with forecast-noise realism, and fleet-movement inference from
+utilization gaps.
+"""
+
+from .coupling import WeatherCoupling, apply_weather_to_usage
+from .features import ContextFeatureBuilder, ContextualDataset
+from .movements import (
+    RelocationEvent,
+    days_since_relocation,
+    infer_relocations,
+)
+from .weather import WeatherSeries, WeatherSimulator
+
+__all__ = [
+    "WeatherCoupling",
+    "apply_weather_to_usage",
+    "ContextFeatureBuilder",
+    "ContextualDataset",
+    "RelocationEvent",
+    "days_since_relocation",
+    "infer_relocations",
+    "WeatherSeries",
+    "WeatherSimulator",
+]

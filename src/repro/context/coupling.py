@@ -1,0 +1,88 @@
+"""Coupling weather to vehicle utilization.
+
+For the contextual-enrichment extension to be testable, the synthetic
+fleet must actually *react* to weather — otherwise weather features are
+pure noise and no model could benefit.  :func:`apply_weather_to_usage`
+post-processes a generated utilization series with the physical effects
+outdoor construction knows well: heavy rain suspends work, freezing
+days shorten it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .weather import WeatherSeries
+
+__all__ = ["WeatherCoupling", "apply_weather_to_usage"]
+
+
+class WeatherCoupling:
+    """Parameters of the usage/weather interaction.
+
+    Attributes
+    ----------
+    heavy_rain_mm:
+        Precipitation threshold above which work is (probabilistically)
+        suspended.
+    rain_stop_probability:
+        Chance a heavy-rain day becomes a zero-usage day.
+    rain_slowdown:
+        Multiplicative usage factor on heavy-rain days that do proceed.
+    freezing_slowdown:
+        Multiplicative usage factor on sub-zero days.
+    """
+
+    def __init__(
+        self,
+        heavy_rain_mm: float = 10.0,
+        rain_stop_probability: float = 0.6,
+        rain_slowdown: float = 0.5,
+        freezing_slowdown: float = 0.65,
+    ):
+        if heavy_rain_mm <= 0:
+            raise ValueError(
+                f"heavy_rain_mm must be positive, got {heavy_rain_mm}."
+            )
+        if not 0.0 <= rain_stop_probability <= 1.0:
+            raise ValueError(
+                "rain_stop_probability must be in [0, 1], got "
+                f"{rain_stop_probability}."
+            )
+        for name, value in (
+            ("rain_slowdown", rain_slowdown),
+            ("freezing_slowdown", freezing_slowdown),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}.")
+        self.heavy_rain_mm = heavy_rain_mm
+        self.rain_stop_probability = rain_stop_probability
+        self.rain_slowdown = rain_slowdown
+        self.freezing_slowdown = freezing_slowdown
+
+
+def apply_weather_to_usage(
+    usage,
+    weather: WeatherSeries,
+    coupling: WeatherCoupling | None = None,
+    rng=None,
+) -> np.ndarray:
+    """Return a copy of ``usage`` modulated by the weather series."""
+    usage = np.asarray(usage, dtype=np.float64)
+    if usage.ndim != 1:
+        raise ValueError(f"usage must be 1-D, got shape {usage.shape}.")
+    if usage.size != weather.n_days:
+        raise ValueError(
+            f"usage has {usage.size} days; weather has {weather.n_days}."
+        )
+    coupling = coupling or WeatherCoupling()
+    rng = np.random.default_rng(rng)
+
+    out = usage.copy()
+    heavy = weather.is_heavy_rain(coupling.heavy_rain_mm)
+    stopped = heavy & (rng.random(usage.size) < coupling.rain_stop_probability)
+    slowed_by_rain = heavy & ~stopped
+    out[stopped] = 0.0
+    out[slowed_by_rain] *= coupling.rain_slowdown
+    out[weather.is_freezing()] *= coupling.freezing_slowdown
+    return out

@@ -1,0 +1,159 @@
+"""Contextual feature construction.
+
+Extends the windowed relational layout of
+:mod:`repro.dataprep.transformation` with weather-derived columns.  The
+causality question matters here: predicting *days to the next
+maintenance* is a forward-looking task, so a deployed system would use
+*forecast* weather.  :class:`ContextFeatureBuilder` therefore offers
+both backward features (recent observed weather, always safe) and
+forward features (the next ``forecast_horizon`` days, optionally
+perturbed with forecast noise to avoid oracle leakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataprep.transformation import RelationalDataset
+from .weather import WeatherSeries
+
+__all__ = ["ContextualDataset", "ContextFeatureBuilder"]
+
+
+@dataclass(frozen=True)
+class ContextualDataset:
+    """A relational dataset with appended context columns."""
+
+    X: np.ndarray
+    y: np.ndarray
+    t_index: np.ndarray
+    feature_names: list[str]
+
+    @property
+    def n_records(self) -> int:
+        return int(self.X.shape[0])
+
+
+class ContextFeatureBuilder:
+    """Append weather features to a relational dataset.
+
+    Parameters
+    ----------
+    lookback:
+        Days of observed weather summarized backward from each record's
+        day (mean temperature, total precipitation, rain-stop days).
+    forecast_horizon:
+        Days of forward weather summarized as forecast features; 0
+        disables forward features.
+    forecast_noise_sd:
+        Gaussian noise added to forward temperature (degC) and
+        multiplicative log-noise on forward precipitation, emulating
+        real forecast error.
+    heavy_rain_mm:
+        Threshold used for the rain-day count features.
+    seed:
+        Seed for the forecast-noise draws.
+    """
+
+    def __init__(
+        self,
+        lookback: int = 7,
+        forecast_horizon: int = 7,
+        forecast_noise_sd: float = 1.5,
+        heavy_rain_mm: float = 10.0,
+        seed: int | None = 0,
+    ):
+        if lookback < 1:
+            raise ValueError(f"lookback must be >= 1, got {lookback}.")
+        if forecast_horizon < 0:
+            raise ValueError(
+                f"forecast_horizon must be >= 0, got {forecast_horizon}."
+            )
+        if forecast_noise_sd < 0:
+            raise ValueError(
+                f"forecast_noise_sd must be >= 0, got {forecast_noise_sd}."
+            )
+        self.lookback = lookback
+        self.forecast_horizon = forecast_horizon
+        self.forecast_noise_sd = forecast_noise_sd
+        self.heavy_rain_mm = heavy_rain_mm
+        self.seed = seed
+
+    @property
+    def feature_names(self) -> list[str]:
+        names = [
+            f"temp_mean_back{self.lookback}",
+            f"precip_sum_back{self.lookback}",
+            f"rain_days_back{self.lookback}",
+        ]
+        if self.forecast_horizon:
+            names += [
+                f"temp_mean_fwd{self.forecast_horizon}",
+                f"precip_sum_fwd{self.forecast_horizon}",
+                f"rain_days_fwd{self.forecast_horizon}",
+            ]
+        return names
+
+    def _window_stats(
+        self,
+        weather: WeatherSeries,
+        start: int,
+        stop: int,
+        rng: np.random.Generator | None,
+    ) -> tuple[float, float, float]:
+        start = max(start, 0)
+        stop = min(stop, weather.n_days)
+        if stop <= start:
+            return 0.0, 0.0, 0.0
+        temperature = weather.temperature[start:stop].copy()
+        precipitation = weather.precipitation[start:stop].copy()
+        if rng is not None and self.forecast_noise_sd > 0:
+            temperature += rng.normal(
+                0.0, self.forecast_noise_sd, size=temperature.size
+            )
+            precipitation *= np.exp(
+                rng.normal(0.0, 0.25, size=precipitation.size)
+            )
+        rain_days = float(np.sum(precipitation >= self.heavy_rain_mm))
+        return (
+            float(temperature.mean()),
+            float(precipitation.sum()),
+            rain_days,
+        )
+
+    def augment(
+        self, dataset: RelationalDataset, weather: WeatherSeries
+    ) -> ContextualDataset:
+        """Build the context-extended copy of ``dataset``."""
+        if dataset.n_records and dataset.t_index.max() >= weather.n_days:
+            raise ValueError(
+                "Weather series too short for the dataset's day indices "
+                f"(need > {int(dataset.t_index.max())} days, have "
+                f"{weather.n_days})."
+            )
+        rng = (
+            np.random.default_rng(self.seed)
+            if self.forecast_horizon
+            else None
+        )
+        n_context = len(self.feature_names)
+        context = np.zeros((dataset.n_records, n_context))
+        for row, day in enumerate(dataset.t_index):
+            day = int(day)
+            back = self._window_stats(
+                weather, day - self.lookback, day, rng=None
+            )
+            context[row, :3] = back
+            if self.forecast_horizon:
+                forward = self._window_stats(
+                    weather, day, day + self.forecast_horizon, rng=rng
+                )
+                context[row, 3:] = forward
+        return ContextualDataset(
+            X=np.hstack([dataset.X, context]),
+            y=dataset.y.copy(),
+            t_index=dataset.t_index.copy(),
+            feature_names=dataset.feature_names + self.feature_names,
+        )

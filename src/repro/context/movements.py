@@ -1,0 +1,83 @@
+"""Fleet movement inference.
+
+The second contextual signal the paper's future work names: "fleet
+movements".  Telematics rarely labels relocations explicitly; the usable
+proxy is the utilization series itself — a long zero-usage run is, with
+high probability, a machine parked for transport between sites.  This
+module infers relocation events from usage and derives the
+``days_since_relocation`` feature stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RelocationEvent", "infer_relocations", "days_since_relocation"]
+
+
+@dataclass(frozen=True)
+class RelocationEvent:
+    """One inferred site move.
+
+    Attributes
+    ----------
+    start, end:
+        First and last day index of the idle gap (inclusive).
+    """
+
+    start: int
+    end: int
+
+    @property
+    def n_days(self) -> int:
+        return self.end - self.start + 1
+
+
+def infer_relocations(usage, min_gap_days: int = 10) -> list[RelocationEvent]:
+    """Zero-usage runs of at least ``min_gap_days`` become relocations."""
+    usage = np.asarray(usage, dtype=np.float64)
+    if usage.ndim != 1:
+        raise ValueError(f"usage must be 1-D, got shape {usage.shape}.")
+    if min_gap_days < 1:
+        raise ValueError(f"min_gap_days must be >= 1, got {min_gap_days}.")
+
+    events: list[RelocationEvent] = []
+    run_start: int | None = None
+    for day, seconds in enumerate(usage):
+        if seconds == 0.0:
+            if run_start is None:
+                run_start = day
+        else:
+            if run_start is not None and day - run_start >= min_gap_days:
+                events.append(RelocationEvent(start=run_start, end=day - 1))
+            run_start = None
+    if run_start is not None and usage.size - run_start >= min_gap_days:
+        events.append(RelocationEvent(start=run_start, end=usage.size - 1))
+    return events
+
+
+def days_since_relocation(
+    usage, min_gap_days: int = 10, *, horizon: int = 365
+) -> np.ndarray:
+    """Per-day count of days since the last inferred relocation ended.
+
+    Days before any relocation get ``horizon`` (a "long time ago" cap,
+    which also bounds the feature's range for the models).
+    """
+    usage = np.asarray(usage, dtype=np.float64)
+    events = infer_relocations(usage, min_gap_days=min_gap_days)
+    out = np.full(usage.size, float(horizon))
+    last_end: int | None = None
+    event_iter = iter(events)
+    current = next(event_iter, None)
+    for day in range(usage.size):
+        while current is not None and day > current.end:
+            last_end = current.end
+            current = next(event_iter, None)
+        if current is not None and current.start <= day <= current.end:
+            out[day] = 0.0  # mid-relocation
+        elif last_end is not None:
+            out[day] = min(float(day - last_end), float(horizon))
+    return out

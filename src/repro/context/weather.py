@@ -1,0 +1,163 @@
+"""Synthetic site weather.
+
+The paper's future work plans "to enrich regression models using
+contextual information (e.g., meteorological data, fleet movements)".
+Construction-site weather is not available offline, so this module
+synthesizes a defensible stand-in: daily temperature as a seasonal
+sinusoid plus AR(1) weather-system noise, and precipitation as a
+seasonally-modulated wet-day process with gamma-distributed amounts —
+the standard stochastic weather-generator recipe (Richardson-type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WeatherSeries", "WeatherSimulator"]
+
+DAYS_PER_YEAR = 365.25
+
+
+@dataclass(frozen=True)
+class WeatherSeries:
+    """Daily site weather aligned with a usage series.
+
+    Attributes
+    ----------
+    temperature:
+        Daily mean temperature, degC.
+    precipitation:
+        Daily precipitation, mm (0 on dry days).
+    """
+
+    temperature: np.ndarray
+    precipitation: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.temperature.shape != self.precipitation.shape:
+            raise ValueError("temperature and precipitation must align.")
+        if self.temperature.ndim != 1:
+            raise ValueError("Weather series must be 1-D.")
+
+    @property
+    def n_days(self) -> int:
+        return int(self.temperature.size)
+
+    def is_freezing(self) -> np.ndarray:
+        """Boolean mask of sub-zero days (outdoor work restricted)."""
+        return self.temperature < 0.0
+
+    def is_heavy_rain(self, threshold_mm: float = 10.0) -> np.ndarray:
+        """Boolean mask of heavy-precipitation days."""
+        return self.precipitation >= threshold_mm
+
+
+class WeatherSimulator:
+    """Generate daily weather series.
+
+    Parameters
+    ----------
+    mean_temperature:
+        Yearly mean, degC.
+    seasonal_amplitude:
+        Half peak-to-trough seasonal swing, degC.
+    noise_sd:
+        Standard deviation of the AR(1) temperature residual.
+    ar_coefficient:
+        Day-to-day persistence of weather systems (0 <= rho < 1).
+    wet_day_probability:
+        Mean fraction of days with precipitation.
+    wet_season_amplitude:
+        Relative seasonal modulation of wet-day probability.
+    rain_shape, rain_scale_mm:
+        Gamma parameters for precipitation amounts on wet days.
+    phase:
+        Radians; 0 puts the temperature peak at ~mid-year.
+    """
+
+    def __init__(
+        self,
+        mean_temperature: float = 12.0,
+        seasonal_amplitude: float = 10.0,
+        noise_sd: float = 3.0,
+        ar_coefficient: float = 0.7,
+        wet_day_probability: float = 0.3,
+        wet_season_amplitude: float = 0.4,
+        rain_shape: float = 0.9,
+        rain_scale_mm: float = 8.0,
+        phase: float = 0.0,
+    ):
+        if not 0.0 <= ar_coefficient < 1.0:
+            raise ValueError(
+                f"ar_coefficient must be in [0, 1), got {ar_coefficient}."
+            )
+        if not 0.0 < wet_day_probability < 1.0:
+            raise ValueError(
+                "wet_day_probability must be in (0, 1), got "
+                f"{wet_day_probability}."
+            )
+        if not 0.0 <= wet_season_amplitude < 1.0:
+            raise ValueError(
+                "wet_season_amplitude must be in [0, 1), got "
+                f"{wet_season_amplitude}."
+            )
+        if rain_shape <= 0 or rain_scale_mm <= 0:
+            raise ValueError("rain_shape and rain_scale_mm must be positive.")
+        if noise_sd < 0:
+            raise ValueError(f"noise_sd must be >= 0, got {noise_sd}.")
+        self.mean_temperature = mean_temperature
+        self.seasonal_amplitude = seasonal_amplitude
+        self.noise_sd = noise_sd
+        self.ar_coefficient = ar_coefficient
+        self.wet_day_probability = wet_day_probability
+        self.wet_season_amplitude = wet_season_amplitude
+        self.rain_shape = rain_shape
+        self.rain_scale_mm = rain_scale_mm
+        self.phase = phase
+
+    def generate(self, n_days: int, rng=None) -> WeatherSeries:
+        """Sample ``n_days`` of weather."""
+        if n_days < 0:
+            raise ValueError(f"n_days must be >= 0, got {n_days}.")
+        rng = np.random.default_rng(rng)
+        days = np.arange(n_days)
+        season = np.sin(
+            2.0 * np.pi * days / DAYS_PER_YEAR - np.pi / 2.0 + self.phase
+        )
+
+        # AR(1) residual around the seasonal mean.
+        residual = np.zeros(n_days)
+        innovation_sd = self.noise_sd * np.sqrt(
+            1.0 - self.ar_coefficient**2
+        )
+        previous = 0.0
+        for day in range(n_days):
+            previous = (
+                self.ar_coefficient * previous
+                + rng.normal(0.0, innovation_sd)
+            )
+            residual[day] = previous
+        temperature = (
+            self.mean_temperature
+            + self.seasonal_amplitude * season
+            + residual
+        )
+
+        # Wet days: more likely in the cold season (anti-phase to temp).
+        wet_probability = np.clip(
+            self.wet_day_probability * (1.0 - self.wet_season_amplitude * season),
+            0.01,
+            0.99,
+        )
+        wet = rng.random(n_days) < wet_probability
+        precipitation = np.zeros(n_days)
+        n_wet = int(wet.sum())
+        if n_wet:
+            precipitation[wet] = rng.gamma(
+                self.rain_shape, self.rain_scale_mm, size=n_wet
+            )
+        return WeatherSeries(
+            temperature=temperature, precipitation=precipitation
+        )

@@ -1,0 +1,86 @@
+"""The paper's primary contribution: next-maintenance prediction.
+
+Problem formalization (Section 2), error model (Section 2.1), the three
+prediction approaches (Section 4.1), the algorithm registry (Section
+4.2), per-vehicle methodology for old vehicles (Section 4.3), cold-start
+methodology for new/semi-new vehicles (Section 4.4), and the fleet
+planning application layer the paper motivates.
+"""
+
+from .categorize import VehicleCategory, categorize, categorize_usage
+from .coldstart import (
+    ColdStartConfig,
+    ColdStartExperiment,
+    ColdStartResult,
+    aggregate_by_label,
+    first_cycle_dataset,
+    half_cycle_day,
+)
+from .cycles import Cycle, SeriesBundle, derive_series, segment_cycles
+from .errors import (
+    DEFAULT_HORIZON,
+    daily_errors,
+    global_error,
+    mean_residual_error,
+    residual_error_by_day,
+)
+from .old_vehicles import (
+    FleetResult,
+    OldVehicleConfig,
+    OldVehicleExperiment,
+    VehicleResult,
+    select_best_algorithm,
+)
+from .planner import (
+    FleetMaintenancePlanner,
+    MaintenanceForecast,
+    ScheduledMaintenance,
+)
+from .predictors import BaselinePredictor, RegressionPredictor
+from .registry import (
+    ALGORITHMS,
+    PAPER_ALGORITHM_ORDER,
+    AlgorithmSpec,
+    get_algorithm,
+    make_predictor,
+    register_algorithm,
+)
+from .series import VehicleSeries
+
+__all__ = [
+    "VehicleCategory",
+    "categorize",
+    "categorize_usage",
+    "ColdStartConfig",
+    "ColdStartExperiment",
+    "ColdStartResult",
+    "aggregate_by_label",
+    "first_cycle_dataset",
+    "half_cycle_day",
+    "Cycle",
+    "SeriesBundle",
+    "derive_series",
+    "segment_cycles",
+    "DEFAULT_HORIZON",
+    "daily_errors",
+    "global_error",
+    "mean_residual_error",
+    "residual_error_by_day",
+    "FleetResult",
+    "OldVehicleConfig",
+    "OldVehicleExperiment",
+    "VehicleResult",
+    "select_best_algorithm",
+    "FleetMaintenancePlanner",
+    "MaintenanceForecast",
+    "ScheduledMaintenance",
+    "BaselinePredictor",
+    "RegressionPredictor",
+    "ALGORITHMS",
+    "PAPER_ALGORITHM_ORDER",
+    "AlgorithmSpec",
+    "get_algorithm",
+    "make_predictor",
+    "register_algorithm",
+    "VehicleSeries",
+]

@@ -1,0 +1,65 @@
+"""Vehicle categorization by available history (Section 2).
+
+"(i) Old: If at least one maintenance cycle has already been completed
+since data acquisition has started. (ii) Semi-new: If the first
+maintenance cycle has not been completed yet, but data about at least
+half of the usage in one cycle (T_v/2) is already available. (iii) New:
+If the vehicle has been used for less than T_v/2 seconds since the
+beginning of the data acquisition phase."
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from .series import VehicleSeries
+
+__all__ = ["VehicleCategory", "categorize", "categorize_usage"]
+
+
+class VehicleCategory(enum.Enum):
+    """History-based vehicle class driving methodology selection."""
+
+    OLD = "old"
+    SEMI_NEW = "semi-new"
+    NEW = "new"
+
+
+def categorize_usage(usage, t_v: float) -> VehicleCategory:
+    """Categorize from a raw utilization array and budget ``t_v``."""
+    usage = np.asarray(usage, dtype=np.float64)
+    if t_v <= 0:
+        raise ValueError(f"t_v must be positive, got {t_v}.")
+    if usage.size and not np.isfinite(usage).all():
+        raise ValueError("usage contains NaN/inf; clean the data first.")
+    total = float(usage.sum()) if usage.size else 0.0
+    if total >= t_v:
+        return VehicleCategory.OLD
+    if total >= t_v / 2.0:
+        return VehicleCategory.SEMI_NEW
+    return VehicleCategory.NEW
+
+
+def categorize(
+    series: VehicleSeries, as_of_day: int | None = None
+) -> VehicleCategory:
+    """Categorize a vehicle, optionally as of an earlier day.
+
+    Parameters
+    ----------
+    series:
+        The vehicle's series.
+    as_of_day:
+        If given, only days ``< as_of_day`` count as observed history —
+        this answers "what category was this vehicle on that date?".
+    """
+    usage = series.usage
+    if as_of_day is not None:
+        if not 0 <= as_of_day <= series.n_days:
+            raise ValueError(
+                f"as_of_day={as_of_day} outside [0, {series.n_days}]."
+            )
+        usage = usage[:as_of_day]
+    return categorize_usage(usage, series.t_v)

@@ -1,0 +1,194 @@
+"""Maintenance-cycle segmentation and the derived series of Section 2.
+
+A *cycle* is "the period from one maintenance operation to the next one".
+Maintenance is due once cumulative utilization since the last maintenance
+reaches the allowed budget ``T_v`` ("After a fixed time amount of usage
+(we have considered T_v = 2 000 000 seconds), every vehicle needs to go
+under maintenance").
+
+Given a daily utilization series ``U_v(t)`` this module derives the three
+series that drive the prediction problem:
+
+* ``C_v(t)`` — days already passed since the last maintenance;
+* ``L_v(t)`` — utilization seconds left before the next maintenance at
+  the *start* of day ``t`` (Eq. 1);
+* ``D_v(t)`` — the target: days left until the next maintenance (0 on
+  the day the budget is exhausted; NaN inside an incomplete final cycle,
+  where the ground truth is not yet known).
+
+The segmentation accepts an arbitrary accumulation start day, which is
+what the paper's time-shift re-sampling augmentation exploits ("we can
+shift the time reference, i.e., changing the first starting day t = 0,
+without introducing errors").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Cycle", "SeriesBundle", "segment_cycles", "derive_series"]
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """One maintenance cycle.
+
+    Attributes
+    ----------
+    start:
+        First day index of the cycle.
+    end:
+        Last day index (inclusive).  For a completed cycle this is the
+        day the usage budget was exhausted (the maintenance day); for
+        the trailing incomplete cycle it is the last observed day.
+    completed:
+        Whether the budget was exhausted within the observed data.
+    total_usage:
+        Seconds of utilization accumulated over the cycle's days.
+    """
+
+    start: int
+    end: int
+    completed: bool
+    total_usage: float
+
+    @property
+    def n_days(self) -> int:
+        """Cycle length in days (inclusive of both endpoints)."""
+        return self.end - self.start + 1
+
+
+def _validate_usage(usage) -> np.ndarray:
+    usage = np.asarray(usage, dtype=np.float64)
+    if usage.ndim != 1:
+        raise ValueError(f"usage must be 1-D, got shape {usage.shape}.")
+    if not np.isfinite(usage).all():
+        raise ValueError(
+            "usage contains NaN/inf; run repro.dataprep.cleaning first."
+        )
+    if usage.size and usage.min() < 0:
+        raise ValueError("usage must be non-negative.")
+    return usage
+
+
+def segment_cycles(usage, t_v: float, start: int = 0) -> list[Cycle]:
+    """Split a utilization series into maintenance cycles.
+
+    Parameters
+    ----------
+    usage:
+        Daily utilization seconds, 1-D.
+    t_v:
+        Usage budget per cycle, seconds.
+    start:
+        Day index where budget accumulation begins (days before ``start``
+        belong to no cycle).  This is the shifted time reference of the
+        augmentation strategy in Section 4.
+
+    Returns
+    -------
+    list of :class:`Cycle`, in chronological order.  The last cycle has
+    ``completed=False`` if the data ends before its budget is exhausted;
+    a trailing cycle is only emitted if at least one day belongs to it.
+    """
+    usage = _validate_usage(usage)
+    if t_v <= 0:
+        raise ValueError(f"t_v must be positive, got {t_v}.")
+    n = usage.size
+    if not 0 <= start <= n:
+        raise ValueError(f"start={start} outside [0, {n}].")
+
+    cycles: list[Cycle] = []
+    cycle_start = start
+    accumulated = 0.0
+    for day in range(start, n):
+        accumulated += usage[day]
+        if accumulated >= t_v:
+            cycles.append(
+                Cycle(
+                    start=cycle_start,
+                    end=day,
+                    completed=True,
+                    total_usage=accumulated,
+                )
+            )
+            cycle_start = day + 1
+            accumulated = 0.0
+    if cycle_start < n:
+        cycles.append(
+            Cycle(
+                start=cycle_start,
+                end=n - 1,
+                completed=False,
+                total_usage=accumulated,
+            )
+        )
+    return cycles
+
+
+@dataclass(frozen=True)
+class SeriesBundle:
+    """The derived series ``C``, ``L``, ``D`` aligned with ``usage``.
+
+    Days outside any cycle (before the accumulation start) hold NaN in
+    all three arrays; days inside the trailing incomplete cycle hold NaN
+    in ``D`` only (the label does not exist yet) but valid ``C``/``L``.
+    """
+
+    usage: np.ndarray
+    t_v: float
+    start: int
+    cycles: tuple[Cycle, ...]
+    days_since_maintenance: np.ndarray  # C_v(t)
+    usage_left: np.ndarray  # L_v(t)
+    days_to_maintenance: np.ndarray  # D_v(t)
+
+    @property
+    def n_days(self) -> int:
+        return int(self.usage.size)
+
+    @property
+    def completed_cycles(self) -> tuple[Cycle, ...]:
+        return tuple(c for c in self.cycles if c.completed)
+
+    @property
+    def labeled_mask(self) -> np.ndarray:
+        """Boolean mask of days with a defined target ``D_v(t)``."""
+        return np.isfinite(self.days_to_maintenance)
+
+
+def derive_series(usage, t_v: float, start: int = 0) -> SeriesBundle:
+    """Compute ``C_v``, ``L_v`` (Eq. 1) and the target ``D_v``.
+
+    ``L_v(t)`` is the budget minus usage accumulated on days *before*
+    ``t`` within the current cycle, exactly Eq. 1 of the paper:
+    ``L_v(t) = T_v - sum_{i=t-C_v(t)}^{t-1} U_v(i)``.
+    """
+    usage = _validate_usage(usage)
+    cycles = segment_cycles(usage, t_v, start=start)
+    n = usage.size
+    c_series = np.full(n, np.nan)
+    l_series = np.full(n, np.nan)
+    d_series = np.full(n, np.nan)
+
+    for cycle in cycles:
+        days = np.arange(cycle.start, cycle.end + 1)
+        c_series[days] = days - cycle.start
+        cumulative_before = np.concatenate(
+            [[0.0], np.cumsum(usage[cycle.start : cycle.end])]
+        )
+        l_series[days] = t_v - cumulative_before
+        if cycle.completed:
+            d_series[days] = cycle.end - days
+
+    return SeriesBundle(
+        usage=usage,
+        t_v=float(t_v),
+        start=start,
+        cycles=tuple(cycles),
+        days_since_maintenance=c_series,
+        usage_left=l_series,
+        days_to_maintenance=d_series,
+    )

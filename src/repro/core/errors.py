@@ -1,0 +1,119 @@
+"""The paper's error model (Section 2.1).
+
+Three errors per vehicle:
+
+* the **daily error** ``E_v(t) = D_v(t) - D_predict_v(t)`` (Eq. 2);
+* the **global error** ``E_Global``, the mean of daily errors over all
+  samples (Eq. 3);
+* the **mean residual error** ``E_MRE(D~)``, the mean of daily errors
+  restricted to days whose true target falls in a chosen set ``D~``
+  (Eq. 4) — the paper uses the last 29 days of each cycle,
+  ``D~ = {1, ..., 29}``, because "fleet managers are mainly interested in
+  getting accurate predictions when the vehicles are towards the end of
+  their maintenance cycle".
+
+Eqs. 3-4 are written with *signed* errors, but the reported values
+(e.g. RF = 2.4 days) are error magnitudes, so by default these functions
+average absolute errors; pass ``absolute=False`` for the literal signed
+mean (useful to detect systematic bias).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_HORIZON",
+    "daily_errors",
+    "global_error",
+    "mean_residual_error",
+    "residual_error_by_day",
+]
+
+#: The paper's D~ = {1, ..., 29} (footnote 1: "the last 29 days per cycle").
+DEFAULT_HORIZON: tuple[int, ...] = tuple(range(1, 30))
+
+
+def _validate(d_true, d_pred) -> tuple[np.ndarray, np.ndarray]:
+    d_true = np.asarray(d_true, dtype=np.float64)
+    d_pred = np.asarray(d_pred, dtype=np.float64)
+    if d_true.shape != d_pred.shape:
+        raise ValueError(
+            f"Shape mismatch: d_true {d_true.shape} vs d_pred {d_pred.shape}."
+        )
+    if d_true.ndim != 1:
+        raise ValueError(f"Expected 1-D arrays, got shape {d_true.shape}.")
+    return d_true, d_pred
+
+
+def daily_errors(d_true, d_pred) -> np.ndarray:
+    """Signed daily errors ``E_v(t)`` (Eq. 2).
+
+    Days with NaN ground truth (incomplete final cycle) yield NaN.
+    """
+    d_true, d_pred = _validate(d_true, d_pred)
+    return d_true - d_pred
+
+
+def global_error(d_true, d_pred, *, absolute: bool = True) -> float:
+    """``E_Global`` (Eq. 3): mean daily error over all labeled samples."""
+    errors = daily_errors(d_true, d_pred)
+    errors = errors[np.isfinite(errors)]
+    if errors.size == 0:
+        raise ValueError("No labeled samples: all daily errors are NaN.")
+    if absolute:
+        errors = np.abs(errors)
+    return float(errors.mean())
+
+
+def mean_residual_error(
+    d_true,
+    d_pred,
+    horizon: Iterable[int] = DEFAULT_HORIZON,
+    *,
+    absolute: bool = True,
+) -> float:
+    """``E_MRE(D~)`` (Eq. 4): mean daily error over days with
+    ``D_v(t)`` in ``horizon``.
+
+    Returns NaN when no sample's true target falls in ``horizon`` —
+    callers aggregating across vehicles should skip those (a vehicle may
+    simply have no test day that close to a maintenance).
+    """
+    d_true, d_pred = _validate(d_true, d_pred)
+    horizon_set = set(int(d) for d in horizon)
+    if not horizon_set:
+        raise ValueError("horizon must be non-empty.")
+    labeled = np.isfinite(d_true) & np.isfinite(d_pred)
+    selected = labeled & np.isin(
+        np.where(labeled, d_true, -1).astype(np.int64), list(horizon_set)
+    )
+    if not selected.any():
+        return float("nan")
+    errors = d_true[selected] - d_pred[selected]
+    if absolute:
+        errors = np.abs(errors)
+    return float(errors.mean())
+
+
+def residual_error_by_day(
+    d_true,
+    d_pred,
+    days: Iterable[int] = DEFAULT_HORIZON,
+    *,
+    absolute: bool = True,
+) -> dict[int, float]:
+    """``E_MRE({d})`` for each single day ``d`` in ``days``.
+
+    This is Figure 5 of the paper: error as a function of how many days
+    remain before the maintenance deadline.  Days with no samples map to
+    NaN.
+    """
+    return {
+        int(day): mean_residual_error(
+            d_true, d_pred, horizon=[int(day)], absolute=absolute
+        )
+        for day in days
+    }

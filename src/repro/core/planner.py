@@ -1,0 +1,235 @@
+"""Fleet maintenance planning on top of the predictors.
+
+The application layer the paper motivates: "a data-driven application to
+automatically schedule the periodic maintenance operations of industrial
+vehicles" that is "complementary to existing optimization-based planning
+strategies ... providing the fleet management system with specific hints
+on future vehicle usage states".
+
+:class:`FleetMaintenancePlanner` turns per-vehicle predictions of days
+to next maintenance into a workshop schedule with a daily capacity
+constraint: urgent vehicles first; overflow shifts to the next day with
+free capacity (never earlier than predicted, so no budget is wasted on
+premature service).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from .categorize import VehicleCategory, categorize
+from .series import VehicleSeries
+
+__all__ = ["MaintenanceForecast", "ScheduledMaintenance", "FleetMaintenancePlanner"]
+
+
+@dataclass(frozen=True)
+class MaintenanceForecast:
+    """One vehicle's prediction snapshot.
+
+    Attributes
+    ----------
+    vehicle_id:
+        Vehicle.
+    category:
+        History class (old / semi-new / new) at forecast time.
+    days_to_maintenance:
+        Predicted days until the next maintenance is due.
+    usage_left:
+        Budget seconds remaining (``L_v``) at forecast time.
+    days_lower, days_upper:
+        Optional uncertainty band (e.g. forest per-tree quantiles);
+        ``days_lower`` is the conservative "could be due this early"
+        estimate the planner can schedule against.
+    """
+
+    vehicle_id: str
+    category: VehicleCategory
+    days_to_maintenance: float
+    usage_left: float
+    days_lower: float | None = None
+    days_upper: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.days_to_maintenance < 0:
+            raise ValueError(
+                "days_to_maintenance must be non-negative, got "
+                f"{self.days_to_maintenance}."
+            )
+        if self.days_lower is not None and self.days_upper is not None:
+            if not (
+                self.days_lower
+                <= self.days_to_maintenance
+                <= self.days_upper
+            ):
+                raise ValueError(
+                    "Expected days_lower <= days_to_maintenance <= "
+                    f"days_upper, got {self.days_lower} / "
+                    f"{self.days_to_maintenance} / {self.days_upper}."
+                )
+
+
+@dataclass(frozen=True)
+class ScheduledMaintenance:
+    """A slot in the workshop plan."""
+
+    vehicle_id: str
+    due_date: dt.date
+    scheduled_date: dt.date
+    predicted_days_left: float
+
+    @property
+    def slack_days(self) -> int:
+        """Days the slot was pushed past the predicted due date."""
+        return (self.scheduled_date - self.due_date).days
+
+
+class FleetMaintenancePlanner:
+    """Build a capacity-constrained maintenance schedule.
+
+    Parameters
+    ----------
+    daily_capacity:
+        Workshop slots per day.
+    horizon_days:
+        Only vehicles predicted due within this horizon are scheduled.
+    """
+
+    def __init__(self, daily_capacity: int = 2, horizon_days: int = 60):
+        if daily_capacity < 1:
+            raise ValueError(
+                f"daily_capacity must be >= 1, got {daily_capacity}."
+            )
+        if horizon_days < 1:
+            raise ValueError(
+                f"horizon_days must be >= 1, got {horizon_days}."
+            )
+        self.daily_capacity = daily_capacity
+        self.horizon_days = horizon_days
+
+    @staticmethod
+    def forecast_vehicle(
+        series: VehicleSeries,
+        predictor,
+        window: int,
+        *,
+        quantiles: tuple[float, float] | None = None,
+    ) -> MaintenanceForecast:
+        """Live forecast from a vehicle's latest observed day.
+
+        Builds the current feature row ``[L(today), U(yesterday), ...]``
+        and runs the fitted predictor.  With ``quantiles=(lo, hi)`` and
+        a predictor whose underlying model exposes
+        ``predict_quantiles`` (the random forest does), the forecast
+        carries an uncertainty band.
+        """
+        bundle = series.bundle
+        today = series.n_days - 1
+        if today < window:
+            raise ValueError(
+                f"Vehicle {series.vehicle_id!r} has {series.n_days} days; "
+                f"window={window} needs at least {window + 1}."
+            )
+        usage_left = bundle.usage_left[today]
+        if not np.isfinite(usage_left):
+            raise ValueError(
+                f"Vehicle {series.vehicle_id!r} has no defined L on its "
+                "latest day."
+            )
+        row = np.empty((1, window + 1))
+        row[0, 0] = usage_left
+        for lag in range(1, window + 1):
+            row[0, lag] = series.usage[today - lag]
+        prediction = max(float(predictor.predict(row)[0]), 0.0)
+
+        days_lower = days_upper = None
+        if quantiles is not None:
+            lo, hi = quantiles
+            if not 0.0 <= lo <= hi <= 1.0:
+                raise ValueError(
+                    f"quantiles must satisfy 0 <= lo <= hi <= 1, got "
+                    f"{quantiles}."
+                )
+            model = getattr(predictor, "model_", predictor)
+            if hasattr(model, "predict_quantiles"):
+                band = model.predict_quantiles(row, quantiles=(lo, hi))[0]
+                days_lower = max(float(band[0]), 0.0)
+                days_upper = max(float(band[1]), days_lower)
+                # Keep the invariant lower <= point <= upper even when the
+                # point estimate (tree mean) falls outside the band.
+                days_lower = min(days_lower, prediction)
+                days_upper = max(days_upper, prediction)
+        return MaintenanceForecast(
+            vehicle_id=series.vehicle_id,
+            category=categorize(series),
+            days_to_maintenance=prediction,
+            usage_left=float(usage_left),
+            days_lower=days_lower,
+            days_upper=days_upper,
+        )
+
+    def build_schedule(
+        self,
+        forecasts: Mapping[str, MaintenanceForecast] | list[MaintenanceForecast],
+        today: dt.date,
+        *,
+        conservative: bool = False,
+    ) -> list[ScheduledMaintenance]:
+        """Assign workshop days: most urgent first, capacity respected.
+
+        A vehicle's slot never precedes its predicted due date; when a
+        day is full the vehicle shifts to the next day with capacity.
+        With ``conservative=True``, forecasts carrying an uncertainty
+        band are scheduled against their lower bound ("could be due this
+        early") instead of the point estimate.
+        """
+        if isinstance(forecasts, Mapping):
+            forecasts = list(forecasts.values())
+
+        def effective_days(forecast: MaintenanceForecast) -> float:
+            if conservative and forecast.days_lower is not None:
+                return forecast.days_lower
+            return forecast.days_to_maintenance
+
+        due = [
+            f for f in forecasts if effective_days(f) <= self.horizon_days
+        ]
+        due.sort(key=lambda f: (effective_days(f), f.vehicle_id))
+
+        load: dict[dt.date, int] = {}
+        schedule: list[ScheduledMaintenance] = []
+        for forecast in due:
+            due_date = today + dt.timedelta(
+                days=int(np.floor(effective_days(forecast)))
+            )
+            slot = due_date
+            while load.get(slot, 0) >= self.daily_capacity:
+                slot += dt.timedelta(days=1)
+            load[slot] = load.get(slot, 0) + 1
+            schedule.append(
+                ScheduledMaintenance(
+                    vehicle_id=forecast.vehicle_id,
+                    due_date=due_date,
+                    scheduled_date=slot,
+                    predicted_days_left=forecast.days_to_maintenance,
+                )
+            )
+        schedule.sort(key=lambda s: (s.scheduled_date, s.vehicle_id))
+        return schedule
+
+    @staticmethod
+    def render(schedule: list[ScheduledMaintenance]) -> str:
+        """Plain-text schedule for fleet managers."""
+        if not schedule:
+            return "No maintenance due within the planning horizon."
+        lines = ["date        vehicle   pred.days  slack"]
+        for slot in schedule:
+            lines.append(
+                f"{slot.scheduled_date.isoformat()}  {slot.vehicle_id:<9s}"
+                f"{slot.predicted_days_left:9.1f}  {slot.slack_days:5d}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Per-vehicle series container: the problem instance of Section 2.
+
+:class:`VehicleSeries` bundles a vehicle's daily utilization ``U_v(t)``
+with its usage budget ``T_v`` and lazily derives the cycle segmentation
+and the ``C``/``L``/``D`` series.  It is the single currency the
+methodology modules (:mod:`repro.core.old_vehicles`,
+:mod:`repro.core.coldstart`) trade in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cycles import Cycle, SeriesBundle, derive_series, segment_cycles
+
+__all__ = ["VehicleSeries"]
+
+
+@dataclass
+class VehicleSeries:
+    """A vehicle's utilization history plus derived maintenance series.
+
+    Attributes
+    ----------
+    vehicle_id:
+        Identifier used in reports and joins.
+    usage:
+        Daily utilization seconds ``U_v(t)`` (clean: finite, >= 0).
+    t_v:
+        Allowed usage seconds between maintenances.
+    """
+
+    vehicle_id: str
+    usage: np.ndarray
+    t_v: float
+    _bundle: SeriesBundle | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.usage = np.asarray(self.usage, dtype=np.float64)
+        if self.usage.ndim != 1:
+            raise ValueError(
+                f"usage must be 1-D, got shape {self.usage.shape}."
+            )
+        if self.t_v <= 0:
+            raise ValueError(f"t_v must be positive, got {self.t_v}.")
+
+    @classmethod
+    def from_vehicle(cls, vehicle) -> "VehicleSeries":
+        """Build from a :class:`repro.fleet.vehicle.SimulatedVehicle`."""
+        return cls(
+            vehicle_id=vehicle.vehicle_id,
+            usage=vehicle.usage,
+            t_v=vehicle.spec.t_v,
+        )
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def bundle(self) -> SeriesBundle:
+        """Derived ``C``/``L``/``D`` series (computed once, cached)."""
+        if self._bundle is None:
+            self._bundle = derive_series(self.usage, self.t_v)
+        return self._bundle
+
+    @property
+    def n_days(self) -> int:
+        return int(self.usage.size)
+
+    @property
+    def cycles(self) -> tuple[Cycle, ...]:
+        return self.bundle.cycles
+
+    @property
+    def completed_cycles(self) -> tuple[Cycle, ...]:
+        return self.bundle.completed_cycles
+
+    @property
+    def days_since_maintenance(self) -> np.ndarray:
+        """``C_v(t)``: days already passed since the last maintenance."""
+        return self.bundle.days_since_maintenance
+
+    @property
+    def usage_left(self) -> np.ndarray:
+        """``L_v(t)``: utilization seconds left to the next maintenance."""
+        return self.bundle.usage_left
+
+    @property
+    def days_to_maintenance(self) -> np.ndarray:
+        """``D_v(t)``: the prediction target (NaN where undefined)."""
+        return self.bundle.days_to_maintenance
+
+    @property
+    def total_usage(self) -> float:
+        return float(self.usage.sum())
+
+    # -- slicing -----------------------------------------------------------
+
+    def truncated(self, n_days: int) -> "VehicleSeries":
+        """A copy containing only the first ``n_days`` days.
+
+        Used to rewind history, e.g. to re-categorize a vehicle as it
+        would have looked earlier in its life.
+        """
+        if not 0 <= n_days <= self.n_days:
+            raise ValueError(
+                f"n_days={n_days} outside [0, {self.n_days}]."
+            )
+        return VehicleSeries(
+            vehicle_id=self.vehicle_id,
+            usage=self.usage[:n_days].copy(),
+            t_v=self.t_v,
+        )
+
+    def first_cycle(self) -> Cycle:
+        """The first cycle (completed or not); errors on empty series."""
+        cycles = self.cycles
+        if not cycles:
+            raise ValueError(
+                f"Vehicle {self.vehicle_id!r} has no observed days."
+            )
+        return cycles[0]
+
+    def reanchored(self, start: int) -> SeriesBundle:
+        """Derived series with budget accumulation starting at ``start``.
+
+        This is the paper's time-reference shift: the same utilization
+        history yields different (but equally valid) cycle boundaries.
+        """
+        return derive_series(self.usage, self.t_v, start=start)
+
+    def __repr__(self) -> str:  # concise: usage array elided
+        return (
+            f"VehicleSeries(vehicle_id={self.vehicle_id!r}, "
+            f"n_days={self.n_days}, t_v={self.t_v:g}, "
+            f"cycles={len(self.cycles)})"
+        )

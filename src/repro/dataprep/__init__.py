@@ -1,0 +1,44 @@
+"""Data preparation: the five-step chain of Section 3 of the paper.
+
+Cleaning, normalization, aggregation, enrichment and transformation of
+raw CAN-derived usage data into the windowed relational datasets the
+regression models consume.
+"""
+
+from .aggregation import aggregate_daily_to_weekly, aggregate_reports_daily
+from .cleaning import (
+    INCONSISTENT_POLICIES,
+    MISSING_POLICIES,
+    CleaningReport,
+    clean_daily_usage,
+)
+from .enrichment import EnrichedSeries, enrich_usage, rolling_mean, rolling_std
+from .normalization import UtilizationNormalizer, scale_by_capacity
+from .pipeline import DataPreparationPipeline, PreparedVehicle
+from .transformation import (
+    RelationalDataset,
+    augment_with_time_shifts,
+    build_relational_dataset,
+    feature_names_for_window,
+)
+
+__all__ = [
+    "aggregate_daily_to_weekly",
+    "aggregate_reports_daily",
+    "CleaningReport",
+    "clean_daily_usage",
+    "MISSING_POLICIES",
+    "INCONSISTENT_POLICIES",
+    "EnrichedSeries",
+    "enrich_usage",
+    "rolling_mean",
+    "rolling_std",
+    "UtilizationNormalizer",
+    "scale_by_capacity",
+    "DataPreparationPipeline",
+    "PreparedVehicle",
+    "RelationalDataset",
+    "augment_with_time_shifts",
+    "build_relational_dataset",
+    "feature_names_for_window",
+]

@@ -1,0 +1,70 @@
+"""Data aggregation: controller reports -> daily utilization series.
+
+Step (iii) of Section 3: aggregation "at the desired time granularity";
+"in our case of study, we primarily focus on daily-usage time series
+U(t), i.e., the amount of time each vehicle worked on each day".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "aggregate_reports_daily",
+    "aggregate_daily_to_weekly",
+    "SECONDS_PER_DAY",
+]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def aggregate_reports_daily(reports, n_days: int | None = None) -> np.ndarray:
+    """Sum report working seconds into a dense daily array.
+
+    A report's working time is attributed to the day containing its
+    ``period_start``.  Days never covered by any report are NaN (missing,
+    for the cleaning stage to resolve); covered days accumulate, so
+    duplicated uploads produce the over-86400 inconsistencies cleaning
+    must also handle.
+
+    Parameters
+    ----------
+    reports:
+        Iterable of :class:`repro.telemetry.controller.UsageReport`.
+    n_days:
+        Output length; default: up to the last reported day.
+    """
+    totals: dict[int, float] = {}
+    for report in reports:
+        if report.period_end < report.period_start:
+            raise ValueError(
+                f"Report for {report.vehicle_id!r} has period_end before "
+                "period_start."
+            )
+        day = int(report.period_start // SECONDS_PER_DAY)
+        totals[day] = totals.get(day, 0.0) + float(report.working_seconds)
+
+    if n_days is None:
+        n_days = (max(totals) + 1) if totals else 0
+    if n_days < 0:
+        raise ValueError(f"n_days must be >= 0, got {n_days}.")
+    series = np.full(n_days, np.nan)
+    for day, seconds in totals.items():
+        if 0 <= day < n_days:
+            series[day] = seconds
+    return series
+
+
+def aggregate_daily_to_weekly(daily: np.ndarray) -> np.ndarray:
+    """Sum a daily series into weeks (trailing partial week included).
+
+    Used by the exploration reports; NaN days propagate into their week.
+    """
+    daily = np.asarray(daily, dtype=np.float64)
+    if daily.ndim != 1:
+        raise ValueError(f"daily must be 1-D, got shape {daily.shape}.")
+    n_weeks = int(np.ceil(daily.size / 7))
+    out = np.zeros(n_weeks)
+    for week in range(n_weeks):
+        out[week] = daily[7 * week : 7 * (week + 1)].sum()
+    return out

@@ -1,0 +1,164 @@
+"""Data cleaning: missing and inconsistent daily-usage values.
+
+Step (i) of the Section-3 preparation chain: "Data cleaning entails
+properly handling missing values and inconsistent values."  Raw daily
+series coming out of the cloud store can contain:
+
+* **missing** days (NaN) — lost uploads or the vehicle being offline;
+* **inconsistent** values — negative working time, or totals exceeding
+  86 400 s/day (duplicated uploads, corrupted frames).
+
+Policies are explicit and recorded in a :class:`CleaningReport` so the
+preparation pipeline remains auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CleaningReport", "clean_daily_usage", "MISSING_POLICIES",
+           "INCONSISTENT_POLICIES"]
+
+SECONDS_PER_DAY = 86_400.0
+
+MISSING_POLICIES = ("zero", "interpolate", "ffill")
+INCONSISTENT_POLICIES = ("clip", "null")
+
+
+@dataclass(frozen=True)
+class CleaningReport:
+    """What :func:`clean_daily_usage` changed.
+
+    Attributes
+    ----------
+    n_days:
+        Series length.
+    n_missing:
+        Days that had no value at all.
+    n_negative:
+        Days with negative working time.
+    n_overflow:
+        Days exceeding 86 400 seconds.
+    missing_policy, inconsistent_policy:
+        Policies applied.
+    """
+
+    n_days: int
+    n_missing: int
+    n_negative: int
+    n_overflow: int
+    missing_policy: str
+    inconsistent_policy: str
+
+    @property
+    def n_inconsistent(self) -> int:
+        return self.n_negative + self.n_overflow
+
+    @property
+    def fraction_touched(self) -> float:
+        if self.n_days == 0:
+            return 0.0
+        return (self.n_missing + self.n_inconsistent) / self.n_days
+
+
+def _fill_missing(series: np.ndarray, policy: str) -> np.ndarray:
+    missing = ~np.isfinite(series)
+    if not missing.any():
+        return series
+    out = series.copy()
+    if policy == "zero":
+        out[missing] = 0.0
+        return out
+    valid_idx = np.nonzero(~missing)[0]
+    if valid_idx.size == 0:
+        # Nothing to anchor on: all-missing series becomes all-zero.
+        return np.zeros_like(out)
+    if policy == "interpolate":
+        all_idx = np.arange(out.size)
+        out[missing] = np.interp(
+            all_idx[missing], valid_idx, out[valid_idx]
+        )
+        return out
+    if policy == "ffill":
+        # Forward-fill; leading gap falls back to 0 (vehicle not yet seen).
+        last = 0.0
+        for i in range(out.size):
+            if missing[i]:
+                out[i] = last
+            else:
+                last = out[i]
+        return out
+    raise ValueError(
+        f"Unknown missing policy {policy!r}; choose from {MISSING_POLICIES}."
+    )
+
+
+def clean_daily_usage(
+    raw,
+    *,
+    missing_policy: str = "zero",
+    inconsistent_policy: str = "clip",
+) -> tuple[np.ndarray, CleaningReport]:
+    """Clean a raw daily utilization series.
+
+    Parameters
+    ----------
+    raw:
+        1-D array; NaN marks missing days.
+    missing_policy:
+        ``"zero"`` (default — an unreported day is most plausibly an
+        unused day), ``"interpolate"`` or ``"ffill"``.
+    inconsistent_policy:
+        ``"clip"`` (default — clamp into ``[0, 86400]``) or ``"null"``
+        (demote inconsistent values to missing, then apply the missing
+        policy).
+
+    Returns
+    -------
+    (clean_series, report)
+    """
+    series = np.asarray(raw, dtype=np.float64).copy()
+    if series.ndim != 1:
+        raise ValueError(f"raw must be 1-D, got shape {series.shape}.")
+    if missing_policy not in MISSING_POLICIES:
+        raise ValueError(
+            f"Unknown missing policy {missing_policy!r}; choose from "
+            f"{MISSING_POLICIES}."
+        )
+    if inconsistent_policy not in INCONSISTENT_POLICIES:
+        raise ValueError(
+            f"Unknown inconsistent policy {inconsistent_policy!r}; choose "
+            f"from {INCONSISTENT_POLICIES}."
+        )
+
+    # Infinities are treated as inconsistent, not missing.
+    series[np.isinf(series)] = (
+        -1.0 if inconsistent_policy == "clip" else np.nan
+    )
+    n_missing = int(np.sum(~np.isfinite(series)))
+
+    finite = np.isfinite(series)
+    negative = finite & (series < 0.0)
+    overflow = finite & (series > SECONDS_PER_DAY)
+    n_negative = int(negative.sum())
+    n_overflow = int(overflow.sum())
+
+    if inconsistent_policy == "clip":
+        series[negative] = 0.0
+        series[overflow] = SECONDS_PER_DAY
+    else:
+        series[negative | overflow] = np.nan
+
+    series = _fill_missing(series, missing_policy)
+
+    report = CleaningReport(
+        n_days=series.size,
+        n_missing=n_missing,
+        n_negative=n_negative,
+        n_overflow=n_overflow,
+        missing_policy=missing_policy,
+        inconsistent_policy=inconsistent_policy,
+    )
+    return series, report

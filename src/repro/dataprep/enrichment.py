@@ -1,0 +1,82 @@
+"""Data enrichment: derived maintenance series and usage statistics.
+
+Step (iv) of Section 3.  Enrichment attaches to the clean daily series
+the derived quantities the predictors consume — the cycle-aware series
+``C``, ``L``, ``D`` of Section 2 (delegated to :mod:`repro.core.cycles`)
+plus rolling usage statistics that describe the recent regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cycles import SeriesBundle, derive_series
+
+__all__ = ["EnrichedSeries", "enrich_usage", "rolling_mean", "rolling_std"]
+
+
+def rolling_mean(series, window: int) -> np.ndarray:
+    """Trailing mean over the previous ``window`` days (inclusive).
+
+    Entry ``t`` averages ``series[max(0, t-window+1) : t+1]``; early
+    entries use the shorter available prefix.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}.")
+    out = np.empty_like(series)
+    csum = np.concatenate([[0.0], np.cumsum(series)])
+    for t in range(series.size):
+        lo = max(0, t - window + 1)
+        out[t] = (csum[t + 1] - csum[lo]) / (t + 1 - lo)
+    return out
+
+
+def rolling_std(series, window: int) -> np.ndarray:
+    """Trailing standard deviation, same alignment as :func:`rolling_mean`."""
+    series = np.asarray(series, dtype=np.float64)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}.")
+    out = np.empty_like(series)
+    for t in range(series.size):
+        lo = max(0, t - window + 1)
+        out[t] = series[lo : t + 1].std()
+    return out
+
+
+@dataclass(frozen=True)
+class EnrichedSeries:
+    """Clean usage plus every derived series the predictors may need."""
+
+    usage: np.ndarray
+    t_v: float
+    bundle: SeriesBundle
+    rolling_mean_7: np.ndarray
+    rolling_std_7: np.ndarray
+
+    @property
+    def days_since_maintenance(self) -> np.ndarray:
+        return self.bundle.days_since_maintenance
+
+    @property
+    def usage_left(self) -> np.ndarray:
+        return self.bundle.usage_left
+
+    @property
+    def days_to_maintenance(self) -> np.ndarray:
+        return self.bundle.days_to_maintenance
+
+
+def enrich_usage(usage, t_v: float) -> EnrichedSeries:
+    """Attach ``C``/``L``/``D`` and rolling statistics to a clean series."""
+    usage = np.asarray(usage, dtype=np.float64)
+    bundle = derive_series(usage, t_v)
+    return EnrichedSeries(
+        usage=usage,
+        t_v=float(t_v),
+        bundle=bundle,
+        rolling_mean_7=rolling_mean(usage, 7),
+        rolling_std_7=rolling_std(usage, 7),
+    )

@@ -1,0 +1,75 @@
+"""Data normalization: scaling utilization values to a uniform range.
+
+Step (ii) of Section 3: "Data normalization allows us to scale the values
+of the utilization times to a uniform value range (e.g., from 0 to 1)
+thus avoiding to introduce bias in regression model learning."
+
+Two modes are offered:
+
+* **capacity scaling** — divide by the physical daily capacity
+  (86 400 s), which needs no fitting and is identical for train and test;
+* **min-max scaling** — fit the observed range on training data only,
+  via :class:`repro.learn.preprocessing.MinMaxScaler`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..learn.preprocessing import MinMaxScaler
+
+__all__ = ["UtilizationNormalizer", "scale_by_capacity", "SECONDS_PER_DAY"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def scale_by_capacity(usage) -> np.ndarray:
+    """Daily seconds -> fraction of a 24 h day, in ``[0, 1]``."""
+    usage = np.asarray(usage, dtype=np.float64)
+    return usage / SECONDS_PER_DAY
+
+
+class UtilizationNormalizer:
+    """Fit/transform normalizer for 1-D utilization series.
+
+    Parameters
+    ----------
+    mode:
+        ``"capacity"`` (stateless division by 86 400) or ``"minmax"``
+        (range fitted on the training series).
+    """
+
+    def __init__(self, mode: str = "capacity"):
+        if mode not in ("capacity", "minmax"):
+            raise ValueError(
+                f"mode must be 'capacity' or 'minmax', got {mode!r}."
+            )
+        self.mode = mode
+        self._scaler: MinMaxScaler | None = None
+
+    def fit(self, usage) -> "UtilizationNormalizer":
+        usage = np.asarray(usage, dtype=np.float64)
+        if usage.ndim != 1:
+            raise ValueError(f"usage must be 1-D, got shape {usage.shape}.")
+        if self.mode == "minmax":
+            self._scaler = MinMaxScaler().fit(usage.reshape(-1, 1))
+        return self
+
+    def transform(self, usage) -> np.ndarray:
+        usage = np.asarray(usage, dtype=np.float64)
+        if self.mode == "capacity":
+            return scale_by_capacity(usage)
+        if self._scaler is None:
+            raise RuntimeError("minmax normalizer used before fit().")
+        return self._scaler.transform(usage.reshape(-1, 1)).ravel()
+
+    def inverse_transform(self, scaled) -> np.ndarray:
+        scaled = np.asarray(scaled, dtype=np.float64)
+        if self.mode == "capacity":
+            return scaled * SECONDS_PER_DAY
+        if self._scaler is None:
+            raise RuntimeError("minmax normalizer used before fit().")
+        return self._scaler.inverse_transform(scaled.reshape(-1, 1)).ravel()
+
+    def fit_transform(self, usage) -> np.ndarray:
+        return self.fit(usage).transform(usage)

@@ -1,0 +1,234 @@
+"""Data transformation: windowed relational datasets + augmentation.
+
+Step (v) of Section 3, and the data engineering of Section 4: "each
+record corresponds to a different day t and consists of a set of
+attributes denoting the past utilization levels ... the attributes
+include the values U_v(x) [t-W <= x <= t-1].  Along with the utilization
+level series, the attributes include the current time left until the
+next maintenance, i.e., L_v(t), and the target variable ... D_v(t)."
+
+Also implements the paper's time-shift re-sampling: "Since we do not
+know when vehicle actually had the maintenance done, we can shift the
+time reference ... We randomly re-sampled multiple times the time
+reference starting from different time points within the training data
+and build the utilization series."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cycles import SeriesBundle, derive_series
+
+__all__ = [
+    "RelationalDataset",
+    "build_relational_dataset",
+    "augment_with_time_shifts",
+    "feature_names_for_window",
+]
+
+
+def feature_names_for_window(window: int) -> list[str]:
+    """Column names of the relational layout: ``L(t)`` then the lags."""
+    return ["L(t)"] + [f"U(t-{lag})" for lag in range(1, window + 1)]
+
+
+@dataclass(frozen=True)
+class RelationalDataset:
+    """A windowed supervised dataset for one (or many stacked) vehicles.
+
+    Attributes
+    ----------
+    X:
+        Feature matrix, columns ``[L(t), U(t-1), ..., U(t-W)]``.
+    y:
+        Target ``D_v(t)``, days to next maintenance.
+    t_index:
+        Source day index of each record (per originating series).
+    window:
+        The window size ``W`` (0 = univariate: only ``L(t)``).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    t_index: np.ndarray
+    window: int
+
+    def __post_init__(self) -> None:
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {self.X.shape}.")
+        if self.X.shape[0] != self.y.shape[0] != self.t_index.shape[0]:
+            raise ValueError("X, y and t_index must have equal lengths.")
+        if self.X.shape[1] != self.window + 1:
+            raise ValueError(
+                f"X has {self.X.shape[1]} columns; window={self.window} "
+                f"requires {self.window + 1}."
+            )
+
+    @property
+    def n_records(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def feature_names(self) -> list[str]:
+        return feature_names_for_window(self.window)
+
+    def restrict_to_horizon(self, horizon: Iterable[int]) -> "RelationalDataset":
+        """Keep only records whose target lies in ``horizon``.
+
+        This is the "trained on D = {1, ..., 29}" restriction of Table 1.
+        """
+        horizon_list = [int(d) for d in horizon]
+        if not horizon_list:
+            raise ValueError("horizon must be non-empty.")
+        mask = np.isin(self.y.astype(np.int64), horizon_list)
+        return RelationalDataset(
+            X=self.X[mask],
+            y=self.y[mask],
+            t_index=self.t_index[mask],
+            window=self.window,
+        )
+
+    @staticmethod
+    def concatenate(datasets: "Iterable[RelationalDataset]") -> "RelationalDataset":
+        """Stack datasets with identical windows (augmentation, cold start)."""
+        datasets = list(datasets)
+        if not datasets:
+            raise ValueError("Nothing to concatenate.")
+        windows = {d.window for d in datasets}
+        if len(windows) != 1:
+            raise ValueError(
+                f"Cannot concatenate datasets with mixed windows {windows}."
+            )
+        return RelationalDataset(
+            X=np.vstack([d.X for d in datasets]),
+            y=np.concatenate([d.y for d in datasets]),
+            t_index=np.concatenate([d.t_index for d in datasets]),
+            window=datasets[0].window,
+        )
+
+
+def build_relational_dataset(
+    bundle: SeriesBundle,
+    window: int,
+    *,
+    require_labels: bool = True,
+    day_range: tuple[int, int] | None = None,
+) -> RelationalDataset:
+    """Materialize the windowed records of a derived series bundle.
+
+    Parameters
+    ----------
+    bundle:
+        Output of :func:`repro.core.cycles.derive_series`.
+    window:
+        ``W``: number of past utilization days included as features.
+        ``0`` gives the univariate model of Eq. 7; ``W > 0`` the
+        multivariate model of Eq. 8.
+    require_labels:
+        Keep only days with a defined target (drop the incomplete final
+        cycle).  Set false to build feature rows for live prediction.
+    day_range:
+        Optional ``(lo, hi)`` half-open day-index bounds, used to carve
+        out temporal train/test regions before building records.
+
+    Notes
+    -----
+    A record for day ``t`` exists only when the full lag window
+    ``U(t-W) ... U(t-1)`` is observed (``t >= window``) and ``L(t)`` is
+    defined (``t`` belongs to a cycle).
+    """
+    if window < 0:
+        raise ValueError(f"window must be >= 0, got {window}.")
+    usage = bundle.usage
+    n = usage.size
+    lo, hi = (0, n) if day_range is None else day_range
+    if not 0 <= lo <= hi <= n:
+        raise ValueError(f"day_range {day_range} outside [0, {n}].")
+
+    days = np.arange(max(lo, window), hi)
+    if days.size == 0:
+        return RelationalDataset(
+            X=np.zeros((0, window + 1)),
+            y=np.zeros(0),
+            t_index=np.zeros(0, dtype=np.intp),
+            window=window,
+        )
+
+    valid = np.isfinite(bundle.usage_left[days])
+    if require_labels:
+        valid &= np.isfinite(bundle.days_to_maintenance[days])
+    days = days[valid]
+
+    X = np.empty((days.size, window + 1))
+    X[:, 0] = bundle.usage_left[days]
+    for lag in range(1, window + 1):
+        X[:, lag] = usage[days - lag]
+    y = bundle.days_to_maintenance[days]
+    return RelationalDataset(
+        X=X, y=y, t_index=days.astype(np.intp), window=window
+    )
+
+
+def augment_with_time_shifts(
+    usage,
+    t_v: float,
+    window: int,
+    *,
+    n_shifts: int = 0,
+    rng=None,
+    max_shift: int | None = None,
+    day_range: tuple[int, int] | None = None,
+) -> RelationalDataset:
+    """Base records plus records from randomly re-anchored time references.
+
+    For every sampled shift ``s``, budget accumulation restarts at day
+    ``s``, producing different — but equally valid — cycle boundaries and
+    therefore new ``(L, D)`` labelings of the same utilization history.
+
+    Parameters
+    ----------
+    usage:
+        Clean daily utilization series.
+    t_v:
+        Budget per cycle.
+    window:
+        Lag window ``W``.
+    n_shifts:
+        How many extra re-anchored copies to generate (0 = no
+        augmentation, just the natural reference).
+    rng:
+        Seed or generator for the shift draws.
+    max_shift:
+        Largest shift to sample (exclusive); defaults to the length of
+        the series region.  Keep this inside the *training* region to
+        avoid leaking test-period structure.
+    day_range:
+        Forwarded to :func:`build_relational_dataset`.
+    """
+    usage = np.asarray(usage, dtype=np.float64)
+    if n_shifts < 0:
+        raise ValueError(f"n_shifts must be >= 0, got {n_shifts}.")
+    rng = np.random.default_rng(rng)
+    datasets = [
+        build_relational_dataset(
+            derive_series(usage, t_v, start=0), window, day_range=day_range
+        )
+    ]
+    if n_shifts:
+        limit = usage.size if max_shift is None else max_shift
+        limit = min(limit, usage.size)
+        if limit <= 1:
+            raise ValueError(
+                "Series too short to draw time shifts (max_shift <= 1)."
+            )
+        shifts = rng.integers(1, limit, size=n_shifts)
+        for shift in shifts:
+            bundle = derive_series(usage, t_v, start=int(shift))
+            datasets.append(
+                build_relational_dataset(bundle, window, day_range=day_range)
+            )
+    return RelationalDataset.concatenate(datasets)

@@ -1,0 +1,54 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment takes an :class:`~repro.experiments.config.ExperimentSetup`
+and returns a result object with a ``render()`` method printing the same
+rows/series the paper reports.  The ``benchmarks/`` directory wires each
+of these into pytest-benchmark.
+"""
+
+from .config import ExperimentSetup
+from .figure4 import DEFAULT_WINDOWS, Figure4Result, run_figure4
+from .figure5 import Figure5Result, run_figure5
+from .figures_data import (
+    FigureSeries,
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    sample_vehicles,
+)
+from .model_selection import ModelSelectionResult, run_model_selection
+from .reporting import format_mapping_series, format_series, format_table
+from .table1 import Table1Result, Table1Row, run_table1
+from .table2 import Table2Result, Table2Row, run_table2
+from .table3 import TABLE3_ALGORITHMS, Table3Result, run_table3
+from .timing import TimingResult, run_timing
+
+__all__ = [
+    "ExperimentSetup",
+    "DEFAULT_WINDOWS",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "FigureSeries",
+    "figure1_data",
+    "figure2_data",
+    "figure3_data",
+    "sample_vehicles",
+    "ModelSelectionResult",
+    "run_model_selection",
+    "format_mapping_series",
+    "format_series",
+    "format_table",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "Table2Result",
+    "Table2Row",
+    "run_table2",
+    "TABLE3_ALGORITHMS",
+    "Table3Result",
+    "run_table3",
+    "TimingResult",
+    "run_timing",
+]

@@ -1,0 +1,119 @@
+"""Data for Figures 1-3: the paper's exploratory plots (Section 3.1).
+
+* **Figure 1** — daily utilization of two sample vehicles over ~90 days:
+  a steady worker (20-30 k s/day with sporadic idle days) and a
+  regime-switcher (idle for weeks, then suddenly active).
+* **Figure 2** — the sawtooth target ``D_v(t)`` over many cycles.
+* **Figure 3** — ``D_v(t)`` against ``L_v(t)`` within a single cycle:
+  near-constant slope, with vertical steps at zero-usage runs.
+
+Each function returns plain arrays so callers can print, test, or plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.series import VehicleSeries
+from .config import ExperimentSetup
+
+__all__ = [
+    "FigureSeries",
+    "figure1_data",
+    "figure2_data",
+    "figure3_data",
+    "sample_vehicles",
+]
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One plotted series: (x, y) plus its vehicle label."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.x.shape != self.y.shape:
+            raise ValueError(
+                f"x {self.x.shape} and y {self.y.shape} must align."
+            )
+
+
+def sample_vehicles(setup: ExperimentSetup) -> tuple[VehicleSeries, VehicleSeries]:
+    """The two exploration vehicles: a steady worker and a regime-switcher.
+
+    Archetypes are assigned round-robin by the generator, so vehicle 1 is
+    a steady worker and vehicle 2 a regime-switcher — matching the
+    paper's v1/v2 contrast.
+    """
+    series = setup.all_series
+    if len(series) < 2:
+        raise ValueError("Setup must generate at least 2 vehicles.")
+    return series[0], series[1]
+
+
+def figure1_data(
+    setup: ExperimentSetup, n_days: int = 90
+) -> list[FigureSeries]:
+    """Daily utilization ``U_v(t)`` for the two sample vehicles."""
+    if n_days < 1:
+        raise ValueError(f"n_days must be >= 1, got {n_days}.")
+    out = []
+    for series in sample_vehicles(setup):
+        days = min(n_days, series.n_days)
+        out.append(
+            FigureSeries(
+                label=series.vehicle_id,
+                x=np.arange(days, dtype=float),
+                y=series.usage[:days].copy(),
+            )
+        )
+    return out
+
+
+def figure2_data(setup: ExperimentSetup) -> list[FigureSeries]:
+    """Target ``D_v(t)`` over the full observation span (many cycles)."""
+    out = []
+    for series in sample_vehicles(setup):
+        d = series.days_to_maintenance
+        out.append(
+            FigureSeries(
+                label=series.vehicle_id,
+                x=np.arange(series.n_days, dtype=float),
+                y=d.copy(),
+            )
+        )
+    return out
+
+
+def figure3_data(
+    setup: ExperimentSetup, cycle_index: int = 1
+) -> list[FigureSeries]:
+    """``L_v(t)`` vs ``D_v(t)`` within one completed cycle per vehicle.
+
+    ``cycle_index`` selects which completed cycle (default: the second,
+    to avoid the atypical first cycle, as the paper's Figure 3 ranges
+    imply).
+    """
+    out = []
+    for series in sample_vehicles(setup):
+        completed = series.completed_cycles
+        if cycle_index >= len(completed):
+            raise ValueError(
+                f"Vehicle {series.vehicle_id!r} has only {len(completed)} "
+                f"completed cycles; cannot take index {cycle_index}."
+            )
+        cycle = completed[cycle_index]
+        days = np.arange(cycle.start, cycle.end + 1)
+        out.append(
+            FigureSeries(
+                label=series.vehicle_id,
+                x=series.usage_left[days].copy(),
+                y=series.days_to_maintenance[days].copy(),
+            )
+        )
+    return out

@@ -1,0 +1,76 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and diff-able.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_mapping_series"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "-"
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table with a header rule."""
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"Row width {len(row)} != header width {len(headers)}."
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence, y: Sequence[float], x_label: str, y_label: str
+) -> str:
+    """Two-column rendering of one figure series."""
+    return format_table([x_label, y_label], list(zip(x, y)))
+
+
+def format_mapping_series(
+    series_by_name: Mapping[str, Mapping],
+    x_label: str,
+    title: str | None = None,
+) -> str:
+    """Multi-series rendering: one x column, one column per series.
+
+    All inner mappings must share the same x keys.
+    """
+    names = list(series_by_name)
+    if not names:
+        raise ValueError("series_by_name must be non-empty.")
+    xs = list(series_by_name[names[0]])
+    for name in names[1:]:
+        if list(series_by_name[name]) != xs:
+            raise ValueError(
+                f"Series {name!r} has different x values than {names[0]!r}."
+            )
+    rows = [[x] + [series_by_name[n][x] for n in names] for x in xs]
+    return format_table([x_label] + names, rows, title=title)

@@ -1,0 +1,64 @@
+"""Table 2: best window per algorithm and the resulting E_MRE.
+
+Reproduces: "Best setting for features and the corresponding mean
+relative error of the different algorithms" — paper values BL (W=0,
+20.2), LR (0, 10.8), LSVR (6, 5.2), RF (18, 1.3), XGB (12, 4.2).  Built
+directly from the Figure-4 sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ExperimentSetup
+from .figure4 import Figure4Result, run_figure4
+from .reporting import format_table
+
+__all__ = ["Table2Row", "Table2Result", "run_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    algorithm: str
+    best_window: int
+    e_mre: float
+
+
+@dataclass
+class Table2Result:
+    rows: list[Table2Row]
+    setup: ExperimentSetup
+
+    def row(self, algorithm: str) -> Table2Row:
+        for row in self.rows:
+            if row.algorithm == algorithm:
+                return row
+        raise KeyError(f"No Table-2 row for {algorithm!r}.")
+
+    def render(self) -> str:
+        return format_table(
+            ["Algorithm", "Best window W", "E_MRE({1..29})"],
+            [(r.algorithm, r.best_window, r.e_mre) for r in self.rows],
+            title="Table 2: best feature window per algorithm",
+        )
+
+
+def run_table2(
+    setup: ExperimentSetup | None = None,
+    figure4: Figure4Result | None = None,
+) -> Table2Result:
+    """Derive Table 2 from a Figure-4 sweep (running it if needed)."""
+    setup = setup or ExperimentSetup()
+    if figure4 is None:
+        figure4 = run_figure4(setup)
+    rows = []
+    for algorithm, curve in figure4.e_mre.items():
+        best = figure4.best_window(algorithm)
+        rows.append(
+            Table2Row(
+                algorithm=algorithm,
+                best_window=best,
+                e_mre=float(curve[best]),
+            )
+        )
+    return Table2Result(rows=rows, setup=setup)

@@ -1,0 +1,87 @@
+"""Training-time measurements (Section 5.1's timing paragraph).
+
+Reproduces: "The average training time on a single vehicle is 30.4 s for
+XGB and 8.1 s for RF, while BL, LR, and LSVR are faster taking
+respectively 2.5 s, 3.8 s, and 2.8 s.  Moreover, the model complexity
+increases more than linearly with the number of considered features."
+
+Absolute times depend on the machine and grid sizes; the reproduced
+claims are the *ordering* (ensembles ≫ linear models ≫ BL) and the
+super-linear growth in ``W``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.old_vehicles import OldVehicleConfig, OldVehicleExperiment
+from ..core.registry import PAPER_ALGORITHM_ORDER
+from .config import ExperimentSetup
+from .reporting import format_mapping_series, format_table
+
+__all__ = ["TimingResult", "run_timing"]
+
+
+@dataclass
+class TimingResult:
+    """Mean per-vehicle fit seconds per algorithm and window."""
+
+    fit_seconds: dict[str, dict[int, float]]  # algorithm -> {W: seconds}
+    setup: ExperimentSetup
+
+    def at_window(self, window: int) -> dict[str, float]:
+        return {
+            algorithm: curve[window]
+            for algorithm, curve in self.fit_seconds.items()
+            if window in curve
+        }
+
+    def render(self) -> str:
+        parts = [
+            format_table(
+                ["Algorithm", "mean fit seconds (W=0)"],
+                sorted(self.at_window(0).items()),
+                title="Training time per vehicle",
+            )
+        ]
+        multi = {
+            name: curve
+            for name, curve in self.fit_seconds.items()
+            if len(curve) > 1
+        }
+        if multi:
+            parts.append(
+                format_mapping_series(
+                    multi,
+                    x_label="W",
+                    title="Fit seconds vs window size",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_timing(
+    setup: ExperimentSetup | None = None,
+    algorithms: tuple[str, ...] = PAPER_ALGORITHM_ORDER,
+    windows: tuple[int, ...] = (0, 6, 12),
+) -> TimingResult:
+    """Measure mean per-vehicle training time per algorithm and window."""
+    setup = setup or ExperimentSetup()
+    series = setup.old_series
+
+    timings: dict[str, dict[int, float]] = {}
+    for algorithm in algorithms:
+        curve: dict[int, float] = {}
+        algo_windows = (0,) if algorithm == "BL" else windows
+        for window in algo_windows:
+            experiment = OldVehicleExperiment(
+                OldVehicleConfig(
+                    window=window,
+                    restrict_to_horizon=True,
+                    grid=setup.grid,
+                )
+            )
+            result = experiment.run_fleet(series, algorithm)
+            curve[window] = result.mean_fit_seconds
+        timings[algorithm] = curve
+    return TimingResult(fit_seconds=timings, setup=setup)

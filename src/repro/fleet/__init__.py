@@ -1,0 +1,43 @@
+"""Synthetic fleet usage simulator.
+
+Generates the stand-in for the paper's proprietary Tierra dataset: 24
+heterogeneous industrial vehicles over ~4.75 years, with calibrated
+utilization statistics (see DESIGN.md and :mod:`repro.fleet.calibration`).
+"""
+
+from .calibration import FleetCalibrationReport, calibrate
+from .generator import DEFAULT_END, DEFAULT_START, Fleet, FleetGenerator
+from .io import load_fleet, save_fleet
+from .profiles import (
+    ARCHETYPES,
+    BURSTY,
+    LIGHT_DUTY,
+    REGIME_SWITCHER,
+    SEASONAL,
+    STEADY_WORKER,
+    UsageProfile,
+)
+from .usage import DailyUsageSimulator
+from .vehicle import VEHICLE_TYPES, SimulatedVehicle, VehicleSpec
+
+__all__ = [
+    "FleetCalibrationReport",
+    "calibrate",
+    "Fleet",
+    "FleetGenerator",
+    "DEFAULT_START",
+    "DEFAULT_END",
+    "load_fleet",
+    "save_fleet",
+    "UsageProfile",
+    "ARCHETYPES",
+    "STEADY_WORKER",
+    "REGIME_SWITCHER",
+    "SEASONAL",
+    "BURSTY",
+    "LIGHT_DUTY",
+    "DailyUsageSimulator",
+    "SimulatedVehicle",
+    "VehicleSpec",
+    "VEHICLE_TYPES",
+]

@@ -1,0 +1,124 @@
+"""CSV persistence for fleets.
+
+Stores a fleet as two plain files a downstream user can inspect with any
+tool: ``<stem>_usage.csv`` (long format: vehicle_id, day, date, usage
+seconds) and ``<stem>_meta.json`` (specs and generation metadata).
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as dt
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .generator import Fleet
+from .profiles import UsageProfile
+from .vehicle import SimulatedVehicle, VehicleSpec
+
+__all__ = ["save_fleet", "load_fleet"]
+
+
+def save_fleet(fleet: Fleet, directory, stem: str = "fleet") -> tuple[Path, Path]:
+    """Write ``fleet`` under ``directory``; returns (usage_path, meta_path)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    usage_path = directory / f"{stem}_usage.csv"
+    meta_path = directory / f"{stem}_meta.json"
+
+    with usage_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["vehicle_id", "day", "date", "usage_seconds"])
+        for vehicle in fleet:
+            for day, seconds in enumerate(vehicle.usage):
+                writer.writerow(
+                    [
+                        vehicle.vehicle_id,
+                        day,
+                        vehicle.date_of_day(day).isoformat(),
+                        f"{seconds:.3f}",
+                    ]
+                )
+
+    meta = {
+        "t_v": fleet.t_v,
+        "seed": fleet.seed,
+        "metadata": fleet.metadata,
+        "vehicles": [
+            {
+                "vehicle_id": v.spec.vehicle_id,
+                "vehicle_type": v.spec.vehicle_type,
+                "model": v.spec.model,
+                "t_v": v.spec.t_v,
+                "start_date": v.start_date.isoformat(),
+                "profile": {
+                    "name": v.spec.profile.name,
+                    "work_day_mean": v.spec.profile.work_day_mean,
+                    "work_day_sd": v.spec.profile.work_day_sd,
+                    "p_work_to_idle": v.spec.profile.p_work_to_idle,
+                    "p_idle_to_work": v.spec.profile.p_idle_to_work,
+                    "long_idle_rate": v.spec.profile.long_idle_rate,
+                    "long_idle_mean_days": v.spec.profile.long_idle_mean_days,
+                    "seasonal_amplitude": v.spec.profile.seasonal_amplitude,
+                    "seasonal_phase": v.spec.profile.seasonal_phase,
+                    "first_cycle_factor": v.spec.profile.first_cycle_factor,
+                },
+            }
+            for v in fleet
+        ],
+    }
+    with meta_path.open("w") as handle:
+        json.dump(meta, handle, indent=2)
+    return usage_path, meta_path
+
+
+def load_fleet(directory, stem: str = "fleet") -> Fleet:
+    """Load a fleet previously written by :func:`save_fleet`."""
+    directory = Path(directory)
+    usage_path = directory / f"{stem}_usage.csv"
+    meta_path = directory / f"{stem}_meta.json"
+    if not usage_path.exists() or not meta_path.exists():
+        raise FileNotFoundError(
+            f"Fleet files {usage_path.name} / {meta_path.name} not found "
+            f"in {directory}."
+        )
+
+    with meta_path.open() as handle:
+        meta = json.load(handle)
+
+    series: dict[str, dict[int, float]] = {}
+    with usage_path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            per_vehicle = series.setdefault(row["vehicle_id"], {})
+            per_vehicle[int(row["day"])] = float(row["usage_seconds"])
+
+    vehicles = []
+    for entry in meta["vehicles"]:
+        vid = entry["vehicle_id"]
+        days = series.get(vid, {})
+        usage = np.zeros(max(days) + 1 if days else 0)
+        for day, seconds in days.items():
+            usage[day] = seconds
+        spec = VehicleSpec(
+            vehicle_id=vid,
+            vehicle_type=entry["vehicle_type"],
+            model=entry["model"],
+            t_v=entry["t_v"],
+            profile=UsageProfile(**entry["profile"]),
+        )
+        vehicles.append(
+            SimulatedVehicle(
+                spec=spec,
+                usage=usage,
+                start_date=dt.date.fromisoformat(entry["start_date"]),
+            )
+        )
+    return Fleet(
+        vehicles=vehicles,
+        t_v=meta["t_v"],
+        seed=meta["seed"],
+        metadata=meta["metadata"],
+    )

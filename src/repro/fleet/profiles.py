@@ -1,0 +1,206 @@
+"""Vehicle usage archetypes.
+
+Section 1 of the paper motivates the whole problem with usage
+heterogeneity: "some vehicles could remain unused for a relatively long
+period of time, then be moved to a construction site, and keep working at
+full capacity for many days or weeks", and Figure 1 contrasts a steady
+vehicle (20-30 k s/day with an idle day every 10-15 working days) with a
+regime-switching one (idle for ~40 days, then suddenly active).
+
+Each :class:`UsageProfile` parameterizes the stochastic daily-utilization
+process in :mod:`repro.fleet.usage`.  The archetype constants below are
+calibrated so the generated fleet matches the paper's published statistics
+(see the calibration tests in ``tests/fleet/test_calibration.py``):
+
+* typical working days: 10 000 - 30 000 s;
+* maintenance cycles (``T_v = 2e6`` s): mostly 65 - 170 days;
+* mean daily utilization in the first cycle ~30 % lower than in
+  subsequent cycles (paper: 10 676 s vs 13 792 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "UsageProfile",
+    "STEADY_WORKER",
+    "REGIME_SWITCHER",
+    "SEASONAL",
+    "BURSTY",
+    "LIGHT_DUTY",
+    "ARCHETYPES",
+]
+
+
+@dataclass(frozen=True)
+class UsageProfile:
+    """Parameters of one vehicle's daily utilization process.
+
+    Attributes
+    ----------
+    name:
+        Archetype label.
+    work_day_mean, work_day_sd:
+        Seconds of utilization on a working day (Gaussian, clipped to
+        ``[0, 86400]``).
+    p_work_to_idle:
+        Daily probability of an ordinary (short) idle day following a
+        working day.  ``1/12`` gives Figure 1's "few days without usage
+        every 10-15 working days".
+    p_idle_to_work:
+        Probability of resuming work after a short idle day.
+    long_idle_rate:
+        Per-working-day probability of entering a *long* idle spell
+        (vehicle parked or between sites).
+    long_idle_mean_days:
+        Mean geometric length of a long idle spell.
+    seasonal_amplitude:
+        Relative amplitude of a yearly sinusoidal usage modulation
+        (0 disables it).
+    seasonal_phase:
+        Phase (radians) of the seasonal peak.
+    first_cycle_factor:
+        Usage attenuation at the very start of the vehicle's life; the
+        working-day mean ramps linearly (in cumulative-usage progress)
+        from this factor up to 1.0 over the first maintenance cycle.
+        The ramp is what makes a semi-new vehicle's own past average a
+        misleading rate estimate — the cold-start failure mode of the
+        paper's baseline (Table 3, BL = 34.9).
+    regime_mean_days:
+        Mean duration of a persistent work-intensity regime.  Every
+        regime draws a new intensity multiplier; this is the
+        non-stationarity the paper's Section 1 calls out ("According to
+        the current vehicles' workload, maintenance schedule often
+        changes").  0 disables regimes.
+    regime_spread:
+        Half-width of the uniform intensity-multiplier distribution;
+        regimes draw from ``[1 - spread, 1 + spread]``.
+    annual_drift:
+        Relative yearly growth of the working-day mean (fleet workload
+        ramping up over the years).  Anchored at the series midpoint so
+        the *overall* mean stays at ``work_day_mean``; what it changes
+        is that a whole-history average systematically underestimates
+        the *current* rate — the failure mode that makes the paper's
+        baseline the worst old-vehicle predictor (Table 1).
+    """
+
+    name: str
+    work_day_mean: float
+    work_day_sd: float
+    p_work_to_idle: float = 1.0 / 12.0
+    p_idle_to_work: float = 0.85
+    long_idle_rate: float = 0.0
+    long_idle_mean_days: float = 0.0
+    seasonal_amplitude: float = 0.0
+    seasonal_phase: float = 0.0
+    first_cycle_factor: float = 0.65
+    regime_mean_days: float = 75.0
+    regime_spread: float = 0.45
+    annual_drift: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.work_day_mean <= 0:
+            raise ValueError(
+                f"work_day_mean must be positive, got {self.work_day_mean}."
+            )
+        if self.work_day_sd < 0:
+            raise ValueError(
+                f"work_day_sd must be non-negative, got {self.work_day_sd}."
+            )
+        for name in ("p_work_to_idle", "p_idle_to_work", "long_idle_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}.")
+        if not 0.0 <= self.seasonal_amplitude < 1.0:
+            raise ValueError(
+                "seasonal_amplitude must be in [0, 1), got "
+                f"{self.seasonal_amplitude}."
+            )
+        if self.long_idle_rate > 0 and self.long_idle_mean_days < 1:
+            raise ValueError(
+                "long_idle_mean_days must be >= 1 when long_idle_rate > 0."
+            )
+        if not 0.0 < self.first_cycle_factor <= 1.5:
+            raise ValueError(
+                "first_cycle_factor must be in (0, 1.5], got "
+                f"{self.first_cycle_factor}."
+            )
+        if self.regime_mean_days < 0:
+            raise ValueError(
+                f"regime_mean_days must be >= 0, got {self.regime_mean_days}."
+            )
+        if not 0.0 <= self.regime_spread < 1.0:
+            raise ValueError(
+                f"regime_spread must be in [0, 1), got {self.regime_spread}."
+            )
+        if not -0.5 <= self.annual_drift <= 0.5:
+            raise ValueError(
+                f"annual_drift must be in [-0.5, 0.5], got {self.annual_drift}."
+            )
+
+
+#: Figure 1's v1: 20-30 k s/day, an idle day every 10-15 working days.
+STEADY_WORKER = UsageProfile(
+    name="steady_worker",
+    work_day_mean=26_000.0,
+    work_day_sd=4_500.0,
+    p_work_to_idle=1.0 / 12.0,
+    p_idle_to_work=0.9,
+    long_idle_rate=1.0 / 150.0,
+    long_idle_mean_days=12.0,
+)
+
+#: Figure 1's v2: weeks of inactivity, then sudden full-capacity work.
+REGIME_SWITCHER = UsageProfile(
+    name="regime_switcher",
+    work_day_mean=30_000.0,
+    work_day_sd=6_000.0,
+    p_work_to_idle=1.0 / 15.0,
+    p_idle_to_work=0.8,
+    long_idle_rate=1.0 / 55.0,
+    long_idle_mean_days=28.0,
+)
+
+#: Construction-season vehicle: strong yearly modulation.
+SEASONAL = UsageProfile(
+    name="seasonal",
+    work_day_mean=22_000.0,
+    work_day_sd=5_000.0,
+    p_work_to_idle=1.0 / 10.0,
+    p_idle_to_work=0.8,
+    seasonal_amplitude=0.55,
+    seasonal_phase=0.0,
+    long_idle_rate=1.0 / 110.0,
+    long_idle_mean_days=20.0,
+)
+
+#: High-variance on/off usage: rental-style machine.
+BURSTY = UsageProfile(
+    name="bursty",
+    work_day_mean=20_000.0,
+    work_day_sd=9_000.0,
+    p_work_to_idle=1.0 / 6.0,
+    p_idle_to_work=0.55,
+    long_idle_rate=1.0 / 80.0,
+    long_idle_mean_days=21.0,
+)
+
+#: Lightly used machine: long cycles, the paper's slow extreme.
+LIGHT_DUTY = UsageProfile(
+    name="light_duty",
+    work_day_mean=13_000.0,
+    work_day_sd=4_000.0,
+    p_work_to_idle=1.0 / 8.0,
+    p_idle_to_work=0.7,
+    long_idle_rate=1.0 / 100.0,
+    long_idle_mean_days=18.0,
+)
+
+ARCHETYPES: tuple[UsageProfile, ...] = (
+    STEADY_WORKER,
+    REGIME_SWITCHER,
+    SEASONAL,
+    BURSTY,
+    LIGHT_DUTY,
+)

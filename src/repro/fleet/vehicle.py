@@ -1,0 +1,111 @@
+"""Vehicle specification and simulated vehicle containers."""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .profiles import UsageProfile
+
+__all__ = ["VehicleSpec", "SimulatedVehicle", "VEHICLE_TYPES"]
+
+#: Industrial / construction vehicle families, for metadata realism.
+VEHICLE_TYPES = (
+    "excavator",
+    "wheel_loader",
+    "bulldozer",
+    "telehandler",
+    "crane",
+    "dump_truck",
+)
+
+
+@dataclass(frozen=True)
+class VehicleSpec:
+    """Static description of one fleet vehicle.
+
+    Attributes
+    ----------
+    vehicle_id:
+        Unique identifier, e.g. ``"v07"``.
+    vehicle_type:
+        Family (excavator, crane, ...), metadata only.
+    model:
+        Vendor model string, metadata only.
+    t_v:
+        Allowed utilization seconds between maintenances (the paper uses
+        ``2 000 000`` for every vehicle).
+    profile:
+        Usage archetype driving the daily utilization process.
+    """
+
+    vehicle_id: str
+    vehicle_type: str
+    model: str
+    t_v: float
+    profile: UsageProfile
+
+    def __post_init__(self) -> None:
+        if not self.vehicle_id:
+            raise ValueError("vehicle_id must be non-empty.")
+        if self.t_v <= 0:
+            raise ValueError(f"t_v must be positive, got {self.t_v}.")
+
+
+@dataclass
+class SimulatedVehicle:
+    """A vehicle spec plus its generated daily utilization series.
+
+    Attributes
+    ----------
+    spec:
+        Static vehicle description.
+    usage:
+        Daily utilization seconds, ``usage[t]`` for day ``t``.
+    start_date:
+        Calendar date of day 0 of the series.
+    """
+
+    spec: VehicleSpec
+    usage: np.ndarray
+    start_date: dt.date = field(default_factory=lambda: dt.date(2015, 1, 1))
+
+    def __post_init__(self) -> None:
+        self.usage = np.asarray(self.usage, dtype=np.float64)
+        if self.usage.ndim != 1:
+            raise ValueError(
+                f"usage must be 1-D, got shape {self.usage.shape}."
+            )
+        finite = self.usage[np.isfinite(self.usage)]
+        if finite.size and (finite.min() < 0 or finite.max() > 86_400.0):
+            raise ValueError(
+                "usage values must lie in [0, 86400] seconds per day."
+            )
+
+    @property
+    def vehicle_id(self) -> str:
+        return self.spec.vehicle_id
+
+    @property
+    def n_days(self) -> int:
+        return int(self.usage.size)
+
+    @property
+    def total_usage(self) -> float:
+        return float(np.nansum(self.usage))
+
+    def date_of_day(self, t: int) -> dt.date:
+        """Calendar date corresponding to series index ``t``."""
+        if not 0 <= t < self.n_days:
+            raise IndexError(f"day {t} outside [0, {self.n_days}).")
+        return self.start_date + dt.timedelta(days=t)
+
+    def usage_window(self, start: int, stop: int) -> np.ndarray:
+        """Copy of ``usage[start:stop]`` with bounds checking."""
+        if not 0 <= start <= stop <= self.n_days:
+            raise IndexError(
+                f"window [{start}, {stop}) outside [0, {self.n_days}]."
+            )
+        return self.usage[start:stop].copy()

@@ -1,0 +1,95 @@
+"""From-scratch machine-learning substrate for the reproduction.
+
+This package stands in for scikit-learn (unavailable in the offline
+environment): estimator protocol, linear models, linear SVR, CART trees,
+random forests, histogram gradient boosting, cross-validation and grid
+search, scalers and metrics.  Every model family the paper evaluates
+(Section 4.2: LR, LSVR, RF, XGB) lives here.
+"""
+
+from .base import BaseEstimator, RegressorMixin, clone
+from .boosting import BinMapper, HistGradientBoostingRegressor
+from .dummy import DummyRegressor
+from .exceptions import (
+    ConvergenceWarning,
+    DataValidationError,
+    LearnError,
+    NotFittedError,
+)
+from .forest import RandomForestRegressor
+from .linear import LinearRegression, Ridge
+from .metrics import (
+    explained_variance_score,
+    max_error,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    median_absolute_error,
+    r2_score,
+    residuals,
+    root_mean_squared_error,
+)
+from .neural import MLPRegressor
+from .model_selection import (
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    ParameterSampler,
+    RandomizedSearchCV,
+    TimeSeriesSplit,
+    cross_val_score,
+    make_scorer,
+    neg_mean_absolute_error_scorer,
+    temporal_train_test_split,
+    train_test_split,
+)
+from .pipeline import Pipeline, make_pipeline
+from .preprocessing import MinMaxScaler, RobustScaler, StandardScaler
+from .svm import LinearSVR
+from .tree import DecisionTreeRegressor, Tree, export_text
+
+__all__ = [
+    "BaseEstimator",
+    "RegressorMixin",
+    "clone",
+    "BinMapper",
+    "HistGradientBoostingRegressor",
+    "DummyRegressor",
+    "ConvergenceWarning",
+    "DataValidationError",
+    "LearnError",
+    "NotFittedError",
+    "RandomForestRegressor",
+    "LinearRegression",
+    "Ridge",
+    "MLPRegressor",
+    "LinearSVR",
+    "DecisionTreeRegressor",
+    "Tree",
+    "export_text",
+    "GridSearchCV",
+    "KFold",
+    "ParameterGrid",
+    "ParameterSampler",
+    "RandomizedSearchCV",
+    "TimeSeriesSplit",
+    "cross_val_score",
+    "make_scorer",
+    "neg_mean_absolute_error_scorer",
+    "temporal_train_test_split",
+    "train_test_split",
+    "Pipeline",
+    "make_pipeline",
+    "MinMaxScaler",
+    "RobustScaler",
+    "StandardScaler",
+    "explained_variance_score",
+    "max_error",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "mean_squared_error",
+    "median_absolute_error",
+    "r2_score",
+    "residuals",
+    "root_mean_squared_error",
+]

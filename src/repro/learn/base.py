@@ -1,0 +1,138 @@
+"""Estimator base classes and the parameter-introspection protocol.
+
+The design mirrors scikit-learn's: every estimator stores its constructor
+arguments verbatim as attributes, :meth:`BaseEstimator.get_params` reads them
+back through signature introspection, and :func:`clone` builds an unfitted
+copy.  This is what makes generic machinery such as
+:class:`repro.learn.model_selection.GridSearchCV` possible without the
+machinery knowing anything about individual models.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+import numpy as np
+
+from .metrics import r2_score
+from .validation import check_array, check_is_fitted
+
+__all__ = ["BaseEstimator", "RegressorMixin", "clone"]
+
+
+class BaseEstimator:
+    """Base class providing ``get_params`` / ``set_params`` / ``repr``.
+
+    Subclasses must follow two rules (enforced by tests):
+
+    * ``__init__`` takes only keyword-style parameters with defaults and
+      stores each argument unchanged on ``self`` under the same name;
+    * attributes learned during :meth:`fit` carry a trailing underscore
+      (``coef_``, ``tree_`` ...) so :func:`clone` and
+      :func:`~repro.learn.validation.check_is_fitted` can tell
+      hyper-parameters from fitted state.
+    """
+
+    @classmethod
+    def _get_param_names(cls) -> list[str]:
+        """Names of the constructor parameters, in signature order."""
+        init_signature = inspect.signature(cls.__init__)
+        names = [
+            p.name
+            for p in init_signature.parameters.values()
+            if p.name != "self" and p.kind != p.VAR_KEYWORD
+        ]
+        return sorted(names)
+
+    def get_params(self, deep: bool = True) -> dict[str, Any]:
+        """Return hyper-parameters as a dict.
+
+        With ``deep=True``, parameters of nested estimators are included
+        under ``<component>__<param>`` keys.
+        """
+        params: dict[str, Any] = {}
+        for name in self._get_param_names():
+            value = getattr(self, name)
+            params[name] = value
+            if deep and hasattr(value, "get_params"):
+                for sub_name, sub_value in value.get_params(deep=True).items():
+                    params[f"{name}__{sub_name}"] = sub_value
+        return params
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Set hyper-parameters; supports ``component__param`` nesting."""
+        if not params:
+            return self
+        valid = set(self._get_param_names())
+        nested: dict[str, dict[str, Any]] = {}
+        for key, value in params.items():
+            name, delim, sub_key = key.partition("__")
+            if name not in valid:
+                raise ValueError(
+                    f"Invalid parameter {name!r} for estimator "
+                    f"{type(self).__name__}. Valid parameters: {sorted(valid)}."
+                )
+            if delim:
+                nested.setdefault(name, {})[sub_key] = value
+            else:
+                setattr(self, name, value)
+        for name, sub_params in nested.items():
+            getattr(self, name).set_params(**sub_params)
+        return self
+
+    def __repr__(self) -> str:
+        cls = type(self)
+        defaults = {
+            p.name: p.default
+            for p in inspect.signature(cls.__init__).parameters.values()
+            if p.name != "self"
+        }
+        shown = []
+        for name in self._get_param_names():
+            value = getattr(self, name)
+            if name in defaults and _params_equal(value, defaults[name]):
+                continue
+            shown.append(f"{name}={value!r}")
+        return f"{cls.__name__}({', '.join(shown)})"
+
+
+def _params_equal(a: Any, b: Any) -> bool:
+    """Equality that tolerates numpy arrays inside parameter values."""
+    if a is b:
+        return True
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(np.asarray(a), np.asarray(b))
+    result = a == b
+    return bool(result)
+
+
+class RegressorMixin:
+    """Mixin adding the coefficient-of-determination :meth:`score`."""
+
+    _estimator_type = "regressor"
+
+    def score(self, X, y) -> float:
+        """Return the R² of ``self.predict(X)`` against ``y``."""
+        check_is_fitted(self)
+        X = check_array(X)
+        return r2_score(y, self.predict(X))
+
+
+def clone(estimator):
+    """Return an unfitted deep copy of ``estimator``.
+
+    Lists/tuples of estimators are cloned element-wise, which is what
+    meta-estimators holding sub-model collections need.
+    """
+    if isinstance(estimator, (list, tuple)):
+        return type(estimator)(clone(e) for e in estimator)
+    if not hasattr(estimator, "get_params"):
+        raise TypeError(
+            f"Cannot clone object {estimator!r}: it does not implement "
+            "get_params()."
+        )
+    params = estimator.get_params(deep=False)
+    fresh = type(estimator)(**{k: copy.deepcopy(v) for k, v in params.items()})
+    return fresh

@@ -1,0 +1,57 @@
+"""Trivial reference regressors.
+
+Useful as sanity baselines in tests and ablations — any real model should
+beat :class:`DummyRegressor` comfortably, and the experiment harness uses
+it to verify that the evaluation plumbing itself is unbiased.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, RegressorMixin
+from .validation import check_array, check_is_fitted, check_X_y
+
+__all__ = ["DummyRegressor"]
+
+_STRATEGIES = ("mean", "median", "constant")
+
+
+class DummyRegressor(BaseEstimator, RegressorMixin):
+    """Predict a constant derived from the training target.
+
+    Parameters
+    ----------
+    strategy:
+        ``"mean"`` (default), ``"median"`` or ``"constant"``.
+    constant:
+        The value predicted under the ``"constant"`` strategy.
+    """
+
+    def __init__(self, strategy: str = "mean", constant: float | None = None):
+        self.strategy = strategy
+        self.constant = constant
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGIES}, got {self.strategy!r}."
+            )
+        if self.strategy == "mean":
+            self.constant_ = float(y.mean())
+        elif self.strategy == "median":
+            self.constant_ = float(np.median(y))
+        else:
+            if self.constant is None:
+                raise ValueError(
+                    "strategy='constant' requires the constant parameter."
+                )
+            self.constant_ = float(self.constant)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "constant_")
+        X = check_array(X)
+        return np.full(X.shape[0], self.constant_)

@@ -1,0 +1,23 @@
+"""Exception types for the :mod:`repro.learn` estimator library."""
+
+from __future__ import annotations
+
+
+class LearnError(Exception):
+    """Base class for all errors raised by :mod:`repro.learn`."""
+
+
+class NotFittedError(LearnError, AttributeError):
+    """Raised when an estimator is used before :meth:`fit` was called.
+
+    Inherits from :class:`AttributeError` so that callers who probe for
+    fitted attributes with ``getattr`` keep working.
+    """
+
+
+class DataValidationError(LearnError, ValueError):
+    """Raised when input arrays fail validation (shape, dtype, NaN...)."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Emitted when an iterative solver stops before reaching tolerance."""

@@ -1,0 +1,161 @@
+"""Random forest regression.
+
+Section 4.2: "The Random Forest Regression averages the predictions made by
+various decision tree models, which are trained on different bootstraps
+(i.e., samples of the training data with replacement)."  This module
+implements exactly that on top of :class:`repro.learn.tree.DecisionTreeRegressor`,
+with per-split feature subsampling and an optional out-of-bag estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, RegressorMixin
+from .metrics import r2_score
+from .tree import DecisionTreeRegressor
+from .validation import (
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor(BaseEstimator, RegressorMixin):
+    """Bagged ensemble of CART trees with random feature subsets.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees (the paper sweeps 10-1000).
+    max_depth:
+        Per-tree depth limit (the paper sweeps 3-50).
+    min_samples_split, min_samples_leaf, min_impurity_decrease:
+        Forwarded to each tree.
+    max_features:
+        Features examined per split.  Default ``1.0`` (all features),
+        matching scikit-learn's regression default; ``"sqrt"`` gives the
+        classic Breiman forest.
+    bootstrap:
+        Draw each tree's training set with replacement (default).  When
+        false, every tree sees the full data and randomness comes only
+        from ``max_features``.
+    oob_score:
+        If true (requires ``bootstrap``), compute ``oob_score_`` /
+        ``oob_prediction_`` from out-of-bag samples after fitting.
+    random_state:
+        Seed for bootstrap draws and per-tree feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=1.0,
+        min_impurity_decrease: float = 0.0,
+        bootstrap: bool = True,
+        oob_score: bool = False,
+        random_state=None,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.bootstrap = bootstrap
+        self.oob_score = oob_score
+        self.random_state = random_state
+
+    def _make_tree(self, seed: int) -> DecisionTreeRegressor:
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            min_impurity_decrease=self.min_impurity_decrease,
+            random_state=seed,
+        )
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y, min_samples=2)
+        if self.n_estimators < 1:
+            raise ValueError(
+                f"n_estimators must be >= 1, got {self.n_estimators}."
+            )
+        if self.oob_score and not self.bootstrap:
+            raise ValueError("oob_score requires bootstrap=True.")
+        rng = check_random_state(self.random_state)
+        n_samples = X.shape[0]
+
+        self.estimators_ = []
+        oob_sum = np.zeros(n_samples)
+        oob_count = np.zeros(n_samples, dtype=np.intp)
+        for _ in range(self.n_estimators):
+            seed = int(rng.integers(np.iinfo(np.int32).max))
+            tree = self._make_tree(seed)
+            if self.bootstrap:
+                bag = rng.integers(0, n_samples, size=n_samples)
+                tree.fit(X, y, sample_indices=bag)
+                if self.oob_score:
+                    mask = np.ones(n_samples, dtype=bool)
+                    mask[np.unique(bag)] = False
+                    if mask.any():
+                        oob_sum[mask] += tree.predict(X[mask])
+                        oob_count[mask] += 1
+            else:
+                tree.fit(X, y)
+            self.estimators_.append(tree)
+
+        if self.oob_score:
+            covered = oob_count > 0
+            prediction = np.full(n_samples, np.nan)
+            prediction[covered] = oob_sum[covered] / oob_count[covered]
+            self.oob_prediction_ = prediction
+            if covered.sum() >= 2:
+                self.oob_score_ = r2_score(y[covered], prediction[covered])
+            else:
+                self.oob_score_ = np.nan
+
+        importances = np.zeros(X.shape[1])
+        for tree in self.estimators_:
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "estimators_")
+        X = check_array(X)
+        out = np.zeros(X.shape[0])
+        for tree in self.estimators_:
+            out += tree.predict(X)
+        return out / len(self.estimators_)
+
+    def predict_quantiles(self, X, quantiles=(0.1, 0.9)) -> np.ndarray:
+        """Empirical quantiles of the per-tree predictions.
+
+        A cheap ensemble uncertainty estimate: the spread of the bagged
+        trees' answers.  Returns shape ``(n_samples, len(quantiles))``.
+        The maintenance planner uses the lower quantile to schedule
+        conservatively when forecasts disagree.
+        """
+        check_is_fitted(self, "estimators_")
+        X = check_array(X)
+        quantiles = np.asarray(list(quantiles), dtype=np.float64)
+        if quantiles.size == 0 or np.any((quantiles < 0) | (quantiles > 1)):
+            raise ValueError(
+                f"quantiles must lie in [0, 1], got {quantiles.tolist()}."
+            )
+        per_tree = np.stack(
+            [tree.predict(X) for tree in self.estimators_], axis=0
+        )
+        return np.quantile(per_tree, quantiles, axis=0).T

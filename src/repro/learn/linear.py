@@ -1,0 +1,92 @@
+"""Linear models: ordinary least squares and ridge regression.
+
+``LinearRegression`` is the paper's LR model (Section 4.2): "the simplest
+linear model.  It learns a linear function minimizing the residual sum of
+squares".  ``Ridge`` is included because per-vehicle windowed datasets can be
+nearly collinear (consecutive utilization days), where a small L2 penalty
+stabilizes coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, RegressorMixin
+from .validation import check_array, check_is_fitted, check_X_y
+
+__all__ = ["LinearRegression", "Ridge"]
+
+
+class _BaseLinear(BaseEstimator, RegressorMixin):
+    """Shared predict path for models exposing ``coef_`` / ``intercept_``."""
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, ["coef_", "intercept_"])
+        X = check_array(X)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features; model was fitted with "
+                f"{self.coef_.shape[0]}."
+            )
+        return X @ self.coef_ + self.intercept_
+
+
+class LinearRegression(_BaseLinear):
+    """Ordinary least squares via :func:`numpy.linalg.lstsq`.
+
+    Parameters
+    ----------
+    fit_intercept:
+        If true (default), data is centered before solving so an intercept
+        is learned; otherwise the fit goes through the origin.
+    """
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = y.mean()
+            coef, *_ = np.linalg.lstsq(X - x_mean, y - y_mean, rcond=None)
+            self.coef_ = coef
+            self.intercept_ = float(y_mean - x_mean @ coef)
+        else:
+            coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+            self.coef_ = coef
+            self.intercept_ = 0.0
+        self.n_features_in_ = X.shape[1]
+        return self
+
+
+class Ridge(_BaseLinear):
+    """L2-regularized least squares, solved in closed form.
+
+    Solves ``min ||Xw - y||^2 + alpha * ||w||^2``; the intercept, when
+    fitted, is not penalized (handled by centering).
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}.")
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = y.mean()
+            xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            xc, yc = X, y
+        n_features = X.shape[1]
+        gram = xc.T @ xc + self.alpha * np.eye(n_features)
+        self.coef_ = np.linalg.solve(gram, xc.T @ yc)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        self.n_features_in_ = n_features
+        return self

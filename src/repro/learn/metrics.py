@@ -1,0 +1,99 @@
+"""Regression metrics used across the library and the experiment harness.
+
+Only generic, target-agnostic metrics live here.  The paper's
+maintenance-specific error functions (daily error, global error and the mean
+residual error :math:`E_{MRE}(\\tilde D)` of Section 2.1) build on these and
+are implemented in :mod:`repro.core.errors`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .validation import check_consistent_length, column_or_1d
+
+__all__ = [
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "median_absolute_error",
+    "max_error",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "explained_variance_score",
+    "residuals",
+]
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = column_or_1d(y_true, name="y_true")
+    y_pred = column_or_1d(y_pred, name="y_pred")
+    check_consistent_length(y_true, y_pred)
+    if y_true.size == 0:
+        raise ValueError("Metrics are undefined on empty arrays.")
+    return y_true, y_pred
+
+
+def residuals(y_true, y_pred) -> np.ndarray:
+    """Signed residuals ``y_true - y_pred`` (Eq. 2 of the paper, per day)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return y_true - y_pred
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean of squared residuals."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Square root of :func:`mean_squared_error`."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean of absolute residuals."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def median_absolute_error(y_true, y_pred) -> float:
+    """Median of absolute residuals (robust to outliers)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.median(np.abs(y_true - y_pred)))
+
+
+def max_error(y_true, y_pred) -> float:
+    """Largest absolute residual."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.max(np.abs(y_true - y_pred)))
+
+
+def mean_absolute_percentage_error(y_true, y_pred, *, eps: float = 1e-12) -> float:
+    """MAPE with the denominator clipped away from zero by ``eps``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    denom = np.maximum(np.abs(y_true), eps)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination.
+
+    Returns 1.0 for a perfect fit.  For a constant ``y_true``, returns 1.0
+    if predictions are exact and 0.0 otherwise (scikit-learn convention).
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def explained_variance_score(y_true, y_pred) -> float:
+    """Fraction of target variance explained, ignoring systematic bias."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    var_y = float(np.var(y_true))
+    if var_y == 0.0:
+        return 1.0 if np.allclose(y_true, y_pred) else 0.0
+    return 1.0 - float(np.var(y_true - y_pred)) / var_y

@@ -1,0 +1,265 @@
+"""Multi-layer perceptron regression.
+
+The paper excludes neural networks from its first release "due to the
+lack of a sufficiently large amount of training data" but lists them as
+a natural addition to the deployed system.  This module provides that
+addition: a small fully-connected regressor trained with Adam on
+mini-batches, with optional early stopping — enough capacity for the
+windowed relational datasets of this problem without pretending to be a
+deep-learning framework.
+
+Implementation notes
+--------------------
+* Hidden activations: ReLU (default) or tanh.
+* Loss: mean squared error; the output layer is linear.
+* Inputs are standardized internally (stored mean/scale), because raw
+  features span ~5 orders of magnitude (L in 1e6 s vs lags in 1e4 s).
+* Deterministic for a fixed ``random_state``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, RegressorMixin
+from .validation import (
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+__all__ = ["MLPRegressor"]
+
+_ACTIVATIONS = ("relu", "tanh")
+
+
+def _forward(
+    X: np.ndarray,
+    weights: list[np.ndarray],
+    biases: list[np.ndarray],
+    activation: str,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Forward pass; returns (output, per-layer activations incl. input)."""
+    activations = [X]
+    hidden = X
+    last = len(weights) - 1
+    for layer, (w, b) in enumerate(zip(weights, biases)):
+        z = hidden @ w + b
+        if layer < last:
+            hidden = np.maximum(z, 0.0) if activation == "relu" else np.tanh(z)
+        else:
+            hidden = z  # linear output
+        activations.append(hidden)
+    return hidden.ravel(), activations
+
+
+class MLPRegressor(BaseEstimator, RegressorMixin):
+    """Feed-forward neural network for regression.
+
+    Parameters
+    ----------
+    hidden_layer_sizes:
+        Neurons per hidden layer, e.g. ``(32, 16)``.
+    activation:
+        ``"relu"`` (default) or ``"tanh"``.
+    learning_rate:
+        Adam step size.
+    max_iter:
+        Training epochs.
+    batch_size:
+        Mini-batch size (clipped to the dataset size).
+    alpha:
+        L2 penalty on weights.
+    early_stopping:
+        Hold out ``validation_fraction`` and stop after
+        ``n_iter_no_change`` epochs without improvement.
+    random_state:
+        Seed for init, shuffling and the validation split.
+    """
+
+    def __init__(
+        self,
+        hidden_layer_sizes: tuple[int, ...] = (32, 16),
+        activation: str = "relu",
+        learning_rate: float = 1e-3,
+        max_iter: int = 300,
+        batch_size: int = 64,
+        alpha: float = 1e-4,
+        early_stopping: bool = False,
+        validation_fraction: float = 0.1,
+        n_iter_no_change: int = 15,
+        tol: float = 1e-5,
+        random_state=None,
+    ):
+        self.hidden_layer_sizes = hidden_layer_sizes
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.alpha = alpha
+        self.early_stopping = early_stopping
+        self.validation_fraction = validation_fraction
+        self.n_iter_no_change = n_iter_no_change
+        self.tol = tol
+        self.random_state = random_state
+
+    def _validate_hyperparams(self) -> None:
+        if not self.hidden_layer_sizes or any(
+            int(h) < 1 for h in self.hidden_layer_sizes
+        ):
+            raise ValueError(
+                "hidden_layer_sizes must be a non-empty tuple of positive "
+                f"ints, got {self.hidden_layer_sizes}."
+            )
+        if self.activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"activation must be one of {_ACTIVATIONS}, got "
+                f"{self.activation!r}."
+            )
+        if self.learning_rate <= 0:
+            raise ValueError(
+                f"learning_rate must be positive, got {self.learning_rate}."
+            )
+        if self.max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {self.max_iter}.")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}."
+            )
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}.")
+
+    def _init_parameters(self, n_features: int, rng) -> None:
+        sizes = [n_features, *map(int, self.hidden_layer_sizes), 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He init, fine for tanh too
+            self._weights.append(
+                rng.normal(0.0, scale, size=(fan_in, fan_out))
+            )
+            self._biases.append(np.zeros(fan_out))
+
+    def _backward(
+        self, activations: list[np.ndarray], error: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Gradients of MSE/2 w.r.t. weights and biases."""
+        grads_w = [None] * len(self._weights)
+        grads_b = [None] * len(self._biases)
+        n = activations[0].shape[0]
+        delta = error.reshape(-1, 1) / n
+        for layer in range(len(self._weights) - 1, -1, -1):
+            grads_w[layer] = (
+                activations[layer].T @ delta + self.alpha * self._weights[layer]
+            )
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = delta @ self._weights[layer].T
+                upstream = activations[layer]
+                if self.activation == "relu":
+                    delta = delta * (upstream > 0)
+                else:
+                    delta = delta * (1.0 - upstream**2)
+        return grads_w, grads_b
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y, min_samples=2)
+        self._validate_hyperparams()
+        rng = check_random_state(self.random_state)
+
+        # Internal standardization of inputs and target.
+        self._x_mean = X.mean(axis=0)
+        self._x_scale = X.std(axis=0)
+        self._x_scale[self._x_scale == 0.0] = 1.0
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        Xs = (X - self._x_mean) / self._x_scale
+        ys = (y - self._y_mean) / self._y_scale
+
+        if self.early_stopping:
+            n_val = max(1, int(round(self.validation_fraction * len(ys))))
+            if n_val >= len(ys):
+                raise ValueError(
+                    "validation_fraction leaves no training samples."
+                )
+            order = rng.permutation(len(ys))
+            val_idx, train_idx = order[:n_val], order[n_val:]
+            X_val, y_val = Xs[val_idx], ys[val_idx]
+            Xs, ys = Xs[train_idx], ys[train_idx]
+        else:
+            X_val = y_val = None
+
+        self._init_parameters(X.shape[1], rng)
+        # Adam state.
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        batch = min(self.batch_size, len(ys))
+        losses: list[float] = []
+        best_val = np.inf
+        stale = 0
+        for epoch in range(self.max_iter):
+            order = rng.permutation(len(ys))
+            epoch_loss = 0.0
+            for start in range(0, len(ys), batch):
+                idx = order[start : start + batch]
+                pred, activations = _forward(
+                    Xs[idx], self._weights, self._biases, self.activation
+                )
+                error = pred - ys[idx]
+                epoch_loss += float(np.sum(error**2))
+                grads_w, grads_b = self._backward(activations, error)
+                step += 1
+                lr_t = (
+                    self.learning_rate
+                    * np.sqrt(1 - beta2**step)
+                    / (1 - beta1**step)
+                )
+                for layer in range(len(self._weights)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    self._weights[layer] -= lr_t * m_w[layer] / (
+                        np.sqrt(v_w[layer]) + eps
+                    )
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    self._biases[layer] -= lr_t * m_b[layer] / (
+                        np.sqrt(v_b[layer]) + eps
+                    )
+            losses.append(epoch_loss / len(ys))
+
+            if X_val is not None:
+                val_pred, _ = _forward(
+                    X_val, self._weights, self._biases, self.activation
+                )
+                val_loss = float(np.mean((val_pred - y_val) ** 2))
+                if val_loss < best_val - self.tol:
+                    best_val = val_loss
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.n_iter_no_change:
+                        break
+
+        self.loss_curve_ = np.asarray(losses)
+        self.n_iter_ = len(losses)
+        self.n_features_in_ = X.shape[1]
+        self.coefs_ = self._weights  # fitted marker + introspection
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "coefs_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; model was fitted with "
+                f"{self.n_features_in_}."
+            )
+        Xs = (X - self._x_mean) / self._x_scale
+        pred, _ = _forward(Xs, self._weights, self._biases, self.activation)
+        return pred * self._y_scale + self._y_mean

@@ -1,0 +1,126 @@
+"""Chained transformer + estimator pipelines.
+
+A small counterpart to scikit-learn's ``Pipeline``: a list of named steps
+where every step but the last exposes ``fit``/``transform`` and the last is
+an estimator.  The prediction system uses this to bind the Section-3
+normalization step to each regressor so grid search tunes the whole chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, RegressorMixin, clone
+from .validation import check_is_fitted
+
+__all__ = ["Pipeline", "make_pipeline"]
+
+
+class Pipeline(BaseEstimator, RegressorMixin):
+    """Sequentially apply transforms, then delegate to a final estimator.
+
+    Parameters
+    ----------
+    steps:
+        List of ``(name, estimator)`` pairs.  Names must be unique,
+        non-empty and free of ``__`` (reserved for nested params).
+    """
+
+    def __init__(self, steps):
+        self.steps = steps
+
+    def _validate_steps(self) -> None:
+        if not self.steps:
+            raise ValueError("Pipeline requires at least one step.")
+        names = [name for name, _ in self.steps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"Step names must be unique, got {names}.")
+        for name in names:
+            if not name or "__" in name:
+                raise ValueError(f"Invalid step name {name!r}.")
+        for name, transformer in self.steps[:-1]:
+            if not hasattr(transformer, "transform"):
+                raise TypeError(
+                    f"Intermediate step {name!r} must implement transform()."
+                )
+
+    def get_params(self, deep: bool = True) -> dict:
+        params = {"steps": self.steps}
+        if deep:
+            for name, step in self.steps:
+                params[name] = step
+                if hasattr(step, "get_params"):
+                    for key, value in step.get_params(deep=True).items():
+                        params[f"{name}__{key}"] = value
+        return params
+
+    def set_params(self, **params) -> "Pipeline":
+        if "steps" in params:
+            self.steps = params.pop("steps")
+        step_map = dict(self.steps)
+        nested: dict[str, dict] = {}
+        for key, value in params.items():
+            name, delim, sub_key = key.partition("__")
+            if name not in step_map:
+                raise ValueError(
+                    f"Invalid parameter {name!r}; pipeline steps are "
+                    f"{sorted(step_map)}."
+                )
+            if delim:
+                nested.setdefault(name, {})[sub_key] = value
+            else:
+                step_map[name] = value
+        self.steps = [(name, step_map[name]) for name, _ in self.steps]
+        for name, sub_params in nested.items():
+            dict(self.steps)[name].set_params(**sub_params)
+        return self
+
+    @property
+    def named_steps(self) -> dict:
+        return dict(self.steps)
+
+    def _final_estimator(self):
+        return self.steps[-1][1]
+
+    def fit(self, X, y=None):
+        self._validate_steps()
+        X = np.asarray(X, dtype=np.float64)
+        self.steps = [(name, clone(step)) for name, step in self.steps]
+        for _, transformer in self.steps[:-1]:
+            X = transformer.fit(X, y).transform(X)
+        self._final_estimator().fit(X, y)
+        self.fitted_ = True
+        return self
+
+    def _transform(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        for _, transformer in self.steps[:-1]:
+            X = transformer.transform(X)
+        return X
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "fitted_")
+        return self._final_estimator().predict(self._transform(X))
+
+    def transform(self, X) -> np.ndarray:
+        """Apply all transforms, including a final transformer step."""
+        check_is_fitted(self, "fitted_")
+        X = self._transform(X)
+        final = self._final_estimator()
+        if hasattr(final, "transform"):
+            X = final.transform(X)
+        return X
+
+
+def make_pipeline(*steps) -> Pipeline:
+    """Build a :class:`Pipeline` with auto-generated lowercase names."""
+    names = []
+    for step in steps:
+        base = type(step).__name__.lower()
+        name = base
+        suffix = 1
+        while name in names:
+            suffix += 1
+            name = f"{base}-{suffix}"
+        names.append(name)
+    return Pipeline(list(zip(names, steps)))

@@ -1,0 +1,124 @@
+"""Feature scaling transformers.
+
+Section 3 of the paper ("Data normalization allows us to scale the values of
+the utilization times to a uniform value range (e.g., from 0 to 1)") motivates
+:class:`MinMaxScaler`; :class:`StandardScaler` and :class:`RobustScaler` are
+provided for the linear models, which are sensitive to feature scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator
+from .validation import check_array, check_is_fitted
+
+__all__ = ["MinMaxScaler", "StandardScaler", "RobustScaler"]
+
+
+class _BaseScaler(BaseEstimator):
+    """Shared fit/transform plumbing for column-wise affine scalers."""
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        self._fit_stats(X)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "n_features_in_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; scaler was fitted with "
+                f"{self.n_features_in_}."
+            )
+        return (X - self.offset_) / self.scale_
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "n_features_in_")
+        X = check_array(X)
+        return X * self.scale_ + self.offset_
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+    def _fit_stats(self, X: np.ndarray) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _guard_scale(scale: np.ndarray) -> np.ndarray:
+    """Replace zero scales with 1 so constant columns map to 0, not NaN."""
+    scale = scale.copy()
+    scale[scale == 0.0] = 1.0
+    return scale
+
+
+class MinMaxScaler(_BaseScaler):
+    """Scale each feature to a target range, default ``[0, 1]``.
+
+    Parameters
+    ----------
+    feature_range:
+        ``(lo, hi)`` output range.
+    clip:
+        If true, transformed values of unseen data are clipped into the
+        range (useful when test utilization exceeds the training maximum).
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0), clip: bool = False):
+        self.feature_range = feature_range
+        self.clip = clip
+
+    def _fit_stats(self, X: np.ndarray) -> None:
+        lo, hi = self.feature_range
+        if lo >= hi:
+            raise ValueError(
+                f"feature_range minimum must be below maximum, got {self.feature_range}."
+            )
+        data_min = X.min(axis=0)
+        data_max = X.max(axis=0)
+        span = _guard_scale(data_max - data_min)
+        self.data_min_ = data_min
+        self.data_max_ = data_max
+        # Affine map: (x - offset_) / scale_ lands in feature_range.
+        self.scale_ = span / (hi - lo)
+        self.offset_ = data_min - lo * self.scale_
+
+    def transform(self, X) -> np.ndarray:
+        out = super().transform(X)
+        if self.clip:
+            lo, hi = self.feature_range
+            np.clip(out, lo, hi, out=out)
+        return out
+
+
+class StandardScaler(_BaseScaler):
+    """Standardize features to zero mean and unit variance."""
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def _fit_stats(self, X: np.ndarray) -> None:
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        std = X.std(axis=0) if self.with_std else np.ones(X.shape[1])
+        self.std_ = std
+        self.offset_ = self.mean_
+        self.scale_ = _guard_scale(std)
+
+
+class RobustScaler(_BaseScaler):
+    """Scale using median and inter-quantile range; robust to usage spikes."""
+
+    def __init__(self, quantile_range: tuple[float, float] = (25.0, 75.0)):
+        self.quantile_range = quantile_range
+
+    def _fit_stats(self, X: np.ndarray) -> None:
+        q_lo, q_hi = self.quantile_range
+        if not 0 <= q_lo < q_hi <= 100:
+            raise ValueError(f"Invalid quantile_range {self.quantile_range}.")
+        self.center_ = np.median(X, axis=0)
+        iqr = np.percentile(X, q_hi, axis=0) - np.percentile(X, q_lo, axis=0)
+        self.offset_ = self.center_
+        self.scale_ = _guard_scale(iqr)

@@ -1,0 +1,415 @@
+"""CART regression trees.
+
+The paper's non-linear models (RF, and the boosted variant it calls XGB)
+are ensembles of decision-tree regressors, described in Section 4.2 as "the
+most popular non-linear mapping functions between non-predictive and
+predictive variables".  This module implements the classic CART algorithm
+with variance-reduction (squared-error) splitting:
+
+* exact best-split search, vectorized per feature with prefix sums;
+* ``max_depth``, ``min_samples_split``, ``min_samples_leaf``,
+  ``min_impurity_decrease`` pre-pruning controls matching the grid the
+  paper sweeps (tree depth 3-50);
+* ``max_features`` column subsampling, which is what turns bagged trees
+  into a random forest (:mod:`repro.learn.forest`).
+
+Trees are stored in flat parallel arrays (``children_left``, ``feature``,
+``threshold``...) so prediction is a vectorized breadth-first descent rather
+than per-sample Python recursion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, RegressorMixin
+from .validation import (
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+__all__ = ["DecisionTreeRegressor", "Tree", "export_text"]
+
+_LEAF = -1
+
+
+class Tree:
+    """Flat-array binary tree produced by :class:`DecisionTreeRegressor`.
+
+    Attributes
+    ----------
+    children_left, children_right:
+        Node index of each child; ``-1`` marks a leaf.
+    feature:
+        Split feature per internal node (``-1`` on leaves).
+    threshold:
+        Split threshold; samples with ``x[feature] <= threshold`` go left.
+    value:
+        Mean training target of the node (the prediction, on leaves).
+    n_node_samples:
+        Training samples that reached the node.
+    impurity:
+        Node variance (mean squared deviation from the node mean).
+    """
+
+    def __init__(self):
+        self.children_left: list[int] = []
+        self.children_right: list[int] = []
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.value: list[float] = []
+        self.n_node_samples: list[int] = []
+        self.impurity: list[float] = []
+
+    def add_node(self, value: float, n_samples: int, impurity: float) -> int:
+        """Append a (provisional leaf) node; return its index."""
+        self.children_left.append(_LEAF)
+        self.children_right.append(_LEAF)
+        self.feature.append(_LEAF)
+        self.threshold.append(np.nan)
+        self.value.append(value)
+        self.n_node_samples.append(n_samples)
+        self.impurity.append(impurity)
+        return len(self.value) - 1
+
+    def finalize(self) -> None:
+        """Freeze python lists into ndarrays for fast prediction."""
+        self.children_left = np.asarray(self.children_left, dtype=np.intp)
+        self.children_right = np.asarray(self.children_right, dtype=np.intp)
+        self.feature = np.asarray(self.feature, dtype=np.intp)
+        self.threshold = np.asarray(self.threshold, dtype=np.float64)
+        self.value = np.asarray(self.value, dtype=np.float64)
+        self.n_node_samples = np.asarray(self.n_node_samples, dtype=np.intp)
+        self.impurity = np.asarray(self.impurity, dtype=np.float64)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.value)
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.sum(np.asarray(self.children_left) == _LEAF))
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root = depth 0)."""
+        depth = np.zeros(self.node_count, dtype=np.intp)
+        for node in range(self.node_count):
+            left = self.children_left[node]
+            right = self.children_right[node]
+            if left != _LEAF:
+                depth[left] = depth[node] + 1
+                depth[right] = depth[node] + 1
+        return int(depth.max()) if self.node_count else 0
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index reached by each row of ``X`` (vectorized descent)."""
+        node = np.zeros(X.shape[0], dtype=np.intp)
+        while True:
+            internal = self.children_left[node] != _LEAF
+            if not internal.any():
+                return node
+            idx = np.nonzero(internal)[0]
+            current = node[idx]
+            go_left = (
+                X[idx, self.feature[current]] <= self.threshold[current]
+            )
+            node[idx] = np.where(
+                go_left,
+                self.children_left[current],
+                self.children_right[current],
+            )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.value[self.apply(X)]
+
+
+def _node_impurity(y_sum: float, y_sq_sum: float, n: int) -> float:
+    """Variance impurity from sufficient statistics."""
+    return max(y_sq_sum / n - (y_sum / n) ** 2, 0.0)
+
+
+def _best_split_for_feature(
+    x: np.ndarray,
+    y: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[float, float] | None:
+    """Best (weighted child SSE, threshold) on one feature, or ``None``.
+
+    Uses a sort + prefix-sum scan: every boundary between distinct sorted
+    feature values is a candidate threshold, so the search is exact.
+    """
+    order = np.argsort(x, kind="stable")
+    xs = x[order]
+    ys = y[order]
+    n = ys.size
+    boundaries = np.nonzero(xs[1:] > xs[:-1])[0]
+    if boundaries.size == 0:
+        return None
+    left_n = boundaries + 1
+    valid = (left_n >= min_samples_leaf) & (n - left_n >= min_samples_leaf)
+    boundaries = boundaries[valid]
+    if boundaries.size == 0:
+        return None
+    left_n = left_n[valid]
+    right_n = n - left_n
+    cum_sum = np.cumsum(ys)
+    cum_sq = np.cumsum(ys * ys)
+    left_sum = cum_sum[boundaries]
+    left_sq = cum_sq[boundaries]
+    right_sum = cum_sum[-1] - left_sum
+    right_sq = cum_sq[-1] - left_sq
+    sse = (left_sq - left_sum**2 / left_n) + (right_sq - right_sum**2 / right_n)
+    best = int(np.argmin(sse))
+    pos = boundaries[best]
+    threshold = 0.5 * (xs[pos] + xs[pos + 1])
+    # Guard against midpoint rounding onto the upper value.
+    if threshold >= xs[pos + 1]:
+        threshold = xs[pos]
+    return float(sse[best]), float(threshold)
+
+
+class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
+    """CART regressor with squared-error splitting.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until other limits bind.
+    min_samples_split:
+        Minimum samples required to consider splitting a node.
+    min_samples_leaf:
+        Minimum samples each child must keep.
+    max_features:
+        Features examined per split: ``None`` (all), an int, a float
+        fraction, ``"sqrt"`` or ``"log2"``.
+    min_impurity_decrease:
+        Minimum weighted impurity decrease for a split to be accepted.
+    random_state:
+        Seed controlling feature subsampling order.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        min_impurity_decrease: float = 0.0,
+        random_state=None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.random_state = random_state
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if isinstance(mf, str):
+            if mf == "sqrt":
+                return max(1, int(np.sqrt(n_features)))
+            if mf == "log2":
+                return max(1, int(np.log2(n_features)))
+            raise ValueError(f"Unknown max_features string {mf!r}.")
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ValueError(
+                    f"max_features fraction must be in (0, 1], got {mf}."
+                )
+            return max(1, int(mf * n_features))
+        value = int(mf)
+        if not 1 <= value <= n_features:
+            raise ValueError(
+                f"max_features={value} outside [1, {n_features}]."
+            )
+        return value
+
+    def _validate_hyperparams(self) -> None:
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {self.max_depth}.")
+        if self.min_samples_split < 2:
+            raise ValueError(
+                f"min_samples_split must be >= 2, got {self.min_samples_split}."
+            )
+        if self.min_samples_leaf < 1:
+            raise ValueError(
+                f"min_samples_leaf must be >= 1, got {self.min_samples_leaf}."
+            )
+        if self.min_impurity_decrease < 0:
+            raise ValueError(
+                "min_impurity_decrease must be non-negative, got "
+                f"{self.min_impurity_decrease}."
+            )
+
+    def fit(self, X, y, sample_indices: np.ndarray | None = None):
+        """Grow the tree on ``(X, y)``.
+
+        ``sample_indices`` optionally restricts training to a subset of
+        rows without copying — the forest uses this for bootstrap bags.
+        """
+        X, y = check_X_y(X, y)
+        self._validate_hyperparams()
+        rng = check_random_state(self.random_state)
+        n_features = X.shape[1]
+        k_features = self._resolve_max_features(n_features)
+        max_depth = np.inf if self.max_depth is None else self.max_depth
+
+        if sample_indices is None:
+            sample_indices = np.arange(X.shape[0], dtype=np.intp)
+        else:
+            sample_indices = np.asarray(sample_indices, dtype=np.intp)
+            if sample_indices.size == 0:
+                raise ValueError("sample_indices must not be empty.")
+
+        tree = Tree()
+        feature_importances = np.zeros(n_features)
+        total_weight = sample_indices.size
+
+        # Depth-first growth with an explicit stack of (indices, depth,
+        # parent, is_left); children are attached after creation.
+        root_y = y[sample_indices]
+        root_id = tree.add_node(
+            float(root_y.mean()),
+            sample_indices.size,
+            _node_impurity(root_y.sum(), (root_y**2).sum(), root_y.size),
+        )
+        stack: list[tuple[np.ndarray, int, int]] = [(sample_indices, 0, root_id)]
+        while stack:
+            indices, depth, node_id = stack.pop()
+            n_node = indices.size
+            node_impurity = tree.impurity[node_id]
+            if (
+                depth >= max_depth
+                or n_node < self.min_samples_split
+                or n_node < 2 * self.min_samples_leaf
+                or node_impurity <= 0.0
+            ):
+                continue
+
+            y_node = y[indices]
+            if k_features < n_features:
+                candidates = rng.choice(n_features, size=k_features, replace=False)
+            else:
+                candidates = np.arange(n_features)
+
+            node_sse = node_impurity * n_node
+            best_gain = -np.inf
+            best_feature = -1
+            best_threshold = np.nan
+            for feat in candidates:
+                found = _best_split_for_feature(
+                    X[indices, feat], y_node, self.min_samples_leaf
+                )
+                if found is None:
+                    continue
+                child_sse, threshold = found
+                gain = node_sse - child_sse
+                if gain > best_gain:
+                    best_gain = gain
+                    best_feature = int(feat)
+                    best_threshold = threshold
+
+            # The impurity decrease is weighted by the node's share of
+            # training samples, as in CART cost-complexity accounting.
+            if best_feature < 0 or best_gain / total_weight < self.min_impurity_decrease:
+                continue
+            if best_gain <= 1e-12 * max(node_sse, 1.0):
+                continue
+
+            go_left = X[indices, best_feature] <= best_threshold
+            left_idx = indices[go_left]
+            right_idx = indices[~go_left]
+            if (
+                left_idx.size < self.min_samples_leaf
+                or right_idx.size < self.min_samples_leaf
+            ):
+                continue
+
+            tree.feature[node_id] = best_feature
+            tree.threshold[node_id] = best_threshold
+            feature_importances[best_feature] += best_gain
+
+            for child_indices, attach in ((left_idx, "left"), (right_idx, "right")):
+                y_child = y[child_indices]
+                child_id = tree.add_node(
+                    float(y_child.mean()),
+                    child_indices.size,
+                    _node_impurity(
+                        y_child.sum(), (y_child**2).sum(), y_child.size
+                    ),
+                )
+                if attach == "left":
+                    tree.children_left[node_id] = child_id
+                else:
+                    tree.children_right[node_id] = child_id
+                stack.append((child_indices, depth + 1, child_id))
+
+        tree.finalize()
+        self.tree_ = tree
+        total = feature_importances.sum()
+        self.feature_importances_ = (
+            feature_importances / total if total > 0 else feature_importances
+        )
+        self.n_features_in_ = n_features
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "tree_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; tree was fitted with "
+                f"{self.n_features_in_}."
+            )
+        return self.tree_.predict(X)
+
+    def apply(self, X) -> np.ndarray:
+        """Return the leaf index each sample lands in."""
+        check_is_fitted(self, "tree_")
+        X = check_array(X)
+        return self.tree_.apply(X)
+
+    def get_depth(self) -> int:
+        check_is_fitted(self, "tree_")
+        return self.tree_.max_depth
+
+    def get_n_leaves(self) -> int:
+        check_is_fitted(self, "tree_")
+        return self.tree_.n_leaves
+
+
+def export_text(
+    regressor: DecisionTreeRegressor,
+    feature_names: list[str] | None = None,
+    decimals: int = 2,
+) -> str:
+    """Human-readable rendering of a fitted tree, for debugging/reports."""
+    check_is_fitted(regressor, "tree_")
+    tree = regressor.tree_
+    if feature_names is None:
+        feature_names = [f"x{i}" for i in range(regressor.n_features_in_)]
+
+    lines: list[str] = []
+
+    def walk(node: int, indent: str) -> None:
+        if tree.children_left[node] == _LEAF:
+            lines.append(
+                f"{indent}value: {tree.value[node]:.{decimals}f} "
+                f"(n={tree.n_node_samples[node]})"
+            )
+            return
+        name = feature_names[tree.feature[node]]
+        thr = tree.threshold[node]
+        lines.append(f"{indent}{name} <= {thr:.{decimals}f}")
+        walk(tree.children_left[node], indent + "|   ")
+        lines.append(f"{indent}{name} >  {thr:.{decimals}f}")
+        walk(tree.children_right[node], indent + "|   ")
+
+    walk(0, "")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Input validation helpers shared by every estimator in :mod:`repro.learn`.
+
+These mirror the role scikit-learn's ``sklearn.utils.validation`` plays:
+every public ``fit``/``predict`` entry point funnels its array arguments
+through :func:`check_array` / :func:`check_X_y` so that downstream numeric
+code can assume clean, 2-D, finite ``float64`` data.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from .exceptions import DataValidationError, NotFittedError
+
+__all__ = [
+    "check_array",
+    "check_X_y",
+    "check_random_state",
+    "check_is_fitted",
+    "column_or_1d",
+    "check_consistent_length",
+]
+
+
+def check_array(
+    array,
+    *,
+    ensure_2d: bool = True,
+    allow_nan: bool = False,
+    min_samples: int = 1,
+    name: str = "X",
+) -> np.ndarray:
+    """Validate an array-like and return it as a ``float64`` ndarray.
+
+    Parameters
+    ----------
+    array:
+        Anything convertible by :func:`numpy.asarray`.
+    ensure_2d:
+        If true (default), a 1-D input is rejected; estimators expect a
+        ``(n_samples, n_features)`` matrix.
+    allow_nan:
+        If false (default), NaN or infinite entries raise
+        :class:`DataValidationError`.
+    min_samples:
+        Minimum number of rows required.
+    name:
+        Name used in error messages.
+    """
+    out = np.asarray(array, dtype=np.float64)
+    if out.ndim == 1 and ensure_2d:
+        raise DataValidationError(
+            f"{name} must be 2-dimensional, got shape {out.shape}. "
+            "Reshape with X.reshape(-1, 1) for a single feature."
+        )
+    if out.ndim > 2:
+        raise DataValidationError(
+            f"{name} must be at most 2-dimensional, got shape {out.shape}."
+        )
+    if not allow_nan and not np.isfinite(out).all():
+        raise DataValidationError(
+            f"{name} contains NaN or infinite values; clean the data first "
+            "(see repro.dataprep.cleaning)."
+        )
+    n_samples = out.shape[0] if out.ndim else 0
+    if n_samples < min_samples:
+        raise DataValidationError(
+            f"{name} has {n_samples} sample(s); at least {min_samples} required."
+        )
+    return out
+
+
+def column_or_1d(y, *, name: str = "y") -> np.ndarray:
+    """Return ``y`` as a flat 1-D ``float64`` array.
+
+    Accepts shape ``(n,)`` or ``(n, 1)``; anything else is an error.
+    """
+    out = np.asarray(y, dtype=np.float64)
+    if out.ndim == 2 and out.shape[1] == 1:
+        out = out.ravel()
+    if out.ndim != 1:
+        raise DataValidationError(
+            f"{name} must be 1-dimensional, got shape {out.shape}."
+        )
+    return out
+
+
+def check_consistent_length(*arrays) -> None:
+    """Raise unless all arguments have the same first dimension."""
+    lengths = {len(a) for a in arrays if a is not None}
+    if len(lengths) > 1:
+        raise DataValidationError(
+            f"Inconsistent numbers of samples: {sorted(lengths)}."
+        )
+
+
+def check_X_y(
+    X,
+    y,
+    *,
+    allow_nan: bool = False,
+    min_samples: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix and target vector together."""
+    X = check_array(X, allow_nan=allow_nan, min_samples=min_samples)
+    y = column_or_1d(y)
+    if not allow_nan and not np.isfinite(y).all():
+        raise DataValidationError("y contains NaN or infinite values.")
+    check_consistent_length(X, y)
+    return X, y
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Turn ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an int seed, an existing
+    ``Generator`` (returned as-is) or a legacy ``RandomState``.
+    """
+    if seed is None or isinstance(seed, numbers.Integral):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.RandomState):
+        return np.random.default_rng(seed.randint(np.iinfo(np.int32).max))
+    raise DataValidationError(
+        f"{seed!r} cannot be used to seed a numpy random Generator."
+    )
+
+
+def check_is_fitted(estimator, attributes=None) -> None:
+    """Raise :class:`NotFittedError` unless ``estimator`` looks fitted.
+
+    Fitted-ness is signalled, as in scikit-learn, by the presence of
+    attributes with a trailing underscore set during :meth:`fit`.
+    """
+    if attributes is None:
+        fitted = [
+            attr
+            for attr in vars(estimator)
+            if attr.endswith("_") and not attr.startswith("_")
+        ]
+        if fitted:
+            return
+    else:
+        if isinstance(attributes, str):
+            attributes = [attributes]
+        if all(hasattr(estimator, attr) for attr in attributes):
+            return
+    raise NotFittedError(
+        f"This {type(estimator).__name__} instance is not fitted yet; "
+        "call fit() before using this method."
+    )

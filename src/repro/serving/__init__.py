@@ -1,0 +1,22 @@
+"""Deployment layer: persistence, online service, drift monitoring.
+
+The paper closes with the system "currently under deployment, enabling
+further tests and tunings"; this package is that deployment surface —
+a stateful prediction service routing each vehicle through the Section-4
+methodology matrix, versioned model storage, and resolved-residual drift
+monitoring.
+"""
+
+from .monitoring import DriftAlert, DriftMonitor, population_stability_index
+from .persistence import ModelArtifact, ModelStore
+from .service import Forecast, MaintenancePredictionService
+
+__all__ = [
+    "DriftAlert",
+    "DriftMonitor",
+    "population_stability_index",
+    "ModelArtifact",
+    "ModelStore",
+    "Forecast",
+    "MaintenancePredictionService",
+]

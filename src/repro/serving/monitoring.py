@@ -1,0 +1,169 @@
+"""Prediction-quality monitoring for the deployed service.
+
+Once a vehicle's maintenance cycle completes, the true days-to-
+maintenance for every day of that cycle become known, and each earlier
+forecast can be scored retroactively.  :class:`DriftMonitor` tracks these
+resolved residuals per vehicle and raises alerts when accuracy degrades —
+the feedback loop the paper's "further tests and tunings" deployment
+phase needs.
+
+A distribution-shift check (:func:`population_stability_index`) is also
+provided: comparing the live feature distribution (e.g. of ``L`` or the
+usage lags) against the training distribution catches input drift before
+it shows up as residual error.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DriftAlert", "DriftMonitor", "population_stability_index"]
+
+
+def population_stability_index(
+    reference, live, n_bins: int = 10, *, eps: float = 1e-4
+) -> float:
+    """PSI between a reference and a live sample.
+
+    Bins are deciles of the reference distribution.  Common reading:
+    < 0.1 stable, 0.1-0.25 moderate shift, > 0.25 action needed.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    live = np.asarray(live, dtype=np.float64)
+    if reference.size < n_bins or live.size == 0:
+        raise ValueError(
+            f"Need >= {n_bins} reference and >= 1 live samples, got "
+            f"{reference.size} / {live.size}."
+        )
+    quantiles = np.linspace(0, 100, n_bins + 1)[1:-1]
+    edges = np.unique(np.percentile(reference, quantiles))
+    ref_counts = np.bincount(
+        np.searchsorted(edges, reference), minlength=edges.size + 1
+    )
+    live_counts = np.bincount(
+        np.searchsorted(edges, live), minlength=edges.size + 1
+    )
+    ref_frac = np.maximum(ref_counts / reference.size, eps)
+    live_frac = np.maximum(live_counts / live.size, eps)
+    return float(np.sum((live_frac - ref_frac) * np.log(live_frac / ref_frac)))
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """One degradation alert."""
+
+    vehicle_id: str
+    mean_abs_error: float
+    threshold: float
+    n_residuals: int
+
+    def __str__(self) -> str:
+        return (
+            f"[drift] {self.vehicle_id}: mean |error| "
+            f"{self.mean_abs_error:.1f} days over last "
+            f"{self.n_residuals} resolved predictions "
+            f"(threshold {self.threshold:.1f})"
+        )
+
+
+class DriftMonitor:
+    """Rolling per-vehicle residual tracker with threshold alerts.
+
+    Parameters
+    ----------
+    threshold_days:
+        Mean absolute resolved error (days) above which a vehicle is
+        flagged.
+    window:
+        Number of most recent resolved residuals considered per vehicle.
+    min_samples:
+        Residuals required before a vehicle can be flagged at all.
+    """
+
+    def __init__(
+        self,
+        threshold_days: float = 7.0,
+        window: int = 30,
+        min_samples: int = 5,
+    ):
+        if threshold_days <= 0:
+            raise ValueError(
+                f"threshold_days must be positive, got {threshold_days}."
+            )
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}.")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}.")
+        self.threshold_days = threshold_days
+        self.window = window
+        self.min_samples = min_samples
+        self._residuals: dict[str, deque] = defaultdict(
+            lambda: deque(maxlen=self.window)
+        )
+
+    def record(self, vehicle_id: str, d_true: float, d_pred: float) -> None:
+        """Add one resolved (truth became known) prediction."""
+        if not np.isfinite(d_true) or not np.isfinite(d_pred):
+            raise ValueError("Resolved residuals must be finite.")
+        self._residuals[vehicle_id].append(float(d_true) - float(d_pred))
+
+    def record_many(self, vehicle_id: str, d_true, d_pred) -> None:
+        d_true = np.asarray(d_true, dtype=np.float64)
+        d_pred = np.asarray(d_pred, dtype=np.float64)
+        if d_true.shape != d_pred.shape:
+            raise ValueError("d_true and d_pred must align.")
+        for t, p in zip(d_true, d_pred):
+            if np.isfinite(t) and np.isfinite(p):
+                self._residuals[vehicle_id].append(float(t) - float(p))
+
+    def mean_abs_error(self, vehicle_id: str) -> float:
+        residuals = self._residuals.get(vehicle_id)
+        if not residuals:
+            return float("nan")
+        return float(np.mean(np.abs(residuals)))
+
+    def bias(self, vehicle_id: str) -> float:
+        """Signed mean residual: positive = systematic under-prediction."""
+        residuals = self._residuals.get(vehicle_id)
+        if not residuals:
+            return float("nan")
+        return float(np.mean(residuals))
+
+    def check(self, vehicle_id: str) -> DriftAlert | None:
+        """Alert for one vehicle, or ``None`` if healthy/insufficient data."""
+        residuals = self._residuals.get(vehicle_id)
+        if not residuals or len(residuals) < self.min_samples:
+            return None
+        mae = float(np.mean(np.abs(residuals)))
+        if mae <= self.threshold_days:
+            return None
+        return DriftAlert(
+            vehicle_id=vehicle_id,
+            mean_abs_error=mae,
+            threshold=self.threshold_days,
+            n_residuals=len(residuals),
+        )
+
+    def alerts(self) -> list[DriftAlert]:
+        """All currently-firing alerts, worst first."""
+        found = [
+            alert
+            for vehicle_id in self._residuals
+            if (alert := self.check(vehicle_id)) is not None
+        ]
+        found.sort(key=lambda a: -a.mean_abs_error)
+        return found
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-vehicle {n, mae, bias} snapshot."""
+        return {
+            vehicle_id: {
+                "n": len(residuals),
+                "mae": self.mean_abs_error(vehicle_id),
+                "bias": self.bias(vehicle_id),
+            }
+            for vehicle_id, residuals in self._residuals.items()
+        }

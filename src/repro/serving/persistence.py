@@ -1,0 +1,147 @@
+"""Model persistence: versioned artifacts on disk.
+
+The deployed system retrains per-vehicle models as data accrues; this
+module stores fitted predictors as versioned artifacts (pickle payload +
+JSON metadata sidecar) so a prediction service can be restarted without
+retraining, and so every forecast is attributable to a model version.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+import pickle
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ModelArtifact", "ModelStore"]
+
+_SCHEMA_VERSION = 1
+_KEY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """A loaded model plus its stored metadata."""
+
+    key: str
+    version: int
+    predictor: object
+    metadata: dict
+
+    @property
+    def algorithm(self) -> str | None:
+        return self.metadata.get("algorithm")
+
+
+class ModelStore:
+    """Directory-backed, versioned model registry.
+
+    Layout: ``<root>/<key>/v0001.pkl`` + ``v0001.json``.  Versions are
+    monotonically increasing; :meth:`save` always writes a new version
+    (models are immutable once written).
+
+    Parameters
+    ----------
+    root:
+        Storage directory (created on first save).
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _check_key(key: str) -> str:
+        if not _KEY_RE.match(key):
+            raise ValueError(
+                f"Invalid model key {key!r}: use letters, digits, '_', "
+                "'-', '.' and start alphanumerically."
+            )
+        return key
+
+    def _key_dir(self, key: str) -> Path:
+        return self.root / self._check_key(key)
+
+    def _version_paths(self, key: str, version: int) -> tuple[Path, Path]:
+        stem = self._key_dir(key) / f"v{version:04d}"
+        return stem.with_suffix(".pkl"), stem.with_suffix(".json")
+
+    # -- public API -----------------------------------------------------------
+
+    def versions(self, key: str) -> list[int]:
+        """Stored version numbers for a key, ascending."""
+        directory = self._key_dir(key)
+        if not directory.is_dir():
+            return []
+        found = []
+        for path in directory.glob("v*.pkl"):
+            try:
+                found.append(int(path.stem[1:]))
+            except ValueError:
+                continue
+        return sorted(found)
+
+    def keys(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir() if p.is_dir()
+        )
+
+    def save(self, key: str, predictor, metadata: dict | None = None) -> int:
+        """Persist a fitted predictor under ``key``; returns the version."""
+        existing = self.versions(key)
+        version = (existing[-1] + 1) if existing else 1
+        pkl_path, json_path = self._version_paths(key, version)
+        pkl_path.parent.mkdir(parents=True, exist_ok=True)
+
+        record = {
+            "schema_version": _SCHEMA_VERSION,
+            "key": key,
+            "version": version,
+            "created_at": dt.datetime.now(dt.timezone.utc).isoformat(),
+            "predictor_type": type(predictor).__name__,
+        }
+        record.update(metadata or {})
+
+        with pkl_path.open("wb") as handle:
+            pickle.dump(predictor, handle)
+        with json_path.open("w") as handle:
+            json.dump(record, handle, indent=2)
+        return version
+
+    def load(self, key: str, version: int | None = None) -> ModelArtifact:
+        """Load a stored model; latest version by default."""
+        available = self.versions(key)
+        if not available:
+            raise KeyError(f"No stored models under key {key!r}.")
+        if version is None:
+            version = available[-1]
+        if version not in available:
+            raise KeyError(
+                f"Version {version} of {key!r} not found; have {available}."
+            )
+        pkl_path, json_path = self._version_paths(key, version)
+        with json_path.open() as handle:
+            metadata = json.load(handle)
+        if metadata.get("schema_version") != _SCHEMA_VERSION:
+            raise ValueError(
+                f"Artifact {key!r} v{version} has schema "
+                f"{metadata.get('schema_version')}; expected {_SCHEMA_VERSION}."
+            )
+        with pkl_path.open("rb") as handle:
+            predictor = pickle.load(handle)
+        return ModelArtifact(
+            key=key, version=version, predictor=predictor, metadata=metadata
+        )
+
+    def delete(self, key: str, version: int) -> None:
+        """Remove one stored version (both payload and sidecar)."""
+        pkl_path, json_path = self._version_paths(key, version)
+        if not pkl_path.exists():
+            raise KeyError(f"{key!r} v{version} does not exist.")
+        pkl_path.unlink()
+        json_path.unlink(missing_ok=True)

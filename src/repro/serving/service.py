@@ -1,0 +1,338 @@
+"""Online next-maintenance prediction service.
+
+The deployment the paper describes ("the data owner ... has decided to
+put the present application under deployment"): a long-running service
+that ingests daily utilization per vehicle, keeps each vehicle's model
+fresh, routes every prediction request through the methodology matrix of
+Section 4 —
+
+* **old** vehicle -> its per-vehicle model (retrained whenever a new
+  maintenance cycle completes);
+* **semi-new** -> ``Model_Sim`` trained on the most similar old vehicle
+  (falling back to the baseline when the fleet has no old vehicles yet);
+* **new** -> ``Model_Uni`` trained on the old vehicles' first cycles —
+
+and resolves past forecasts into the drift monitor once cycles complete
+and the ground truth becomes known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.categorize import VehicleCategory, categorize_usage
+from ..core.coldstart import first_cycle_dataset
+from ..core.predictors import BaselinePredictor
+from ..core.registry import make_predictor
+from ..core.series import VehicleSeries
+from ..dataprep.transformation import (
+    RelationalDataset,
+    build_relational_dataset,
+)
+from ..similarity.measures import most_similar
+from .monitoring import DriftMonitor
+from .persistence import ModelStore
+
+__all__ = ["Forecast", "MaintenancePredictionService"]
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """A served prediction."""
+
+    vehicle_id: str
+    category: VehicleCategory
+    strategy: str  # "per-vehicle", "similarity", "unified", "baseline"
+    days_to_maintenance: float
+    usage_left: float
+    as_of_day: int
+    donor_id: str | None = None
+
+
+@dataclass
+class _VehicleState:
+    usage: list = field(default_factory=list)
+    model: object | None = None
+    model_trained_cycles: int = -1
+    pending: list = field(default_factory=list)  # (day, predicted)
+    resolved_through_cycle: int = 0
+
+
+class MaintenancePredictionService:
+    """Stateful fleet prediction service.
+
+    Parameters
+    ----------
+    t_v:
+        Usage budget per maintenance cycle (shared fleet-wide, as in
+        the paper).
+    window:
+        Feature lag window for every model.
+    algorithm:
+        Registry key for the regression models (default the paper's
+        best, RF).
+    store:
+        Optional :class:`ModelStore`; fitted models are persisted there
+        with vehicle/strategy metadata.
+    monitor:
+        Optional :class:`DriftMonitor` fed with resolved residuals.
+    similarity_measure:
+        Donor-selection measure for semi-new vehicles.
+    """
+
+    def __init__(
+        self,
+        t_v: float,
+        window: int = 6,
+        algorithm: str = "RF",
+        store: ModelStore | None = None,
+        monitor: DriftMonitor | None = None,
+        similarity_measure="average_usage",
+    ):
+        if t_v <= 0:
+            raise ValueError(f"t_v must be positive, got {t_v}.")
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}.")
+        self.t_v = float(t_v)
+        self.window = window
+        self.algorithm = algorithm
+        self.store = store
+        self.monitor = monitor
+        self.similarity_measure = similarity_measure
+        self._vehicles: dict[str, _VehicleState] = {}
+        self._unified_model = None
+        self._unified_trained_on: frozenset[str] = frozenset()
+
+    # -- ingestion -----------------------------------------------------------
+
+    def register_vehicle(self, vehicle_id: str) -> None:
+        if vehicle_id in self._vehicles:
+            raise ValueError(f"Vehicle {vehicle_id!r} already registered.")
+        self._vehicles[vehicle_id] = _VehicleState()
+
+    @property
+    def vehicle_ids(self) -> list[str]:
+        return sorted(self._vehicles)
+
+    def _state(self, vehicle_id: str) -> _VehicleState:
+        try:
+            return self._vehicles[vehicle_id]
+        except KeyError:
+            raise KeyError(
+                f"Unknown vehicle {vehicle_id!r}; register it first."
+            ) from None
+
+    def ingest(self, vehicle_id: str, daily_seconds: float) -> None:
+        """Append one day of utilization for a vehicle."""
+        if not np.isfinite(daily_seconds) or not 0 <= daily_seconds <= 86_400:
+            raise ValueError(
+                f"daily_seconds must be in [0, 86400], got {daily_seconds}."
+            )
+        state = self._state(vehicle_id)
+        state.usage.append(float(daily_seconds))
+        self._resolve_forecasts(vehicle_id)
+
+    def ingest_series(self, vehicle_id: str, usage) -> None:
+        for seconds in np.asarray(usage, dtype=np.float64):
+            self.ingest(vehicle_id, float(seconds))
+
+    # -- vehicle views ---------------------------------------------------------
+
+    def series(self, vehicle_id: str) -> VehicleSeries:
+        state = self._state(vehicle_id)
+        return VehicleSeries(
+            vehicle_id=vehicle_id,
+            usage=np.asarray(state.usage, dtype=np.float64),
+            t_v=self.t_v,
+        )
+
+    def category(self, vehicle_id: str) -> VehicleCategory:
+        state = self._state(vehicle_id)
+        return categorize_usage(np.asarray(state.usage), self.t_v)
+
+    def _old_vehicles(self, exclude: str | None = None) -> list[VehicleSeries]:
+        out = []
+        for vehicle_id in self._vehicles:
+            if vehicle_id == exclude:
+                continue
+            if self.category(vehicle_id) is VehicleCategory.OLD:
+                out.append(self.series(vehicle_id))
+        return out
+
+    # -- model management --------------------------------------------------------
+
+    def _persist(self, key: str, predictor, **metadata) -> None:
+        if self.store is not None:
+            self.store.save(
+                key,
+                predictor,
+                {"algorithm": self.algorithm, "window": self.window, **metadata},
+            )
+
+    def _ensure_vehicle_model(self, vehicle_id: str):
+        """Per-vehicle model, retrained when a new cycle has completed."""
+        state = self._state(vehicle_id)
+        series = self.series(vehicle_id)
+        n_cycles = len(series.completed_cycles)
+        if state.model is not None and state.model_trained_cycles == n_cycles:
+            return state.model
+        dataset = build_relational_dataset(series.bundle, self.window)
+        if dataset.n_records == 0:
+            raise ValueError(
+                f"Vehicle {vehicle_id!r} has no labeled records yet."
+            )
+        predictor = make_predictor(self.algorithm)
+        predictor.fit(dataset, usage=series.usage)
+        state.model = predictor
+        state.model_trained_cycles = n_cycles
+        self._persist(
+            f"{vehicle_id}.per-vehicle",
+            predictor,
+            strategy="per-vehicle",
+            trained_cycles=n_cycles,
+        )
+        return predictor
+
+    def _ensure_unified_model(self, exclude: str | None = None):
+        """``Model_Uni`` over the current old vehicles' first cycles."""
+        donors = self._old_vehicles(exclude=exclude)
+        donors = [s for s in donors if s.first_cycle().completed]
+        if not donors:
+            return None
+        donor_ids = frozenset(s.vehicle_id for s in donors)
+        if self._unified_model is not None and donor_ids == self._unified_trained_on:
+            return self._unified_model
+        merged = RelationalDataset.concatenate(
+            [first_cycle_dataset(s, self.window) for s in donors]
+        )
+        predictor = make_predictor(self.algorithm)
+        predictor.fit(merged)
+        self._unified_model = predictor
+        self._unified_trained_on = donor_ids
+        self._persist(
+            "fleet.unified",
+            predictor,
+            strategy="unified",
+            donors=sorted(donor_ids),
+        )
+        return predictor
+
+    def _similarity_model(self, vehicle_id: str):
+        """``Model_Sim`` for one semi-new vehicle; None without donors."""
+        donors = [
+            s
+            for s in self._old_vehicles(exclude=vehicle_id)
+            if s.first_cycle().completed
+        ]
+        if not donors:
+            return None, None
+        target = np.asarray(self._state(vehicle_id).usage)
+        candidates = {s.vehicle_id: s.usage for s in donors}
+        donor_id, _ = most_similar(
+            target, candidates, measure=self.similarity_measure
+        )
+        donor = next(s for s in donors if s.vehicle_id == donor_id)
+        predictor = make_predictor(self.algorithm)
+        predictor.fit(
+            first_cycle_dataset(donor, self.window),
+            usage=donor.usage[: donor.first_cycle().end + 1],
+        )
+        self._persist(
+            f"{vehicle_id}.similarity",
+            predictor,
+            strategy="similarity",
+            donor=donor_id,
+        )
+        return predictor, donor_id
+
+    def _baseline_model(self, vehicle_id: str):
+        state = self._state(vehicle_id)
+        predictor = BaselinePredictor()
+        dummy = RelationalDataset(
+            X=np.zeros((0, self.window + 1)),
+            y=np.zeros(0),
+            t_index=np.zeros(0, dtype=np.intp),
+            window=self.window,
+        )
+        predictor.fit(dummy, usage=np.asarray(state.usage))
+        return predictor
+
+    # -- prediction -----------------------------------------------------------
+
+    def _feature_row(self, series: VehicleSeries) -> tuple[np.ndarray, float, int]:
+        today = series.n_days - 1
+        if today < self.window:
+            raise ValueError(
+                f"Vehicle {series.vehicle_id!r} has {series.n_days} days; "
+                f"window={self.window} needs at least {self.window + 1}."
+            )
+        usage_left = series.usage_left[today]
+        row = np.empty((1, self.window + 1))
+        row[0, 0] = usage_left
+        for lag in range(1, self.window + 1):
+            row[0, lag] = series.usage[today - lag]
+        return row, float(usage_left), today
+
+    def predict(self, vehicle_id: str) -> Forecast:
+        """Forecast days to next maintenance from the latest ingested day."""
+        series = self.series(vehicle_id)
+        if series.n_days == 0:
+            raise ValueError(f"Vehicle {vehicle_id!r} has no data yet.")
+        category = self.category(vehicle_id)
+        row, usage_left, today = self._feature_row(series)
+
+        donor_id = None
+        if category is VehicleCategory.OLD:
+            model = self._ensure_vehicle_model(vehicle_id)
+            strategy = "per-vehicle"
+        elif category is VehicleCategory.SEMI_NEW:
+            model, donor_id = self._similarity_model(vehicle_id)
+            strategy = "similarity"
+            if model is None:
+                model = self._baseline_model(vehicle_id)
+                strategy = "baseline"
+        else:  # NEW
+            model = self._ensure_unified_model(exclude=vehicle_id)
+            strategy = "unified"
+            if model is None:
+                model = self._baseline_model(vehicle_id)
+                strategy = "baseline"
+
+        prediction = float(max(model.predict(row)[0], 0.0))
+        state = self._state(vehicle_id)
+        state.pending.append((today, prediction))
+        return Forecast(
+            vehicle_id=vehicle_id,
+            category=category,
+            strategy=strategy,
+            days_to_maintenance=prediction,
+            usage_left=usage_left,
+            as_of_day=today,
+            donor_id=donor_id,
+        )
+
+    # -- feedback loop -----------------------------------------------------------
+
+    def _resolve_forecasts(self, vehicle_id: str) -> None:
+        """Score pending forecasts whose cycle has now completed."""
+        if self.monitor is None:
+            return
+        state = self._state(vehicle_id)
+        if not state.pending:
+            return
+        series = self.series(vehicle_id)
+        completed = series.completed_cycles
+        if len(completed) <= state.resolved_through_cycle:
+            return
+        d_true = series.days_to_maintenance
+        still_pending = []
+        for day, predicted in state.pending:
+            truth = d_true[day] if day < d_true.size else np.nan
+            if np.isfinite(truth):
+                self.monitor.record(vehicle_id, float(truth), predicted)
+            else:
+                still_pending.append((day, predicted))
+        state.pending = still_pending
+        state.resolved_through_cycle = len(completed)

@@ -1,0 +1,24 @@
+"""Utilization-series similarity measures (for ``Model_Sim``)."""
+
+from .dtw import dtw_distance, dtw_path
+from .measures import (
+    MEASURES,
+    average_usage_distance,
+    correlation_distance,
+    euclidean_distance,
+    most_similar,
+    pointwise_average_distance,
+    resolve_measure,
+)
+
+__all__ = [
+    "dtw_distance",
+    "dtw_path",
+    "MEASURES",
+    "average_usage_distance",
+    "correlation_distance",
+    "euclidean_distance",
+    "most_similar",
+    "pointwise_average_distance",
+    "resolve_measure",
+]

@@ -1,0 +1,134 @@
+"""Similarity measures between utilization series.
+
+Section 4.4.1's ``Model_Sim`` "estimate[s] the pairwise correlation
+between the utilization series acquired in the first half of the first
+cycle ... In the current implementation, we estimate the pairwise
+similarity in terms of point-wise average distance AVG_v between the
+utilization series.  However, more advanced similarity measures (e.g.,
+[9] — generalized dynamic time warping) can be integrated as well."
+
+This module provides the paper's measure plus the cited alternatives,
+all as *distances* (smaller = more similar) under a common signature
+``measure(a, b) -> float``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from .dtw import dtw_distance
+
+__all__ = [
+    "pointwise_average_distance",
+    "average_usage_distance",
+    "euclidean_distance",
+    "correlation_distance",
+    "MEASURES",
+    "resolve_measure",
+    "most_similar",
+]
+
+
+def _common_prefix(a, b) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ValueError("Series must be 1-D.")
+    if a.size == 0 or b.size == 0:
+        raise ValueError("Series must be non-empty.")
+    n = min(a.size, b.size)
+    return a[:n], b[:n]
+
+
+def pointwise_average_distance(a, b) -> float:
+    """Mean absolute point-wise gap over the common prefix.
+
+    The paper's similarity for ``Model_Sim``.  Series of unequal length
+    are compared over their overlap (cold-start candidates have short
+    histories by definition).
+    """
+    a, b = _common_prefix(a, b)
+    return float(np.mean(np.abs(a - b)))
+
+
+def average_usage_distance(a, b) -> float:
+    """Absolute gap between the two series' mean levels.
+
+    A coarser variant ("comparing the similarity of average usage",
+    Section 5.2) that ignores temporal alignment entirely.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("Series must be non-empty.")
+    return float(abs(a.mean() - b.mean()))
+
+
+def euclidean_distance(a, b) -> float:
+    """L2 distance over the common prefix."""
+    a, b = _common_prefix(a, b)
+    return float(np.linalg.norm(a - b))
+
+
+def correlation_distance(a, b) -> float:
+    """``1 - Pearson correlation`` over the common prefix.
+
+    Constant series (zero variance) are maximally dissimilar to
+    anything non-constant and identical to other constants at the same
+    level convention: distance 1.0 (correlation undefined -> treated
+    as 0).
+    """
+    a, b = _common_prefix(a, b)
+    if a.size < 2:
+        raise ValueError("Correlation needs at least 2 points.")
+    sd_a = a.std()
+    sd_b = b.std()
+    if sd_a == 0.0 or sd_b == 0.0:
+        return 1.0
+    corr = float(np.corrcoef(a, b)[0, 1])
+    return 1.0 - corr
+
+
+MEASURES: Mapping[str, Callable] = {
+    "pointwise": pointwise_average_distance,
+    "average_usage": average_usage_distance,
+    "euclidean": euclidean_distance,
+    "correlation": correlation_distance,
+    "dtw": dtw_distance,
+}
+
+
+def resolve_measure(measure) -> Callable:
+    """Accept a measure name or a callable; return the callable."""
+    if callable(measure):
+        return measure
+    try:
+        return MEASURES[measure]
+    except KeyError:
+        raise ValueError(
+            f"Unknown measure {measure!r}; choose from {sorted(MEASURES)} "
+            "or pass a callable."
+        ) from None
+
+
+def most_similar(
+    target,
+    candidates: Mapping[str, np.ndarray],
+    measure="pointwise",
+) -> tuple[str, float]:
+    """The candidate key minimizing ``measure(target, candidate)``.
+
+    Ties break on the (sorted) candidate key for determinism.
+    """
+    if not candidates:
+        raise ValueError("candidates must be non-empty.")
+    fn = resolve_measure(measure)
+    best_key = None
+    best_distance = np.inf
+    for key in sorted(candidates):
+        distance = fn(target, candidates[key])
+        if distance < best_distance:
+            best_key, best_distance = key, distance
+    return best_key, float(best_distance)

@@ -1,0 +1,54 @@
+"""CAN-bus telematics acquisition substrate.
+
+Simulates the data-acquisition chain of Section 3 of the paper: on-board
+sensors emit CAN frames, an on-board controller summarizes them into
+periodic usage reports, and a cloud store ingests the reports (with
+realistic transport faults).  The proprietary Tierra S.p.A. pipeline this
+replaces is documented in DESIGN.md.
+"""
+
+from .canbus import (
+    CANBus,
+    CANFrame,
+    SignalTrafficGenerator,
+    decode_signal_frame,
+    encode_signal_frame,
+)
+from .cloud import CloudStore, DailyUsageRecord, SECONDS_PER_DAY
+from .controller import OnboardController, SignalStats, UsageReport
+from .signals import (
+    COOLANT_TEMPERATURE,
+    DEFAULT_CATALOG,
+    ENGINE_LOAD,
+    ENGINE_SPEED,
+    FUEL_RATE,
+    HYDRAULIC_PRESSURE,
+    OIL_PRESSURE,
+    VEHICLE_SPEED,
+    SignalCatalog,
+    SignalSpec,
+)
+
+__all__ = [
+    "CANBus",
+    "CANFrame",
+    "SignalTrafficGenerator",
+    "decode_signal_frame",
+    "encode_signal_frame",
+    "CloudStore",
+    "DailyUsageRecord",
+    "SECONDS_PER_DAY",
+    "OnboardController",
+    "SignalStats",
+    "UsageReport",
+    "SignalCatalog",
+    "SignalSpec",
+    "DEFAULT_CATALOG",
+    "ENGINE_SPEED",
+    "OIL_PRESSURE",
+    "COOLANT_TEMPERATURE",
+    "FUEL_RATE",
+    "VEHICLE_SPEED",
+    "HYDRAULIC_PRESSURE",
+    "ENGINE_LOAD",
+]

@@ -1,0 +1,124 @@
+"""Cloud ingestion store for controller usage reports.
+
+The last hop of the Section-3 acquisition chain: controllers upload
+:class:`~repro.telemetry.controller.UsageReport` objects to "a cloud
+server".  :class:`CloudStore` models that server, including the transport
+faults (lost uploads, duplicated retries, out-of-order arrival) that make
+the raw daily series contain the missing/duplicate values the paper's
+data-cleaning stage handles.
+
+The store's query surface produces per-vehicle *daily utilization* arrays
+— the raw input of :mod:`repro.dataprep`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from .controller import UsageReport
+
+__all__ = ["CloudStore", "DailyUsageRecord"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+class DailyUsageRecord(dict):
+    """Mapping day-index -> raw utilization seconds for one vehicle.
+
+    Values may exceed 86 400 (duplicated uploads) or be missing entirely
+    (lost uploads); this is deliberate — cleaning is downstream's job.
+    """
+
+
+class CloudStore:
+    """In-memory report warehouse with ingestion fault injection.
+
+    Parameters
+    ----------
+    loss_probability:
+        Chance an uploaded report is silently lost.
+    duplicate_probability:
+        Chance a report is stored twice (client retry after a timed-out
+        acknowledgment).
+    seed:
+        Reproducibility seed for the fault processes.
+    """
+
+    def __init__(
+        self,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        seed: int | None = None,
+    ):
+        for name, p in (
+            ("loss_probability", loss_probability),
+            ("duplicate_probability", duplicate_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}.")
+        self.loss_probability = loss_probability
+        self.duplicate_probability = duplicate_probability
+        self._rng = np.random.default_rng(seed)
+        self._reports: dict[str, list[UsageReport]] = defaultdict(list)
+        self.n_ingested = 0
+        self.n_lost = 0
+        self.n_duplicated = 0
+
+    def ingest(self, report: UsageReport) -> bool:
+        """Store one report; returns False when the upload was lost."""
+        if self.loss_probability and self._rng.random() < self.loss_probability:
+            self.n_lost += 1
+            return False
+        self._reports[report.vehicle_id].append(report)
+        self.n_ingested += 1
+        if (
+            self.duplicate_probability
+            and self._rng.random() < self.duplicate_probability
+        ):
+            self._reports[report.vehicle_id].append(report)
+            self.n_duplicated += 1
+        return True
+
+    def ingest_many(self, reports) -> int:
+        """Ingest an iterable of reports; returns how many were stored."""
+        return sum(1 for report in reports if self.ingest(report))
+
+    @property
+    def vehicle_ids(self) -> list[str]:
+        return sorted(self._reports)
+
+    def reports_for(self, vehicle_id: str) -> list[UsageReport]:
+        """All stored reports of a vehicle, sorted by period start."""
+        return sorted(
+            self._reports.get(vehicle_id, []), key=lambda r: r.period_start
+        )
+
+    def daily_usage(self, vehicle_id: str) -> DailyUsageRecord:
+        """Aggregate a vehicle's reports into raw day -> seconds totals.
+
+        A report's working seconds are attributed to the day its period
+        *starts* in (controllers cut reports frequently enough that split
+        periods are a second-order effect; the aggregation stage in
+        :mod:`repro.dataprep.aggregation` documents this choice).
+        """
+        record = DailyUsageRecord()
+        for report in self._reports.get(vehicle_id, []):
+            day = int(report.period_start // SECONDS_PER_DAY)
+            record[day] = record.get(day, 0.0) + report.working_seconds
+        return record
+
+    def daily_usage_array(
+        self, vehicle_id: str, n_days: int | None = None
+    ) -> np.ndarray:
+        """Dense raw daily series with NaN for days with no report at all."""
+        record = self.daily_usage(vehicle_id)
+        if not record:
+            return np.zeros(0)
+        last_day = max(record) if n_days is None else n_days - 1
+        series = np.full(last_day + 1, np.nan)
+        for day, seconds in record.items():
+            if day <= last_day:
+                series[day] = seconds
+        return series

@@ -1,0 +1,196 @@
+"""On-board controller: CAN frames -> periodic usage summary reports.
+
+Section 3: "Each message is collected by a controller which processes it,
+periodically generates a summary report, and sends it to a cloud server."
+The controller decodes signal frames, decides whether the machine is
+*working* (engine speed above the working threshold), integrates working
+time, tracks signal statistics, and cuts a :class:`UsageReport` every
+``report_interval_s`` seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .canbus import CANFrame, decode_signal_frame
+from .signals import DEFAULT_CATALOG, SignalCatalog
+
+__all__ = ["SignalStats", "UsageReport", "OnboardController"]
+
+
+@dataclass
+class SignalStats:
+    """Streaming min/max/mean/count accumulator for one signal."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = np.inf
+    maximum: float = -np.inf
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else np.nan
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum if self.count else np.nan,
+            "max": self.maximum if self.count else np.nan,
+        }
+
+
+@dataclass(frozen=True)
+class UsageReport:
+    """Summary the controller periodically uploads to the cloud.
+
+    Attributes
+    ----------
+    vehicle_id:
+        Reporting vehicle.
+    period_start, period_end:
+        Covered time window, in seconds since the acquisition epoch.
+    working_seconds:
+        Estimated seconds of actual machine work in the window.
+    engine_hours_total:
+        Lifetime working-time odometer, in hours, at ``period_end``.
+    signal_stats:
+        Per-signal ``{count, mean, min, max}`` snapshots.
+    inconsistent_frames:
+        Frames whose decoded value violated the signal's physical range
+        (these become the "inconsistent values" the cleaning stage sees).
+    """
+
+    vehicle_id: str
+    period_start: float
+    period_end: float
+    working_seconds: float
+    engine_hours_total: float
+    signal_stats: dict[str, dict[str, float]]
+    inconsistent_frames: int = 0
+
+
+class OnboardController:
+    """Per-vehicle CAN consumer producing :class:`UsageReport` streams.
+
+    Parameters
+    ----------
+    vehicle_id:
+        Identifier stamped on every report.
+    report_interval_s:
+        Report period; real controllers upload every few minutes to hours.
+    catalog:
+        Signal dictionary used for decoding.
+    working_signal:
+        Activity signal name; its ``working_threshold`` classifies each
+        sampling instant as working or idle.
+    """
+
+    def __init__(
+        self,
+        vehicle_id: str,
+        report_interval_s: float = 3600.0,
+        catalog: SignalCatalog = DEFAULT_CATALOG,
+        working_signal: str = "engine_speed",
+    ):
+        if report_interval_s <= 0:
+            raise ValueError(
+                f"report_interval_s must be positive, got {report_interval_s}."
+            )
+        spec = catalog.by_name(working_signal)
+        if spec.working_threshold is None:
+            raise ValueError(
+                f"Signal {working_signal!r} has no working_threshold; it "
+                "cannot classify activity."
+            )
+        self.vehicle_id = vehicle_id
+        self.report_interval_s = report_interval_s
+        self.catalog = catalog
+        self.working_signal = working_signal
+        self._threshold = spec.working_threshold
+
+        self._period_start: float | None = None
+        self._last_activity_time: float | None = None
+        self._last_activity_working = False
+        self._working_seconds = 0.0
+        self._engine_seconds_total = 0.0
+        self._stats: dict[str, SignalStats] = {}
+        self._inconsistent = 0
+        self._reports: list[UsageReport] = []
+
+    def process_frame(self, frame: CANFrame) -> None:
+        """Decode one frame and update working-time integration."""
+        if self._period_start is None:
+            self._period_start = frame.timestamp
+        elif frame.timestamp - self._period_start >= self.report_interval_s:
+            self._cut_report(frame.timestamp)
+
+        try:
+            name, value = decode_signal_frame(frame, self.catalog)
+        except KeyError:
+            # Unknown arbitration id: not ours to decode.
+            return
+
+        spec = self.catalog.by_name(name)
+        if not spec.is_consistent(value):
+            self._inconsistent += 1
+            return
+        self._stats.setdefault(name, SignalStats()).update(value)
+
+        if name == self.working_signal:
+            # Integrate working time between consecutive activity samples.
+            if self._last_activity_time is not None:
+                dt = frame.timestamp - self._last_activity_time
+                if 0 < dt < self.report_interval_s and self._last_activity_working:
+                    self._working_seconds += dt
+                    self._engine_seconds_total += dt
+            self._last_activity_time = frame.timestamp
+            self._last_activity_working = value >= self._threshold
+
+    def process_frames(self, frames) -> None:
+        for frame in frames:
+            self.process_frame(frame)
+
+    def _cut_report(self, now: float) -> None:
+        assert self._period_start is not None
+        report = UsageReport(
+            vehicle_id=self.vehicle_id,
+            period_start=self._period_start,
+            period_end=now,
+            working_seconds=self._working_seconds,
+            engine_hours_total=self._engine_seconds_total / 3600.0,
+            signal_stats={
+                name: stats.snapshot() for name, stats in self._stats.items()
+            },
+            inconsistent_frames=self._inconsistent,
+        )
+        self._reports.append(report)
+        self._period_start = now
+        self._working_seconds = 0.0
+        self._stats = {}
+        self._inconsistent = 0
+
+    def flush(self, now: float | None = None) -> list[UsageReport]:
+        """Cut a final partial report (if any data) and return all reports."""
+        if self._period_start is not None and (
+            self._working_seconds > 0 or self._stats or self._inconsistent
+        ):
+            end = now if now is not None else (
+                self._last_activity_time
+                if self._last_activity_time is not None
+                else self._period_start
+            )
+            self._cut_report(end)
+            self._period_start = None
+        reports, self._reports = self._reports, []
+        return reports

@@ -1,0 +1,221 @@
+"""CAN signal catalog for industrial vehicles.
+
+Section 1 of the paper: "The CAN bus provides access to various signals
+describing the vehicle usage state (e.g., working time, oil pressure,
+temperature, engine speed)."  This module defines a J1939-flavoured signal
+dictionary: every signal has a *suspect parameter number* (SPN)-style id, a
+physical range, and the linear ``raw = (value - offset) / resolution``
+encoding used to pack values into CAN frame bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SignalSpec",
+    "SignalCatalog",
+    "ENGINE_SPEED",
+    "OIL_PRESSURE",
+    "COOLANT_TEMPERATURE",
+    "FUEL_RATE",
+    "VEHICLE_SPEED",
+    "HYDRAULIC_PRESSURE",
+    "ENGINE_LOAD",
+    "DEFAULT_CATALOG",
+]
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """Definition of one CAN-carried physical signal.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"engine_speed"``.
+    spn:
+        Numeric id, unique within a catalog (J1939 SPN style).
+    unit:
+        Physical unit string, for reports.
+    minimum, maximum:
+        Physical validity range; values outside are *inconsistent* in the
+        Section-3 data-cleaning sense.
+    resolution:
+        Physical units per raw count in the frame encoding.
+    offset:
+        Physical value of raw count zero.
+    byte_length:
+        Bytes the raw value occupies inside a frame (1, 2 or 4).
+    working_threshold:
+        Level above which the signal indicates the vehicle is *working*
+        (only meaningful for activity signals such as engine speed).
+    """
+
+    name: str
+    spn: int
+    unit: str
+    minimum: float
+    maximum: float
+    resolution: float = 1.0
+    offset: float = 0.0
+    byte_length: int = 2
+    working_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.minimum >= self.maximum:
+            raise ValueError(
+                f"Signal {self.name!r}: minimum {self.minimum} must be "
+                f"below maximum {self.maximum}."
+            )
+        if self.resolution <= 0:
+            raise ValueError(
+                f"Signal {self.name!r}: resolution must be positive."
+            )
+        if self.byte_length not in (1, 2, 4):
+            raise ValueError(
+                f"Signal {self.name!r}: byte_length must be 1, 2 or 4."
+            )
+
+    @property
+    def raw_max(self) -> int:
+        return (1 << (8 * self.byte_length)) - 1
+
+    def encode(self, value: float) -> int:
+        """Physical value -> raw counts, clipped to the representable range."""
+        raw = int(round((value - self.offset) / self.resolution))
+        return int(np.clip(raw, 0, self.raw_max))
+
+    def decode(self, raw: int) -> float:
+        """Raw counts -> physical value."""
+        if not 0 <= raw <= self.raw_max:
+            raise ValueError(
+                f"Raw value {raw} outside [0, {self.raw_max}] for signal "
+                f"{self.name!r}."
+            )
+        return raw * self.resolution + self.offset
+
+    def is_consistent(self, value: float) -> bool:
+        """True if ``value`` lies in the physical validity range."""
+        return bool(np.isfinite(value)) and self.minimum <= value <= self.maximum
+
+
+ENGINE_SPEED = SignalSpec(
+    name="engine_speed",
+    spn=190,
+    unit="rpm",
+    minimum=0.0,
+    maximum=8000.0,
+    resolution=0.125,
+    working_threshold=900.0,
+)
+OIL_PRESSURE = SignalSpec(
+    name="oil_pressure",
+    spn=100,
+    unit="kPa",
+    minimum=0.0,
+    maximum=1000.0,
+    resolution=4.0,
+    byte_length=1,
+)
+COOLANT_TEMPERATURE = SignalSpec(
+    name="coolant_temperature",
+    spn=110,
+    unit="degC",
+    minimum=-40.0,
+    maximum=210.0,
+    resolution=1.0,
+    offset=-40.0,
+    byte_length=1,
+)
+FUEL_RATE = SignalSpec(
+    name="fuel_rate",
+    spn=183,
+    unit="L/h",
+    minimum=0.0,
+    maximum=3212.75,
+    resolution=0.05,
+)
+VEHICLE_SPEED = SignalSpec(
+    name="vehicle_speed",
+    spn=84,
+    unit="km/h",
+    minimum=0.0,
+    maximum=250.0,
+    resolution=1.0 / 256.0,
+)
+HYDRAULIC_PRESSURE = SignalSpec(
+    name="hydraulic_pressure",
+    spn=1762,
+    unit="bar",
+    minimum=0.0,
+    maximum=655.0,
+    resolution=0.01,
+)
+ENGINE_LOAD = SignalSpec(
+    name="engine_load",
+    spn=92,
+    unit="%",
+    minimum=0.0,
+    maximum=125.0,
+    resolution=1.0,
+    byte_length=1,
+)
+
+
+class SignalCatalog:
+    """Registry of :class:`SignalSpec` entries, addressable by name or SPN."""
+
+    def __init__(self, specs=()):
+        self._by_name: dict[str, SignalSpec] = {}
+        self._by_spn: dict[int, SignalSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: SignalSpec) -> None:
+        if spec.name in self._by_name:
+            raise ValueError(f"Duplicate signal name {spec.name!r}.")
+        if spec.spn in self._by_spn:
+            raise ValueError(f"Duplicate SPN {spec.spn}.")
+        self._by_name[spec.name] = spec
+        self._by_spn[spec.spn] = spec
+
+    def by_name(self, name: str) -> SignalSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"Unknown signal {name!r}.") from None
+
+    def by_spn(self, spn: int) -> SignalSpec:
+        try:
+            return self._by_spn[spn]
+        except KeyError:
+            raise KeyError(f"Unknown SPN {spn}.") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._by_name)
+
+
+DEFAULT_CATALOG = SignalCatalog(
+    [
+        ENGINE_SPEED,
+        OIL_PRESSURE,
+        COOLANT_TEMPERATURE,
+        FUEL_RATE,
+        VEHICLE_SPEED,
+        HYDRAULIC_PRESSURE,
+        ENGINE_LOAD,
+    ]
+)

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.series import VehicleSeries
+from repro.fleet.generator import FleetGenerator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def regression_data(rng):
+    """A mildly non-linear regression problem: (X_train, y_train, X_test, y_test)."""
+    X = rng.uniform(-3, 3, size=(400, 5))
+    y = (
+        np.sin(X[:, 0]) * 3.0
+        + X[:, 1] ** 2
+        + 0.5 * X[:, 2]
+        + rng.normal(0, 0.1, 400)
+    )
+    return X[:300], y[:300], X[300:], y[300:]
+
+
+@pytest.fixture
+def linear_data(rng):
+    """An exactly linear problem (plus tiny noise)."""
+    X = rng.uniform(-2, 2, size=(200, 3))
+    coef = np.array([2.0, -1.0, 0.5])
+    y = X @ coef + 3.0 + rng.normal(0, 1e-9, 200)
+    return X, y, coef, 3.0
+
+
+@pytest.fixture(scope="session")
+def small_fleet():
+    """A 6-vehicle fleet over ~2.2 years — fast to generate, has cycles."""
+    return FleetGenerator(
+        n_vehicles=6,
+        start_date=dt.date(2015, 1, 1),
+        end_date=dt.date(2017, 3, 31),
+        seed=7,
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def paper_fleet():
+    """The full paper-scale fleet (24 vehicles, 2015-2019)."""
+    return FleetGenerator(seed=0).generate()
+
+
+@pytest.fixture
+def steady_series() -> VehicleSeries:
+    """A deterministic constant-usage vehicle: 20 000 s/day, T_v = 2e5.
+
+    One cycle completes every 10 days exactly, so every derived value
+    can be asserted by hand.
+    """
+    usage = np.full(35, 20_000.0)
+    return VehicleSeries(vehicle_id="steady", usage=usage, t_v=200_000.0)

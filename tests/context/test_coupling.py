@@ -1,0 +1,73 @@
+"""Unit tests for repro.context.coupling."""
+
+import numpy as np
+import pytest
+
+from repro.context.coupling import WeatherCoupling, apply_weather_to_usage
+from repro.context.weather import WeatherSeries
+
+
+def weather(temperature, precipitation):
+    return WeatherSeries(
+        temperature=np.asarray(temperature, dtype=float),
+        precipitation=np.asarray(precipitation, dtype=float),
+    )
+
+
+class TestApplyWeather:
+    def test_dry_mild_days_untouched(self):
+        usage = np.full(5, 20_000.0)
+        w = weather([15.0] * 5, [0.0] * 5)
+        out = apply_weather_to_usage(usage, w, rng=0)
+        assert np.array_equal(out, usage)
+
+    def test_heavy_rain_stops_work_probabilistically(self):
+        usage = np.full(1000, 20_000.0)
+        w = weather([15.0] * 1000, [20.0] * 1000)
+        coupling = WeatherCoupling(rain_stop_probability=0.6)
+        out = apply_weather_to_usage(usage, w, coupling, rng=0)
+        stopped = (out == 0.0).mean()
+        assert 0.5 < stopped < 0.7
+        # Non-stopped rain days are slowed, not untouched.
+        proceeding = out[out > 0]
+        assert np.allclose(proceeding, 20_000.0 * coupling.rain_slowdown)
+
+    def test_freezing_slowdown(self):
+        usage = np.full(4, 10_000.0)
+        w = weather([-3.0, -1.0, 5.0, 8.0], [0.0] * 4)
+        out = apply_weather_to_usage(
+            usage, w, WeatherCoupling(freezing_slowdown=0.5), rng=0
+        )
+        assert np.allclose(out, [5_000.0, 5_000.0, 10_000.0, 10_000.0])
+
+    def test_original_array_untouched(self):
+        usage = np.full(3, 10_000.0)
+        w = weather([-3.0] * 3, [0.0] * 3)
+        apply_weather_to_usage(usage, w, rng=0)
+        assert np.all(usage == 10_000.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="days"):
+            apply_weather_to_usage(
+                np.zeros(3), weather([1.0] * 2, [0.0] * 2)
+            )
+
+    def test_deterministic_for_seed(self):
+        usage = np.full(200, 20_000.0)
+        w = weather([10.0] * 200, [15.0] * 200)
+        a = apply_weather_to_usage(usage, w, rng=7)
+        b = apply_weather_to_usage(usage, w, rng=7)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"heavy_rain_mm": 0.0},
+            {"rain_stop_probability": 1.5},
+            {"rain_slowdown": -0.1},
+            {"freezing_slowdown": 2.0},
+        ],
+    )
+    def test_invalid_coupling(self, kwargs):
+        with pytest.raises(ValueError):
+            WeatherCoupling(**kwargs)

@@ -1,0 +1,124 @@
+"""Unit tests for repro.context.features."""
+
+import numpy as np
+import pytest
+
+from repro.context.features import ContextFeatureBuilder
+from repro.context.weather import WeatherSimulator
+from repro.core.cycles import derive_series
+from repro.dataprep.transformation import build_relational_dataset
+
+
+@pytest.fixture
+def dataset():
+    usage = np.full(40, 20_000.0)
+    return build_relational_dataset(derive_series(usage, 200_000.0), window=2)
+
+
+@pytest.fixture
+def weather():
+    return WeatherSimulator().generate(40, rng=0)
+
+
+class TestContextFeatureBuilder:
+    def test_appends_expected_columns(self, dataset, weather):
+        builder = ContextFeatureBuilder(lookback=7, forecast_horizon=7)
+        out = builder.augment(dataset, weather)
+        assert out.X.shape == (dataset.n_records, dataset.X.shape[1] + 6)
+        assert out.feature_names[: dataset.X.shape[1]] == dataset.feature_names
+        assert "temp_mean_back7" in out.feature_names
+        assert "rain_days_fwd7" in out.feature_names
+
+    def test_backward_only_mode(self, dataset, weather):
+        builder = ContextFeatureBuilder(lookback=5, forecast_horizon=0)
+        out = builder.augment(dataset, weather)
+        assert out.X.shape[1] == dataset.X.shape[1] + 3
+        assert not any("fwd" in name for name in out.feature_names)
+
+    def test_backward_features_match_manual(self, dataset, weather):
+        builder = ContextFeatureBuilder(lookback=3, forecast_horizon=0)
+        out = builder.augment(dataset, weather)
+        row = 5
+        day = int(out.t_index[row])
+        expected_temp = weather.temperature[day - 3 : day].mean()
+        temp_col = out.feature_names.index("temp_mean_back3")
+        assert out.X[row, temp_col] == pytest.approx(expected_temp)
+
+    def test_forecast_noise_perturbs_forward_features(self, dataset, weather):
+        noisy = ContextFeatureBuilder(
+            forecast_horizon=7, forecast_noise_sd=2.0, seed=1
+        ).augment(dataset, weather)
+        oracle = ContextFeatureBuilder(
+            forecast_horizon=7, forecast_noise_sd=0.0
+        ).augment(dataset, weather)
+        fwd_col = noisy.feature_names.index("temp_mean_fwd7")
+        assert not np.allclose(noisy.X[:, fwd_col], oracle.X[:, fwd_col])
+
+    def test_labels_and_index_preserved(self, dataset, weather):
+        out = ContextFeatureBuilder().augment(dataset, weather)
+        assert np.array_equal(out.y, dataset.y)
+        assert np.array_equal(out.t_index, dataset.t_index)
+
+    def test_weather_too_short(self, dataset):
+        short = WeatherSimulator().generate(10, rng=0)
+        with pytest.raises(ValueError, match="too short"):
+            ContextFeatureBuilder().augment(dataset, short)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lookback": 0},
+            {"forecast_horizon": -1},
+            {"forecast_noise_sd": -0.5},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            ContextFeatureBuilder(**kwargs)
+
+    def test_deterministic_forecast_noise(self, dataset, weather):
+        a = ContextFeatureBuilder(seed=3).augment(dataset, weather)
+        b = ContextFeatureBuilder(seed=3).augment(dataset, weather)
+        assert np.array_equal(a.X, b.X)
+
+
+class TestContextImprovesWeatherCoupledPrediction:
+    def test_weather_features_help_on_coupled_fleet(self):
+        """On weather-coupled usage, forecast features cut the error."""
+        from repro.context.coupling import apply_weather_to_usage
+        from repro.core.errors import mean_residual_error
+        from repro.learn.forest import RandomForestRegressor
+
+        rng = np.random.default_rng(0)
+        n_days = 900
+        weather = WeatherSimulator(wet_day_probability=0.35).generate(
+            n_days, rng=1
+        )
+        base = np.where(
+            rng.random(n_days) < 0.85,
+            rng.normal(22_000, 3_000, n_days).clip(0, 86_400),
+            0.0,
+        )
+        usage = apply_weather_to_usage(base, weather, rng=2)
+        bundle = derive_series(usage, 1_000_000.0)
+        dataset = build_relational_dataset(bundle, window=3)
+        cut = int(0.7 * n_days)
+        train_mask = dataset.t_index < cut
+        test_mask = ~train_mask
+
+        def emre(X):
+            model = RandomForestRegressor(
+                n_estimators=40, max_depth=12, random_state=0
+            )
+            model.fit(X[train_mask], dataset.y[train_mask])
+            return mean_residual_error(
+                dataset.y[test_mask], model.predict(X[test_mask])
+            )
+
+        plain = emre(dataset.X)
+        contextual = ContextFeatureBuilder(
+            lookback=7, forecast_horizon=10, forecast_noise_sd=1.0
+        ).augment(dataset, weather)
+        enriched = emre(contextual.X)
+        # Weather features must not hurt and typically help on coupled data.
+        assert enriched <= plain * 1.1

@@ -1,0 +1,81 @@
+"""Unit tests for repro.context.movements."""
+
+import numpy as np
+import pytest
+
+from repro.context.movements import (
+    days_since_relocation,
+    infer_relocations,
+)
+
+
+def usage_with_gap(before=20, gap=15, after=20, level=20_000.0):
+    return np.concatenate(
+        [np.full(before, level), np.zeros(gap), np.full(after, level)]
+    )
+
+
+class TestInferRelocations:
+    def test_long_gap_detected(self):
+        events = infer_relocations(usage_with_gap(gap=15), min_gap_days=10)
+        assert len(events) == 1
+        assert events[0].start == 20
+        assert events[0].end == 34
+        assert events[0].n_days == 15
+
+    def test_short_gap_ignored(self):
+        events = infer_relocations(usage_with_gap(gap=5), min_gap_days=10)
+        assert events == []
+
+    def test_trailing_gap_detected(self):
+        usage = np.concatenate([np.full(10, 1.0), np.zeros(12)])
+        events = infer_relocations(usage, min_gap_days=10)
+        assert len(events) == 1
+        assert events[0].end == 21
+
+    def test_multiple_gaps(self):
+        usage = np.concatenate(
+            [np.ones(5), np.zeros(11), np.ones(5), np.zeros(20), np.ones(3)]
+        )
+        events = infer_relocations(usage, min_gap_days=10)
+        assert len(events) == 2
+
+    def test_no_usage_at_all(self):
+        events = infer_relocations(np.zeros(30), min_gap_days=10)
+        assert len(events) == 1
+        assert events[0].n_days == 30
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            infer_relocations(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            infer_relocations(np.zeros(5), min_gap_days=0)
+
+
+class TestDaysSinceRelocation:
+    def test_counts_up_after_gap(self):
+        usage = usage_with_gap(before=5, gap=12, after=5)
+        out = days_since_relocation(usage, min_gap_days=10)
+        # During the relocation: 0; right after: 1, 2, ...
+        assert np.all(out[5:17] == 0.0)
+        assert out[17] == 1.0
+        assert out[21] == 5.0
+
+    def test_horizon_cap_before_any_event(self):
+        usage = usage_with_gap(before=5, gap=12, after=5)
+        out = days_since_relocation(usage, min_gap_days=10, horizon=365)
+        assert np.all(out[:5] == 365.0)
+
+    def test_all_active_series_is_capped_everywhere(self):
+        out = days_since_relocation(np.full(20, 1.0), min_gap_days=10)
+        assert np.all(out == 365.0)
+
+    def test_feature_length_matches_usage(self):
+        usage = usage_with_gap()
+        assert days_since_relocation(usage).shape == usage.shape
+
+    def test_real_regime_switcher_has_relocations(self, paper_fleet):
+        """The regime-switcher archetype parks for weeks: events exist."""
+        usage = paper_fleet["v02"].usage
+        events = infer_relocations(usage, min_gap_days=14)
+        assert len(events) >= 1

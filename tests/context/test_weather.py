@@ -1,0 +1,80 @@
+"""Unit tests for repro.context.weather."""
+
+import numpy as np
+import pytest
+
+from repro.context.weather import WeatherSeries, WeatherSimulator
+
+
+class TestWeatherSimulator:
+    def test_shapes_and_determinism(self):
+        sim = WeatherSimulator()
+        a = sim.generate(400, rng=0)
+        b = sim.generate(400, rng=0)
+        assert a.n_days == 400
+        assert np.array_equal(a.temperature, b.temperature)
+        assert np.array_equal(a.precipitation, b.precipitation)
+
+    def test_seasonal_swing(self):
+        sim = WeatherSimulator(
+            mean_temperature=12.0, seasonal_amplitude=10.0, noise_sd=0.0
+        )
+        weather = sim.generate(730, rng=0)
+        # Peak-to-trough should be about twice the amplitude.
+        swing = weather.temperature.max() - weather.temperature.min()
+        assert swing == pytest.approx(20.0, rel=0.05)
+
+    def test_mean_temperature(self):
+        sim = WeatherSimulator(mean_temperature=5.0)
+        weather = sim.generate(3650, rng=1)
+        assert weather.temperature.mean() == pytest.approx(5.0, abs=1.0)
+
+    def test_wet_day_fraction(self):
+        sim = WeatherSimulator(wet_day_probability=0.3)
+        weather = sim.generate(3650, rng=2)
+        wet = (weather.precipitation > 0).mean()
+        assert 0.2 < wet < 0.4
+
+    def test_precipitation_nonnegative(self):
+        weather = WeatherSimulator().generate(1000, rng=3)
+        assert weather.precipitation.min() >= 0.0
+
+    def test_temperature_autocorrelated(self):
+        sim = WeatherSimulator(
+            seasonal_amplitude=0.0, noise_sd=3.0, ar_coefficient=0.8
+        )
+        weather = sim.generate(2000, rng=4)
+        t = weather.temperature - weather.temperature.mean()
+        lag1 = np.corrcoef(t[:-1], t[1:])[0, 1]
+        assert lag1 > 0.6
+
+    def test_masks(self):
+        weather = WeatherSeries(
+            temperature=np.array([-5.0, 10.0]),
+            precipitation=np.array([0.0, 20.0]),
+        )
+        assert weather.is_freezing().tolist() == [True, False]
+        assert weather.is_heavy_rain().tolist() == [False, True]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ar_coefficient": 1.0},
+            {"wet_day_probability": 0.0},
+            {"wet_season_amplitude": 1.0},
+            {"rain_shape": 0.0},
+            {"noise_sd": -1.0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            WeatherSimulator(**kwargs)
+
+    def test_zero_days(self):
+        assert WeatherSimulator().generate(0, rng=0).n_days == 0
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            WeatherSeries(
+                temperature=np.zeros(3), precipitation=np.zeros(2)
+            )

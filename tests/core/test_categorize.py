@@ -1,0 +1,73 @@
+"""Unit tests for repro.core.categorize (Section 2 vehicle classes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.categorize import (
+    VehicleCategory,
+    categorize,
+    categorize_usage,
+)
+from repro.core.series import VehicleSeries
+
+
+class TestCategorizeUsage:
+    def test_new_below_half_budget(self):
+        assert categorize_usage(np.full(3, 10.0), t_v=100.0) == VehicleCategory.NEW
+
+    def test_semi_new_at_half_budget(self):
+        assert categorize_usage([50.0], t_v=100.0) == VehicleCategory.SEMI_NEW
+
+    def test_semi_new_below_full_budget(self):
+        assert categorize_usage([99.0], t_v=100.0) == VehicleCategory.SEMI_NEW
+
+    def test_old_at_full_budget(self):
+        assert categorize_usage([100.0], t_v=100.0) == VehicleCategory.OLD
+
+    def test_empty_history_is_new(self):
+        assert categorize_usage(np.zeros(0), t_v=100.0) == VehicleCategory.NEW
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError, match="t_v"):
+            categorize_usage([1.0], t_v=0.0)
+
+    def test_nan_usage_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            categorize_usage([np.nan], t_v=10.0)
+
+
+class TestCategorizeSeries:
+    def test_full_history(self, steady_series):
+        assert categorize(steady_series) == VehicleCategory.OLD
+
+    def test_as_of_day_rewinds(self, steady_series):
+        # T_v = 200 000 at 20 000/day: new until day 5, old from day 10.
+        assert categorize(steady_series, as_of_day=3) == VehicleCategory.NEW
+        assert categorize(steady_series, as_of_day=5) == VehicleCategory.SEMI_NEW
+        assert categorize(steady_series, as_of_day=10) == VehicleCategory.OLD
+
+    def test_as_of_day_zero_is_new(self, steady_series):
+        assert categorize(steady_series, as_of_day=0) == VehicleCategory.NEW
+
+    def test_as_of_day_bounds(self, steady_series):
+        with pytest.raises(ValueError):
+            categorize(steady_series, as_of_day=99)
+
+    def test_category_progression_is_monotone(self, paper_fleet):
+        """A vehicle never regresses from old back to semi-new or new."""
+        order = {
+            VehicleCategory.NEW: 0,
+            VehicleCategory.SEMI_NEW: 1,
+            VehicleCategory.OLD: 2,
+        }
+        vehicle = paper_fleet.vehicles[0]
+        series = VehicleSeries.from_vehicle(vehicle)
+        checkpoints = range(0, series.n_days, 50)
+        ranks = [order[categorize(series, as_of_day=d)] for d in checkpoints]
+        assert ranks == sorted(ranks)
+
+    def test_paper_fleet_all_old_by_end(self, paper_fleet):
+        """After 4.75 years every calibrated vehicle has completed cycles."""
+        for vehicle in paper_fleet:
+            series = VehicleSeries.from_vehicle(vehicle)
+            assert categorize(series) == VehicleCategory.OLD

@@ -1,0 +1,208 @@
+"""Unit tests for repro.core.coldstart (Section 4.4)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.coldstart import (
+    ColdStartConfig,
+    ColdStartExperiment,
+    aggregate_by_label,
+    first_cycle_dataset,
+    half_cycle_day,
+)
+from repro.core.series import VehicleSeries
+from repro.fleet.generator import FleetGenerator
+
+
+@pytest.fixture(scope="module")
+def fleet_series():
+    fleet = FleetGenerator(
+        n_vehicles=8,
+        start_date=dt.date(2015, 1, 1),
+        end_date=dt.date(2017, 6, 30),
+        seed=3,
+    ).generate()
+    return [VehicleSeries.from_vehicle(v) for v in fleet]
+
+
+class TestHalfCycleDay:
+    def test_steady_vehicle(self, steady_series):
+        # T_v/2 = 100 000 reached at the end of day 4 -> semi-new from day 5.
+        assert half_cycle_day(steady_series) == 5
+
+    def test_never_reaching_half_raises(self):
+        series = VehicleSeries("slow", np.full(10, 1.0), t_v=1e6)
+        with pytest.raises(ValueError, match="never reaches"):
+            half_cycle_day(series)
+
+
+class TestFirstCycleDataset:
+    def test_covers_only_first_cycle(self, steady_series):
+        dataset = first_cycle_dataset(steady_series, window=0)
+        first = steady_series.first_cycle()
+        assert dataset.t_index.min() >= first.start
+        assert dataset.t_index.max() <= first.end
+
+    def test_incomplete_first_cycle_rejected(self):
+        series = VehicleSeries("young", np.full(5, 10.0), t_v=1e6)
+        with pytest.raises(ValueError, match="not completed"):
+            first_cycle_dataset(series, window=0)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": -1},
+            {"horizon": ()},
+            {"train_fraction": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ColdStartConfig(**kwargs)
+
+    def test_default_measure_is_average_usage(self):
+        assert ColdStartConfig().similarity_measure == "average_usage"
+
+
+class TestSplitFleet:
+    def test_seventeen_seven_style_split(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(seed=0))
+        train, test = experiment.split_fleet(fleet_series)
+        assert len(train) + len(test) == len(fleet_series)
+        assert len(train) == round(0.7 * len(fleet_series))
+        train_ids = {s.vehicle_id for s in train}
+        test_ids = {s.vehicle_id for s in test}
+        assert train_ids.isdisjoint(test_ids)
+
+    def test_deterministic(self, fleet_series):
+        a = ColdStartExperiment(ColdStartConfig(seed=5)).split_fleet(fleet_series)
+        b = ColdStartExperiment(ColdStartConfig(seed=5)).split_fleet(fleet_series)
+        assert [s.vehicle_id for s in a[0]] == [s.vehicle_id for s in b[0]]
+
+    def test_too_few_vehicles(self, steady_series):
+        experiment = ColdStartExperiment()
+        with pytest.raises(ValueError, match="at least 2"):
+            experiment.split_fleet([steady_series])
+
+
+class TestUnifiedModel:
+    def test_trains_on_merged_first_cycles(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(window=0))
+        train, test = experiment.split_fleet(fleet_series)
+        predictor = experiment.fit_unified(train, "LR")
+        target = test[0]
+        dataset = first_cycle_dataset(target, window=0)
+        pred = predictor.predict(dataset.X)
+        assert pred.shape == dataset.y.shape
+        assert np.isfinite(pred).all()
+
+
+class TestSimilarityModel:
+    def test_donor_comes_from_training_pool(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(window=0))
+        train, test = experiment.split_fleet(fleet_series)
+        _, donor_id = experiment.fit_similarity(test[0], train, "LR")
+        assert donor_id in {s.vehicle_id for s in train}
+
+    def test_donor_minimizes_average_usage_gap(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(window=0))
+        train, test = experiment.split_fleet(fleet_series)
+        target = test[0]
+        _, donor_id = experiment.fit_similarity(target, train, "LR")
+        target_avg = experiment._first_half_usage(target).mean()
+        gaps = {
+            s.vehicle_id: abs(
+                experiment._first_half_usage(s).mean() - target_avg
+            )
+            for s in train
+        }
+        assert donor_id == min(gaps, key=gaps.get)
+
+    def test_custom_measure_respected(self, fleet_series):
+        config = ColdStartConfig(window=0, similarity_measure="euclidean")
+        experiment = ColdStartExperiment(config)
+        train, test = experiment.split_fleet(fleet_series)
+        _, donor_id = experiment.fit_similarity(test[0], train, "LR")
+        assert donor_id in {s.vehicle_id for s in train}
+
+
+class TestEvaluation:
+    def test_semi_new_scores_second_half_only(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(window=0))
+        train, test = experiment.split_fleet(fleet_series)
+        target = test[0]
+        dataset = experiment._eval_dataset(target, era="semi_new")
+        assert dataset.t_index.min() >= half_cycle_day(target)
+
+    def test_new_era_scores_first_half_only(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(window=0))
+        train, test = experiment.split_fleet(fleet_series)
+        target = test[0]
+        dataset = experiment._eval_dataset(target, era="new")
+        assert dataset.t_index.max() < half_cycle_day(target)
+
+    def test_full_era_is_union(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(window=0))
+        _, test = experiment.split_fleet(fleet_series)
+        target = test[0]
+        full = experiment._eval_dataset(target, era="full")
+        semi = experiment._eval_dataset(target, era="semi_new")
+        new = experiment._eval_dataset(target, era="new")
+        assert full.n_records == semi.n_records + new.n_records
+
+    def test_unknown_era(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(window=0))
+        with pytest.raises(ValueError, match="era"):
+            experiment._eval_dataset(fleet_series[0], era="ancient")
+
+
+class TestFullProtocol:
+    def test_semi_new_rows(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(window=0, seed=1))
+        train, test = experiment.split_fleet(fleet_series)
+        results = experiment.run_semi_new(train, test[:2], ["LR"])
+        labels = {r.label for r in results}
+        assert labels == {"BL", "LR_Sim", "LR_Uni"}
+        # One BL + one Sim + one Uni per test vehicle.
+        assert len(results) == 2 * 3
+
+    def test_new_rows_are_uni_only(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(window=0, seed=1))
+        train, test = experiment.split_fleet(fleet_series)
+        results = experiment.run_new(train, test[:2], ["LR", "RF"])
+        assert {r.strategy for r in results} == {"Uni"}
+        assert {r.algorithm for r in results} == {"LR", "RF"}
+
+    def test_bl_excluded_from_model_lists(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(window=0, seed=1))
+        train, test = experiment.split_fleet(fleet_series)
+        results = experiment.run_new(train, test[:1], ["BL", "LR"])
+        assert all(r.algorithm != "BL" for r in results)
+
+    def test_sim_results_carry_donor(self, fleet_series):
+        experiment = ColdStartExperiment(ColdStartConfig(window=0, seed=1))
+        train, test = experiment.split_fleet(fleet_series)
+        results = experiment.run_semi_new(train, test[:1], ["LR"])
+        sim = [r for r in results if r.strategy == "Sim"]
+        assert all(r.donor_id for r in sim)
+
+
+class TestAggregateByLabel:
+    def test_mean_per_label(self, fleet_series):
+        from repro.core.coldstart import ColdStartResult
+
+        results = [
+            ColdStartResult("v1", "LR", "Uni", e_mre=2.0, e_global=1.0, n_eval=5),
+            ColdStartResult("v2", "LR", "Uni", e_mre=4.0, e_global=3.0, n_eval=5),
+            ColdStartResult("v3", "LR", "Uni", e_mre=float("nan"), e_global=1.0, n_eval=0),
+        ]
+        out = aggregate_by_label(results, "e_mre")
+        assert out == {"LR_Uni": 3.0}
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            aggregate_by_label([], "accuracy")

@@ -1,0 +1,146 @@
+"""Unit tests for repro.core.cycles — the Section-2 arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core.cycles import Cycle, derive_series, segment_cycles
+
+
+class TestSegmentCycles:
+    def test_steady_usage_exact_cycles(self):
+        usage = np.full(35, 20_000.0)
+        cycles = segment_cycles(usage, 200_000.0)
+        completed = [c for c in cycles if c.completed]
+        assert len(completed) == 3
+        for order, cycle in enumerate(completed):
+            assert cycle.n_days == 10
+            assert cycle.start == order * 10
+            assert cycle.total_usage == pytest.approx(200_000.0)
+
+    def test_trailing_incomplete_cycle(self):
+        usage = np.full(35, 20_000.0)
+        cycles = segment_cycles(usage, 200_000.0)
+        assert not cycles[-1].completed
+        assert cycles[-1].start == 30
+        assert cycles[-1].end == 34
+        assert cycles[-1].total_usage == pytest.approx(100_000.0)
+
+    def test_budget_exactly_met_completes_that_day(self):
+        usage = np.array([50.0, 50.0])
+        cycles = segment_cycles(usage, 100.0)
+        assert cycles[0].completed
+        assert cycles[0].end == 1
+        assert len(cycles) == 1  # no trailing empty cycle
+
+    def test_one_day_exceeding_budget(self):
+        usage = np.array([500.0, 10.0])
+        cycles = segment_cycles(usage, 100.0)
+        assert cycles[0] == Cycle(start=0, end=0, completed=True, total_usage=500.0)
+
+    def test_never_reaching_budget(self):
+        cycles = segment_cycles(np.full(10, 1.0), 1e6)
+        assert len(cycles) == 1
+        assert not cycles[0].completed
+
+    def test_zero_usage_days_stretch_cycle(self):
+        usage = np.array([50.0, 0.0, 0.0, 50.0])
+        cycles = segment_cycles(usage, 100.0)
+        assert cycles[0].completed
+        assert cycles[0].n_days == 4
+
+    def test_shifted_start(self):
+        usage = np.full(30, 20_000.0)
+        cycles = segment_cycles(usage, 200_000.0, start=5)
+        assert cycles[0].start == 5
+        assert cycles[0].end == 14
+
+    def test_start_at_end_gives_nothing(self):
+        assert segment_cycles(np.ones(5), 10.0, start=5) == []
+
+    def test_empty_series(self):
+        assert segment_cycles(np.zeros(0), 10.0) == []
+
+    @pytest.mark.parametrize(
+        "usage, t_v, start, match",
+        [
+            (np.array([[1.0]]), 10.0, 0, "1-D"),
+            (np.array([np.nan]), 10.0, 0, "NaN"),
+            (np.array([-1.0]), 10.0, 0, "non-negative"),
+            (np.array([1.0]), 0.0, 0, "t_v"),
+            (np.array([1.0]), 10.0, 5, "start"),
+        ],
+    )
+    def test_invalid_inputs(self, usage, t_v, start, match):
+        with pytest.raises(ValueError, match=match):
+            segment_cycles(usage, t_v, start=start)
+
+
+class TestDeriveSeries:
+    def test_days_since_maintenance(self):
+        usage = np.full(25, 20_000.0)
+        bundle = derive_series(usage, 200_000.0)
+        c = bundle.days_since_maintenance
+        assert c[0] == 0
+        assert c[9] == 9
+        assert c[10] == 0  # new cycle starts
+        assert c[19] == 9
+
+    def test_target_counts_down_to_zero(self):
+        usage = np.full(25, 20_000.0)
+        bundle = derive_series(usage, 200_000.0)
+        d = bundle.days_to_maintenance
+        assert d[0] == 9
+        assert d[9] == 0
+        assert d[10] == 9
+
+    def test_usage_left_matches_equation_one(self):
+        usage = np.full(25, 20_000.0)
+        bundle = derive_series(usage, 200_000.0)
+        ell = bundle.usage_left
+        assert ell[0] == 200_000.0  # nothing used yet
+        assert ell[1] == 180_000.0
+        assert ell[9] == 20_000.0
+        assert ell[10] == 200_000.0  # reset at the new cycle
+
+    def test_incomplete_cycle_has_nan_target_but_valid_l(self):
+        usage = np.full(15, 20_000.0)
+        bundle = derive_series(usage, 200_000.0)
+        assert np.isnan(bundle.days_to_maintenance[12])
+        assert bundle.usage_left[12] == pytest.approx(200_000.0 - 2 * 20_000.0)
+        assert bundle.days_since_maintenance[12] == 2
+
+    def test_days_before_start_are_nan_everywhere(self):
+        usage = np.full(25, 20_000.0)
+        bundle = derive_series(usage, 200_000.0, start=5)
+        for series in (
+            bundle.days_to_maintenance,
+            bundle.usage_left,
+            bundle.days_since_maintenance,
+        ):
+            assert np.isnan(series[:5]).all()
+            assert np.isfinite(series[5]).all()
+
+    def test_labeled_mask(self):
+        usage = np.full(15, 20_000.0)
+        bundle = derive_series(usage, 200_000.0)
+        mask = bundle.labeled_mask
+        assert mask[:10].all()
+        assert not mask[10:].any()
+
+    def test_d_decreases_by_one_within_cycle(self, paper_fleet):
+        vehicle = paper_fleet.vehicles[0]
+        bundle = derive_series(vehicle.usage, vehicle.spec.t_v)
+        d = bundle.days_to_maintenance
+        for cycle in bundle.completed_cycles:
+            segment = d[cycle.start : cycle.end + 1]
+            assert np.all(np.diff(segment) == -1)
+            assert segment[-1] == 0
+
+    def test_l_monotone_nonincreasing_within_cycle(self, paper_fleet):
+        vehicle = paper_fleet.vehicles[0]
+        bundle = derive_series(vehicle.usage, vehicle.spec.t_v)
+        for cycle in bundle.completed_cycles:
+            ell = bundle.usage_left[cycle.start : cycle.end + 1]
+            assert np.all(np.diff(ell) <= 1e-9)
+            assert ell[0] == pytest.approx(vehicle.spec.t_v)
+            assert ell[-1] > 0  # budget not exhausted before the last day

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.errors (Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    DEFAULT_HORIZON,
+    daily_errors,
+    global_error,
+    mean_residual_error,
+    residual_error_by_day,
+)
+
+
+class TestDailyErrors:
+    def test_signed_difference(self):
+        out = daily_errors([10.0, 5.0], [8.0, 7.0])
+        assert np.array_equal(out, [2.0, -2.0])
+
+    def test_nan_ground_truth_propagates(self):
+        out = daily_errors([np.nan, 3.0], [1.0, 3.0])
+        assert np.isnan(out[0])
+        assert out[1] == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            daily_errors([1.0], [1.0, 2.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            daily_errors(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestGlobalError:
+    def test_absolute_mean(self):
+        assert global_error([10.0, 10.0], [8.0, 14.0]) == 3.0
+
+    def test_signed_mean_detects_bias(self):
+        assert global_error([10.0, 10.0], [8.0, 14.0], absolute=False) == -1.0
+
+    def test_nan_days_skipped(self):
+        assert global_error([np.nan, 4.0], [0.0, 6.0]) == 2.0
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="No labeled samples"):
+            global_error([np.nan], [1.0])
+
+
+class TestMeanResidualError:
+    def test_default_horizon_is_last_29_days(self):
+        assert DEFAULT_HORIZON == tuple(range(1, 30))
+
+    def test_only_horizon_days_counted(self):
+        d_true = np.array([100.0, 29.0, 5.0, 1.0])
+        d_pred = np.array([0.0, 30.0, 6.0, 2.0])
+        # Day with target 100 is outside {1..29}; others err by 1 each.
+        assert mean_residual_error(d_true, d_pred) == pytest.approx(1.0)
+
+    def test_single_day_horizon(self):
+        d_true = np.array([5.0, 4.0, 5.0])
+        d_pred = np.array([7.0, 0.0, 5.0])
+        assert mean_residual_error(d_true, d_pred, horizon=[5]) == 1.0
+
+    def test_zero_not_in_default_horizon(self):
+        d_true = np.array([0.0])
+        d_pred = np.array([10.0])
+        assert np.isnan(mean_residual_error(d_true, d_pred))
+
+    def test_no_matching_days_gives_nan(self):
+        assert np.isnan(
+            mean_residual_error([500.0], [400.0], horizon=[1, 2, 3])
+        )
+
+    def test_signed_variant(self):
+        d_true = np.array([10.0, 10.0])
+        d_pred = np.array([12.0, 12.0])
+        assert mean_residual_error(d_true, d_pred, absolute=False) == -2.0
+
+    def test_empty_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            mean_residual_error([1.0], [1.0], horizon=[])
+
+    def test_nan_predictions_excluded(self):
+        d_true = np.array([5.0, 5.0])
+        d_pred = np.array([np.nan, 7.0])
+        assert mean_residual_error(d_true, d_pred, horizon=[5]) == 2.0
+
+
+class TestResidualErrorByDay:
+    def test_one_entry_per_day(self):
+        d_true = np.array([1.0, 2.0, 3.0])
+        d_pred = np.array([2.0, 2.0, 0.0])
+        curve = residual_error_by_day(d_true, d_pred, days=[1, 2, 3])
+        assert curve == {1: 1.0, 2: 0.0, 3: 3.0}
+
+    def test_missing_days_are_nan(self):
+        curve = residual_error_by_day([5.0], [5.0], days=[5, 6])
+        assert curve[5] == 0.0
+        assert np.isnan(curve[6])
+
+    def test_error_grows_away_from_deadline_for_rate_bias(self):
+        """A 20%-biased rate predictor errs proportionally to D."""
+        d_true = np.arange(1.0, 30.0)
+        d_pred = d_true * 1.2
+        curve = residual_error_by_day(d_true, d_pred)
+        assert curve[29] > curve[1]
+        assert curve[29] == pytest.approx(29 * 0.2)

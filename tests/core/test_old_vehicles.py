@@ -1,0 +1,153 @@
+"""Unit tests for repro.core.old_vehicles (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.old_vehicles import (
+    FleetResult,
+    OldVehicleConfig,
+    OldVehicleExperiment,
+    select_best_algorithm,
+)
+from repro.core.series import VehicleSeries
+
+
+@pytest.fixture(scope="module")
+def fleet_series(small_fleet):
+    return [VehicleSeries.from_vehicle(v) for v in small_fleet]
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    import datetime as dt
+
+    from repro.fleet.generator import FleetGenerator
+
+    return FleetGenerator(
+        n_vehicles=6,
+        start_date=dt.date(2015, 1, 1),
+        end_date=dt.date(2017, 3, 31),
+        seed=7,
+    ).generate()
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": -1},
+            {"train_fraction": 0.0},
+            {"train_fraction": 1.0},
+            {"horizon": ()},
+            {"n_shifts": -2},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            OldVehicleConfig(**kwargs)
+
+    def test_defaults_match_paper(self):
+        config = OldVehicleConfig()
+        assert config.train_fraction == 0.7
+        assert config.horizon == tuple(range(1, 30))
+        assert config.cv_splits == 5
+
+
+class TestRunVehicle:
+    def test_result_fields(self, fleet_series):
+        experiment = OldVehicleExperiment(OldVehicleConfig(window=0))
+        result = experiment.run_vehicle(fleet_series[0], "LR")
+        assert result.vehicle_id == fleet_series[0].vehicle_id
+        assert result.algorithm == "LR"
+        assert result.n_train > 0 and result.n_test > 0
+        assert result.d_true.shape == result.d_pred.shape
+        assert result.fit_seconds >= 0.0
+        assert np.isfinite(result.e_global)
+
+    def test_temporal_split_no_overlap(self, fleet_series):
+        experiment = OldVehicleExperiment(OldVehicleConfig(window=0))
+        series = fleet_series[0]
+        result = experiment.run_vehicle(series, "LR")
+        cut = int(round(0.7 * series.n_days))
+        assert result.t_index.min() >= cut
+
+    def test_restriction_trains_on_horizon_only(self, fleet_series):
+        config = OldVehicleConfig(window=0, restrict_to_horizon=True)
+        experiment = OldVehicleExperiment(config)
+        series = fleet_series[0]
+        cut = int(round(0.7 * series.n_days))
+        dataset = experiment._train_dataset(series, cut)
+        assert set(np.unique(dataset.y.astype(int))) <= set(range(1, 30))
+
+    def test_augmentation_grows_training_set(self, fleet_series):
+        series = fleet_series[0]
+        cut = int(round(0.7 * series.n_days))
+        plain = OldVehicleExperiment(OldVehicleConfig(window=0))
+        augmented = OldVehicleExperiment(
+            OldVehicleConfig(window=0, n_shifts=4, seed=1)
+        )
+        assert (
+            augmented._train_dataset(series, cut).n_records
+            > plain._train_dataset(series, cut).n_records
+        )
+
+    def test_bl_prediction_is_l_over_avg(self, steady_series):
+        experiment = OldVehicleExperiment(OldVehicleConfig(window=0))
+        result = experiment.run_vehicle(steady_series, "BL")
+        # Constant usage: Eq. 6 (D = L / AVG) counts the remaining *work
+        # days including today*, while D counts days *until* the
+        # maintenance day — a systematic off-by-one the paper's formula
+        # carries.  For a perfectly steady vehicle the error is exactly 1.
+        assert result.e_global == pytest.approx(1.0, abs=1e-9)
+
+    def test_ml_beats_noise_on_steady_vehicle(self, steady_series):
+        experiment = OldVehicleExperiment(OldVehicleConfig(window=0))
+        result = experiment.run_vehicle(steady_series, "LR")
+        assert result.e_global < 1.0
+
+
+class TestRunFleet:
+    def test_one_result_per_vehicle(self, fleet_series):
+        experiment = OldVehicleExperiment(OldVehicleConfig(window=0))
+        fleet_result = experiment.run_fleet(fleet_series, "LR")
+        assert len(fleet_result.results) == len(fleet_series)
+
+    def test_emre_is_mean_of_finite_vehicle_values(self, fleet_series):
+        experiment = OldVehicleExperiment(OldVehicleConfig(window=0))
+        fleet_result = experiment.run_fleet(fleet_series, "LR")
+        values = [r.e_mre for r in fleet_result.results]
+        finite = [v for v in values if np.isfinite(v)]
+        assert fleet_result.e_mre == pytest.approx(np.mean(finite))
+
+    def test_empty_fleet_rejected(self):
+        experiment = OldVehicleExperiment()
+        with pytest.raises(ValueError):
+            experiment.run_fleet([], "LR")
+
+    def test_run_matrix_keys(self, fleet_series):
+        experiment = OldVehicleExperiment(OldVehicleConfig(window=0))
+        out = experiment.run_matrix(fleet_series[:2], ["BL", "LR"])
+        assert list(out) == ["BL", "LR"]
+
+    def test_error_by_day_keys(self, fleet_series):
+        experiment = OldVehicleExperiment(OldVehicleConfig(window=0))
+        fleet_result = experiment.run_fleet(fleet_series, "LR")
+        curve = fleet_result.error_by_day([1, 5, 29])
+        assert set(curve) == {1, 5, 29}
+
+
+class TestSelectBestAlgorithm:
+    def test_returns_candidate_with_lowest_emre(self, fleet_series):
+        best, results = select_best_algorithm(
+            fleet_series[0], ["BL", "LR"], OldVehicleConfig(window=0)
+        )
+        assert best in results
+        finite = {
+            k: v.e_mre for k, v in results.items() if np.isfinite(v.e_mre)
+        }
+        if finite:
+            assert best == min(finite, key=finite.get)
+
+    def test_empty_algorithm_list_rejected(self, fleet_series):
+        with pytest.raises(ValueError):
+            select_best_algorithm(fleet_series[0], [])

@@ -1,0 +1,195 @@
+"""Unit tests for repro.core.planner."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.categorize import VehicleCategory
+from repro.core.planner import (
+    FleetMaintenancePlanner,
+    MaintenanceForecast,
+    ScheduledMaintenance,
+)
+from repro.core.predictors import BaselinePredictor
+from repro.core.series import VehicleSeries
+from repro.dataprep.transformation import build_relational_dataset
+
+TODAY = dt.date(2019, 6, 1)
+
+
+def forecast(vid, days, category=VehicleCategory.OLD):
+    return MaintenanceForecast(
+        vehicle_id=vid,
+        category=category,
+        days_to_maintenance=days,
+        usage_left=days * 20_000.0,
+    )
+
+
+class TestForecastVehicle:
+    def test_live_forecast_from_latest_day(self, steady_series):
+        dataset = build_relational_dataset(steady_series.bundle, window=0)
+        predictor = BaselinePredictor().fit(dataset, steady_series.usage)
+        out = FleetMaintenancePlanner.forecast_vehicle(
+            steady_series, predictor, window=0
+        )
+        # Day 34 is the 5th day of its cycle: L = 120 000 and Eq. 6
+        # says L / AVG = 6 (one above the true D = 5; see the off-by-one
+        # note in tests/core/test_old_vehicles.py).
+        assert out.days_to_maintenance == pytest.approx(6.0)
+        assert out.category == VehicleCategory.OLD
+
+    def test_window_longer_than_history_rejected(self):
+        series = VehicleSeries("x", np.full(3, 100.0), t_v=1e4)
+        predictor = BaselinePredictor()
+        with pytest.raises(ValueError, match="window"):
+            FleetMaintenancePlanner.forecast_vehicle(series, predictor, window=5)
+
+    def test_negative_forecast_rejected_by_dataclass(self):
+        with pytest.raises(ValueError):
+            forecast("v01", -1.0)
+
+
+class TestBuildSchedule:
+    def test_urgent_first(self):
+        planner = FleetMaintenancePlanner(daily_capacity=5)
+        schedule = planner.build_schedule(
+            [forecast("late", 20.0), forecast("soon", 2.0)], TODAY
+        )
+        assert schedule[0].vehicle_id == "soon"
+
+    def test_due_date_computed_from_days(self):
+        planner = FleetMaintenancePlanner()
+        schedule = planner.build_schedule([forecast("v01", 3.4)], TODAY)
+        assert schedule[0].due_date == TODAY + dt.timedelta(days=3)
+        assert schedule[0].scheduled_date == schedule[0].due_date
+
+    def test_capacity_pushes_overflow_later(self):
+        planner = FleetMaintenancePlanner(daily_capacity=1)
+        schedule = planner.build_schedule(
+            [forecast("a", 2.0), forecast("b", 2.0), forecast("c", 2.0)],
+            TODAY,
+        )
+        dates = sorted(s.scheduled_date for s in schedule)
+        assert len(set(dates)) == 3  # one per day
+        slacks = {s.vehicle_id: s.slack_days for s in schedule}
+        assert slacks["a"] == 0
+        assert sorted(slacks.values()) == [0, 1, 2]
+
+    def test_never_scheduled_before_due(self):
+        planner = FleetMaintenancePlanner(daily_capacity=1)
+        schedule = planner.build_schedule(
+            [forecast(f"v{i}", float(i)) for i in range(6)], TODAY
+        )
+        for slot in schedule:
+            assert slot.scheduled_date >= slot.due_date
+
+    def test_horizon_filters_far_vehicles(self):
+        planner = FleetMaintenancePlanner(horizon_days=10)
+        schedule = planner.build_schedule(
+            [forecast("near", 5.0), forecast("far", 50.0)], TODAY
+        )
+        assert [s.vehicle_id for s in schedule] == ["near"]
+
+    def test_mapping_input_accepted(self):
+        planner = FleetMaintenancePlanner()
+        schedule = planner.build_schedule({"v01": forecast("v01", 1.0)}, TODAY)
+        assert len(schedule) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"daily_capacity": 0}, {"horizon_days": 0}]
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            FleetMaintenancePlanner(**kwargs)
+
+
+class TestRender:
+    def test_empty_schedule_message(self):
+        assert "No maintenance" in FleetMaintenancePlanner.render([])
+
+    def test_rendered_rows(self):
+        slot = ScheduledMaintenance(
+            vehicle_id="v07",
+            due_date=TODAY,
+            scheduled_date=TODAY + dt.timedelta(days=1),
+            predicted_days_left=4.2,
+        )
+        text = FleetMaintenancePlanner.render([slot])
+        assert "v07" in text
+        assert "4.2" in text
+
+
+class TestUncertaintyBands:
+    def _rf_predictor(self, series):
+        from repro.core.registry import make_predictor
+        from repro.dataprep.transformation import build_relational_dataset
+
+        dataset = build_relational_dataset(series.bundle, window=0)
+        predictor = make_predictor("RF")
+        predictor.fit(dataset)
+        return predictor
+
+    def test_forecast_carries_band(self, steady_series):
+        predictor = self._rf_predictor(steady_series)
+        out = FleetMaintenancePlanner.forecast_vehicle(
+            steady_series, predictor, window=0, quantiles=(0.1, 0.9)
+        )
+        assert out.days_lower is not None
+        assert out.days_upper is not None
+        assert out.days_lower <= out.days_to_maintenance <= out.days_upper
+
+    def test_band_absent_without_quantiles(self, steady_series):
+        predictor = self._rf_predictor(steady_series)
+        out = FleetMaintenancePlanner.forecast_vehicle(
+            steady_series, predictor, window=0
+        )
+        assert out.days_lower is None
+
+    def test_band_absent_for_models_without_quantiles(self, steady_series):
+        from repro.core.registry import make_predictor
+        from repro.dataprep.transformation import build_relational_dataset
+
+        dataset = build_relational_dataset(steady_series.bundle, window=0)
+        predictor = make_predictor("LR")
+        predictor.fit(dataset)
+        out = FleetMaintenancePlanner.forecast_vehicle(
+            steady_series, predictor, window=0, quantiles=(0.1, 0.9)
+        )
+        assert out.days_lower is None
+
+    def test_invalid_quantiles(self, steady_series):
+        predictor = self._rf_predictor(steady_series)
+        with pytest.raises(ValueError, match="quantiles"):
+            FleetMaintenancePlanner.forecast_vehicle(
+                steady_series, predictor, window=0, quantiles=(0.9, 0.1)
+            )
+
+    def test_conservative_schedule_moves_uncertain_vehicles_earlier(self):
+        planner = FleetMaintenancePlanner(daily_capacity=5)
+        uncertain = MaintenanceForecast(
+            vehicle_id="fuzzy",
+            category=VehicleCategory.OLD,
+            days_to_maintenance=20.0,
+            usage_left=1e6,
+            days_lower=5.0,
+            days_upper=35.0,
+        )
+        point = planner.build_schedule([uncertain], TODAY)
+        conservative = planner.build_schedule(
+            [uncertain], TODAY, conservative=True
+        )
+        assert point[0].due_date == TODAY + dt.timedelta(days=20)
+        assert conservative[0].due_date == TODAY + dt.timedelta(days=5)
+
+    def test_invalid_band_ordering_rejected(self):
+        with pytest.raises(ValueError, match="days_lower"):
+            MaintenanceForecast(
+                vehicle_id="x",
+                category=VehicleCategory.OLD,
+                days_to_maintenance=10.0,
+                usage_left=1.0,
+                days_lower=12.0,
+                days_upper=20.0,
+            )

@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictors import BaselinePredictor, RegressionPredictor
+from repro.dataprep.transformation import build_relational_dataset
+from repro.core.cycles import derive_series
+from repro.learn.linear import LinearRegression
+from repro.learn.tree import DecisionTreeRegressor
+
+
+@pytest.fixture
+def steady_dataset():
+    usage = np.full(35, 20_000.0)
+    bundle = derive_series(usage, 200_000.0)
+    return build_relational_dataset(bundle, window=0), usage
+
+
+class TestBaselinePredictor:
+    def test_equation_five_and_six(self, steady_dataset):
+        dataset, usage = steady_dataset
+        predictor = BaselinePredictor().fit(dataset, usage)
+        assert predictor.average_ == pytest.approx(20_000.0)
+        # D_BL = L / AVG: with L = 200 000 the answer is 10 days.
+        pred = predictor.predict(np.array([[200_000.0], [100_000.0]]))
+        assert pred == pytest.approx([10.0, 5.0])
+
+    def test_idle_days_lower_the_average(self, steady_dataset):
+        dataset, usage = steady_dataset
+        with_idle = usage.copy()
+        with_idle[::2] = 0.0  # half the days idle
+        predictor = BaselinePredictor().fit(dataset, with_idle)
+        # AVG halves, so the predicted days double.
+        assert predictor.predict(np.array([[200_000.0]]))[0] > 15.0
+
+    def test_negative_l_clamped(self, steady_dataset):
+        dataset, usage = steady_dataset
+        predictor = BaselinePredictor().fit(dataset, usage)
+        assert predictor.predict(np.array([[-100.0]]))[0] == 0.0
+
+    def test_zero_usage_vehicle_floored(self, steady_dataset):
+        dataset, _ = steady_dataset
+        predictor = BaselinePredictor(min_average=1.0).fit(
+            dataset, np.zeros(10)
+        )
+        out = predictor.predict(np.array([[1000.0]]))
+        assert np.isfinite(out).all()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            BaselinePredictor().predict(np.zeros((1, 1)))
+
+    def test_fit_requires_usage(self, steady_dataset):
+        dataset, _ = steady_dataset
+        with pytest.raises(ValueError, match="non-empty"):
+            BaselinePredictor().fit(dataset, np.zeros(0))
+
+    def test_nan_usage_rejected(self, steady_dataset):
+        dataset, _ = steady_dataset
+        with pytest.raises(ValueError, match="NaN"):
+            BaselinePredictor().fit(dataset, np.array([np.nan]))
+
+    def test_invalid_min_average(self):
+        with pytest.raises(ValueError):
+            BaselinePredictor(min_average=0.0)
+
+    def test_is_baseline_flag(self):
+        assert BaselinePredictor.is_baseline
+        assert BaselinePredictor.name == "BL"
+
+
+class TestRegressionPredictor:
+    def test_fit_predict(self, steady_dataset):
+        dataset, _ = steady_dataset
+        predictor = RegressionPredictor("LR", LinearRegression())
+        predictor.fit(dataset)
+        pred = predictor.predict(dataset.X)
+        assert np.abs(pred - dataset.y).mean() < 1.0
+
+    def test_clip_negative_default(self, steady_dataset):
+        dataset, _ = steady_dataset
+        predictor = RegressionPredictor("LR", LinearRegression()).fit(dataset)
+        out = predictor.predict(np.array([[-1e7]]))
+        assert out[0] == 0.0
+
+    def test_clip_can_be_disabled(self, steady_dataset):
+        dataset, _ = steady_dataset
+        predictor = RegressionPredictor(
+            "LR", LinearRegression(), clip_negative=False
+        ).fit(dataset)
+        out = predictor.predict(np.array([[-1e7]]))
+        assert out[0] < 0.0
+
+    def test_grid_search_applied(self, steady_dataset):
+        dataset, _ = steady_dataset
+        predictor = RegressionPredictor(
+            "DT",
+            DecisionTreeRegressor(random_state=0),
+            param_grid={"max_depth": [1, 6]},
+            cv_splits=3,
+        ).fit(dataset)
+        assert predictor.best_params_ == {"max_depth": 6}
+
+    def test_template_estimator_not_mutated(self, steady_dataset):
+        dataset, _ = steady_dataset
+        template = LinearRegression()
+        RegressionPredictor("LR", template).fit(dataset)
+        assert not hasattr(template, "coef_")
+
+    def test_empty_dataset_rejected(self, steady_dataset):
+        dataset, _ = steady_dataset
+        empty = type(dataset)(
+            X=np.zeros((0, 1)),
+            y=np.zeros(0),
+            t_index=np.zeros(0, dtype=np.intp),
+            window=0,
+        )
+        with pytest.raises(ValueError, match="empty"):
+            RegressionPredictor("LR", LinearRegression()).fit(empty)
+
+    def test_predict_before_fit(self):
+        predictor = RegressionPredictor("LR", LinearRegression())
+        with pytest.raises(RuntimeError, match="fit"):
+            predictor.predict(np.zeros((1, 1)))
+
+    def test_usage_argument_ignored(self, steady_dataset):
+        dataset, usage = steady_dataset
+        a = RegressionPredictor("LR", LinearRegression()).fit(dataset, usage)
+        b = RegressionPredictor("LR", LinearRegression()).fit(dataset, None)
+        assert np.allclose(a.predict(dataset.X), b.predict(dataset.X))

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the Section-2 cycle arithmetic.
+
+These pin the invariants every other module relies on, over arbitrary
+non-negative usage series and budgets.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.categorize import VehicleCategory, categorize_usage
+from repro.core.cycles import derive_series, segment_cycles
+from repro.dataprep.transformation import build_relational_dataset
+
+usage_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 120),
+    elements=st.floats(min_value=0.0, max_value=86_400.0),
+)
+budgets = st.floats(min_value=1_000.0, max_value=500_000.0)
+
+
+class TestSegmentationProperties:
+    @given(usage_arrays, budgets)
+    def test_cycles_partition_the_series(self, usage, t_v):
+        cycles = segment_cycles(usage, t_v)
+        if not cycles:
+            return
+        assert cycles[0].start == 0
+        assert cycles[-1].end == usage.size - 1
+        for a, b in zip(cycles, cycles[1:]):
+            assert b.start == a.end + 1
+
+    @given(usage_arrays, budgets)
+    def test_completed_cycles_meet_budget(self, usage, t_v):
+        for cycle in segment_cycles(usage, t_v):
+            if cycle.completed:
+                assert cycle.total_usage >= t_v
+                # Budget not already met the day before the last day.
+                before_last = usage[cycle.start : cycle.end].sum()
+                assert before_last < t_v
+            else:
+                assert cycle.total_usage < t_v
+
+    @given(usage_arrays, budgets, st.integers(0, 30))
+    def test_shifted_start_never_sees_earlier_days(self, usage, t_v, start):
+        start = min(start, usage.size)
+        cycles = segment_cycles(usage, t_v, start=start)
+        assert all(c.start >= start for c in cycles)
+
+
+class TestDerivedSeriesProperties:
+    @given(usage_arrays, budgets)
+    def test_d_counts_down_and_l_is_budget_consistent(self, usage, t_v):
+        bundle = derive_series(usage, t_v)
+        d = bundle.days_to_maintenance
+        ell = bundle.usage_left
+        c = bundle.days_since_maintenance
+        for cycle in bundle.cycles:
+            days = np.arange(cycle.start, cycle.end + 1)
+            # C counts up from 0 by one.
+            assert np.array_equal(c[days], days - cycle.start)
+            # L starts at the full budget and never increases.
+            assert ell[cycle.start] == t_v
+            assert np.all(np.diff(ell[days]) <= 1e-9)
+            assert np.all(ell[days] > 0)
+            if cycle.completed:
+                assert np.array_equal(d[days], cycle.end - days)
+            else:
+                assert np.isnan(d[days]).all()
+
+    @given(usage_arrays, budgets)
+    def test_l_equals_equation_one(self, usage, t_v):
+        bundle = derive_series(usage, t_v)
+        c = bundle.days_since_maintenance
+        ell = bundle.usage_left
+        for t in range(usage.size):
+            if not np.isfinite(ell[t]):
+                continue
+            window_start = t - int(c[t])
+            expected = t_v - usage[window_start:t].sum()
+            assert abs(ell[t] - expected) < 1e-6
+
+
+class TestCategorizationProperties:
+    @given(usage_arrays, budgets)
+    def test_category_matches_total_usage(self, usage, t_v):
+        total = usage.sum()
+        category = categorize_usage(usage, t_v)
+        if total >= t_v:
+            assert category is VehicleCategory.OLD
+        elif total >= t_v / 2:
+            assert category is VehicleCategory.SEMI_NEW
+        else:
+            assert category is VehicleCategory.NEW
+
+    @given(usage_arrays, budgets)
+    def test_category_monotone_in_history(self, usage, t_v):
+        order = {
+            VehicleCategory.NEW: 0,
+            VehicleCategory.SEMI_NEW: 1,
+            VehicleCategory.OLD: 2,
+        }
+        previous = -1
+        for cut in range(usage.size + 1):
+            rank = order[categorize_usage(usage[:cut], t_v)]
+            assert rank >= previous
+            previous = rank
+
+
+class TestRelationalDatasetProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(usage_arrays, budgets, st.integers(0, 5))
+    def test_records_consistent_with_bundle(self, usage, t_v, window):
+        bundle = derive_series(usage, t_v)
+        dataset = build_relational_dataset(bundle, window)
+        for row in range(dataset.n_records):
+            t = int(dataset.t_index[row])
+            assert t >= window
+            assert dataset.X[row, 0] == bundle.usage_left[t]
+            assert dataset.y[row] == bundle.days_to_maintenance[t]
+            for lag in range(1, window + 1):
+                assert dataset.X[row, lag] == usage[t - lag]
+
+    @settings(max_examples=40, deadline=None)
+    @given(usage_arrays, budgets)
+    def test_horizon_restriction_is_subset(self, usage, t_v):
+        bundle = derive_series(usage, t_v)
+        dataset = build_relational_dataset(bundle, 0)
+        restricted = dataset.restrict_to_horizon(range(1, 30))
+        assert restricted.n_records <= dataset.n_records
+        assert set(restricted.t_index) <= set(dataset.t_index)

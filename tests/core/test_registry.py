@@ -1,0 +1,127 @@
+"""Unit tests for repro.core.registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictors import BaselinePredictor, RegressionPredictor
+from repro.core.registry import (
+    ALGORITHMS,
+    PAPER_ALGORITHM_ORDER,
+    AlgorithmSpec,
+    get_algorithm,
+    make_predictor,
+    register_algorithm,
+)
+from repro.learn.linear import Ridge
+
+
+class TestRegistryContents:
+    def test_paper_algorithms_present(self):
+        assert set(PAPER_ALGORITHM_ORDER) <= set(ALGORITHMS)
+        assert PAPER_ALGORITHM_ORDER == ("BL", "LR", "LSVR", "RF", "XGB")
+
+    def test_bl_is_baseline(self):
+        assert get_algorithm("BL").is_baseline
+
+    def test_paper_grids_match_section5(self):
+        rf = get_algorithm("RF")
+        assert min(rf.paper_grid["max_depth"]) == 3
+        assert max(rf.paper_grid["max_depth"]) == 50
+        assert min(rf.paper_grid["n_estimators"]) == 10
+        assert max(rf.paper_grid["n_estimators"]) == 1000
+        svr = get_algorithm("LSVR")
+        assert min(svr.paper_grid["svr__epsilon"]) == 0.5
+        assert max(svr.paper_grid["svr__epsilon"]) == 2.5
+        assert min(svr.paper_grid["svr__C"]) == 0.01
+        assert max(svr.paper_grid["svr__C"]) == 100.0
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="Unknown algorithm"):
+            get_algorithm("NN")
+
+
+class TestMakePredictor:
+    def test_bl_gives_baseline_predictor(self):
+        assert isinstance(make_predictor("BL"), BaselinePredictor)
+
+    @pytest.mark.parametrize("key", ["LR", "LSVR", "RF", "XGB"])
+    def test_regressors_wrapped(self, key):
+        predictor = make_predictor(key)
+        assert isinstance(predictor, RegressionPredictor)
+        assert predictor.name == key
+        assert predictor.param_grid is None
+
+    def test_fast_grid_attached(self):
+        predictor = make_predictor("RF", grid="fast")
+        assert predictor.param_grid == get_algorithm("RF").fast_grid
+
+    def test_paper_grid_attached(self):
+        predictor = make_predictor("XGB", grid="paper")
+        assert predictor.param_grid == get_algorithm("XGB").paper_grid
+
+    def test_invalid_grid_name(self):
+        with pytest.raises(ValueError, match="grid"):
+            make_predictor("RF", grid="huge")
+
+    def test_fresh_instance_each_call(self):
+        assert make_predictor("RF") is not make_predictor("RF")
+
+
+class TestRegisterAlgorithm:
+    def _spec(self, key="RIDGE"):
+        return AlgorithmSpec(
+            key=key,
+            display_name="Ridge regression",
+            factory=Ridge,
+            default_params={"alpha": 0.5},
+            fast_grid={"alpha": [0.1, 1.0]},
+        )
+
+    def test_register_and_use(self):
+        register_algorithm(self._spec())
+        try:
+            predictor = make_predictor("RIDGE")
+            assert predictor.name == "RIDGE"
+            assert isinstance(predictor.estimator, Ridge)
+            assert predictor.estimator.alpha == 0.5
+        finally:
+            del ALGORITHMS["RIDGE"]
+
+    def test_duplicate_rejected_without_overwrite(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm(self._spec(key="RF"))
+
+    def test_overwrite_allowed(self):
+        original = ALGORITHMS["RF"]
+        try:
+            register_algorithm(self._spec(key="RF"), overwrite=True)
+            assert ALGORITHMS["RF"].display_name == "Ridge regression"
+        finally:
+            ALGORITHMS["RF"] = original
+
+    def test_grid_resolution(self):
+        spec = self._spec()
+        assert spec.grid(None) is None
+        assert spec.grid("fast") == {"alpha": [0.1, 1.0]}
+        assert spec.grid("paper") is None  # empty paper grid -> None
+        with pytest.raises(ValueError):
+            spec.grid("gigantic")
+
+
+class TestRegistryPredictorsFit:
+    """Every registry algorithm must fit/predict on a tiny dataset."""
+
+    @pytest.mark.parametrize("key", PAPER_ALGORITHM_ORDER)
+    def test_end_to_end(self, key):
+        from repro.core.cycles import derive_series
+        from repro.dataprep.transformation import build_relational_dataset
+
+        usage = np.full(35, 20_000.0)
+        dataset = build_relational_dataset(
+            derive_series(usage, 200_000.0), window=0
+        )
+        predictor = make_predictor(key)
+        predictor.fit(dataset, usage=usage)
+        pred = predictor.predict(dataset.X)
+        assert pred.shape == dataset.y.shape
+        assert np.abs(pred - dataset.y).mean() < 5.0

@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.series (VehicleSeries)."""
+
+import numpy as np
+import pytest
+
+from repro.core.series import VehicleSeries
+
+
+class TestConstruction:
+    def test_from_arrays(self, steady_series):
+        assert steady_series.n_days == 35
+        assert steady_series.total_usage == pytest.approx(35 * 20_000.0)
+
+    def test_from_vehicle(self, small_fleet):
+        vehicle = small_fleet.vehicles[0]
+        series = VehicleSeries.from_vehicle(vehicle)
+        assert series.vehicle_id == vehicle.vehicle_id
+        assert series.t_v == vehicle.spec.t_v
+        assert np.array_equal(series.usage, vehicle.usage)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError, match="1-D"):
+            VehicleSeries("x", np.zeros((2, 2)), 100.0)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError, match="t_v"):
+            VehicleSeries("x", np.zeros(3), 0.0)
+
+
+class TestDerivedViews:
+    def test_bundle_cached(self, steady_series):
+        assert steady_series.bundle is steady_series.bundle
+
+    def test_cycles_exposed(self, steady_series):
+        assert len(steady_series.completed_cycles) == 3
+        assert steady_series.first_cycle().completed
+
+    def test_series_properties_aligned(self, steady_series):
+        n = steady_series.n_days
+        assert steady_series.days_since_maintenance.shape == (n,)
+        assert steady_series.usage_left.shape == (n,)
+        assert steady_series.days_to_maintenance.shape == (n,)
+
+
+class TestTruncation:
+    def test_truncated_rewinds_history(self, steady_series):
+        short = steady_series.truncated(12)
+        assert short.n_days == 12
+        assert len(short.completed_cycles) == 1
+
+    def test_truncated_is_independent_copy(self, steady_series):
+        short = steady_series.truncated(5)
+        short.usage[0] = 0.0
+        assert steady_series.usage[0] == 20_000.0
+
+    def test_bounds(self, steady_series):
+        with pytest.raises(ValueError):
+            steady_series.truncated(99)
+        with pytest.raises(ValueError):
+            steady_series.truncated(-1)
+
+    def test_empty_series_has_no_first_cycle(self):
+        empty = VehicleSeries("x", np.zeros(0), 100.0)
+        with pytest.raises(ValueError, match="no observed days"):
+            empty.first_cycle()
+
+
+class TestReanchoring:
+    def test_reanchored_shifts_cycle_boundaries(self, steady_series):
+        base = steady_series.bundle
+        shifted = steady_series.reanchored(3)
+        assert shifted.cycles[0].start == 3
+        assert base.cycles[0].start == 0
+
+    def test_repr_compact(self, steady_series):
+        text = repr(steady_series)
+        assert "steady" in text
+        assert "n_days=35" in text
+        assert "[" not in text  # raw usage array elided

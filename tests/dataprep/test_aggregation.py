@@ -1,0 +1,90 @@
+"""Unit tests for repro.dataprep.aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.aggregation import (
+    SECONDS_PER_DAY,
+    aggregate_daily_to_weekly,
+    aggregate_reports_daily,
+)
+from repro.telemetry.controller import UsageReport
+
+
+def report(start, seconds, vehicle="v01"):
+    return UsageReport(
+        vehicle_id=vehicle,
+        period_start=start,
+        period_end=start + 3600.0,
+        working_seconds=seconds,
+        engine_hours_total=0.0,
+        signal_stats={},
+    )
+
+
+class TestReportAggregation:
+    def test_single_report(self):
+        series = aggregate_reports_daily([report(0.0, 1000.0)])
+        assert np.array_equal(series, [1000.0])
+
+    def test_same_day_sums(self):
+        series = aggregate_reports_daily(
+            [report(0.0, 1000.0), report(7200.0, 500.0)]
+        )
+        assert series[0] == 1500.0
+
+    def test_uncovered_days_are_nan(self):
+        series = aggregate_reports_daily(
+            [report(0.0, 100.0), report(SECONDS_PER_DAY * 2, 200.0)]
+        )
+        assert np.isnan(series[1])
+
+    def test_explicit_n_days_truncates_and_pads(self):
+        reports = [report(SECONDS_PER_DAY * 5, 100.0)]
+        short = aggregate_reports_daily(reports, n_days=3)
+        assert short.shape == (3,)
+        assert np.isnan(short).all()
+        padded = aggregate_reports_daily(reports, n_days=10)
+        assert padded[5] == 100.0
+
+    def test_empty_input(self):
+        assert aggregate_reports_daily([]).shape == (0,)
+
+    def test_invalid_period_rejected(self):
+        bad = UsageReport(
+            vehicle_id="v01",
+            period_start=100.0,
+            period_end=50.0,
+            working_seconds=10.0,
+            engine_hours_total=0.0,
+            signal_stats={},
+        )
+        with pytest.raises(ValueError, match="period_end"):
+            aggregate_reports_daily([bad])
+
+    def test_negative_n_days_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_reports_daily([], n_days=-1)
+
+
+class TestWeeklyAggregation:
+    def test_full_weeks(self):
+        daily = np.arange(14.0)
+        weekly = aggregate_daily_to_weekly(daily)
+        assert weekly.shape == (2,)
+        assert weekly[0] == sum(range(7))
+        assert weekly[1] == sum(range(7, 14))
+
+    def test_partial_trailing_week(self):
+        weekly = aggregate_daily_to_weekly(np.ones(10))
+        assert weekly.shape == (2,)
+        assert weekly[1] == 3.0
+
+    def test_nan_propagates(self):
+        daily = np.ones(7)
+        daily[3] = np.nan
+        assert np.isnan(aggregate_daily_to_weekly(daily)[0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_daily_to_weekly(np.zeros((2, 7)))

@@ -1,0 +1,103 @@
+"""Unit tests for repro.dataprep.cleaning."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.cleaning import clean_daily_usage
+
+
+class TestMissingPolicies:
+    def test_zero_policy(self):
+        clean, report = clean_daily_usage([100.0, np.nan, 300.0])
+        assert np.array_equal(clean, [100.0, 0.0, 300.0])
+        assert report.n_missing == 1
+
+    def test_interpolate_policy(self):
+        clean, _ = clean_daily_usage(
+            [100.0, np.nan, 300.0], missing_policy="interpolate"
+        )
+        assert clean[1] == pytest.approx(200.0)
+
+    def test_interpolate_extends_edges(self):
+        clean, _ = clean_daily_usage(
+            [np.nan, 100.0, np.nan], missing_policy="interpolate"
+        )
+        assert clean[0] == 100.0
+        assert clean[2] == 100.0
+
+    def test_ffill_policy(self):
+        clean, _ = clean_daily_usage(
+            [np.nan, 500.0, np.nan, np.nan], missing_policy="ffill"
+        )
+        assert np.array_equal(clean, [0.0, 500.0, 500.0, 500.0])
+
+    def test_all_missing_becomes_zero(self):
+        for policy in ("zero", "interpolate", "ffill"):
+            clean, report = clean_daily_usage(
+                [np.nan, np.nan], missing_policy=policy
+            )
+            assert np.array_equal(clean, [0.0, 0.0])
+            assert report.n_missing == 2
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="missing policy"):
+            clean_daily_usage([1.0], missing_policy="magic")
+
+
+class TestInconsistentPolicies:
+    def test_clip_negative_to_zero(self):
+        clean, report = clean_daily_usage([-50.0, 100.0])
+        assert clean[0] == 0.0
+        assert report.n_negative == 1
+
+    def test_clip_overflow_to_day(self):
+        clean, report = clean_daily_usage([100_000.0])
+        assert clean[0] == 86_400.0
+        assert report.n_overflow == 1
+
+    def test_null_policy_demotes_then_fills(self):
+        clean, report = clean_daily_usage(
+            [100_000.0, 200.0],
+            inconsistent_policy="null",
+            missing_policy="interpolate",
+        )
+        assert clean[0] == pytest.approx(200.0)
+        assert report.n_overflow == 1
+
+    def test_infinity_treated_as_inconsistent(self):
+        clean, _ = clean_daily_usage([np.inf, 100.0])
+        assert np.isfinite(clean).all()
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="inconsistent policy"):
+            clean_daily_usage([1.0], inconsistent_policy="wish")
+
+
+class TestReport:
+    def test_counts(self):
+        raw = [np.nan, -5.0, 100_000.0, 500.0]
+        _, report = clean_daily_usage(raw)
+        assert report.n_days == 4
+        assert report.n_missing == 1
+        assert report.n_negative == 1
+        assert report.n_overflow == 1
+        assert report.n_inconsistent == 2
+        assert report.fraction_touched == pytest.approx(3 / 4)
+
+    def test_clean_input_untouched(self):
+        raw = [100.0, 200.0, 0.0]
+        clean, report = clean_daily_usage(raw)
+        assert np.array_equal(clean, raw)
+        assert report.fraction_touched == 0.0
+
+    def test_output_always_valid_range(self, rng):
+        raw = rng.normal(40_000, 60_000, size=200)
+        raw[::7] = np.nan
+        clean, _ = clean_daily_usage(raw)
+        assert clean.min() >= 0.0
+        assert clean.max() <= 86_400.0
+        assert np.isfinite(clean).all()
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            clean_daily_usage(np.zeros((2, 2)))

@@ -1,0 +1,63 @@
+"""Unit tests for repro.dataprep.enrichment."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.enrichment import (
+    enrich_usage,
+    rolling_mean,
+    rolling_std,
+)
+
+
+class TestRollingStats:
+    def test_rolling_mean_known_values(self):
+        out = rolling_mean([1.0, 2.0, 3.0, 4.0], window=2)
+        assert np.allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_rolling_mean_short_prefix(self):
+        out = rolling_mean([10.0, 20.0], window=5)
+        assert np.allclose(out, [10.0, 15.0])
+
+    def test_rolling_mean_window_one_is_identity(self):
+        series = np.array([3.0, 1.0, 4.0])
+        assert np.array_equal(rolling_mean(series, 1), series)
+
+    def test_rolling_std_constant_is_zero(self):
+        assert np.allclose(rolling_std(np.full(10, 5.0), 3), 0.0)
+
+    def test_rolling_std_matches_numpy(self, rng):
+        series = rng.normal(size=20)
+        out = rolling_std(series, 4)
+        assert out[10] == pytest.approx(series[7:11].std())
+
+    @pytest.mark.parametrize("fn", [rolling_mean, rolling_std])
+    def test_invalid_window(self, fn):
+        with pytest.raises(ValueError, match="window"):
+            fn([1.0, 2.0], 0)
+
+
+class TestEnrichUsage:
+    def test_bundle_attached(self, steady_series):
+        enriched = enrich_usage(steady_series.usage, steady_series.t_v)
+        assert enriched.t_v == steady_series.t_v
+        assert enriched.days_to_maintenance.shape == (35,)
+        assert enriched.usage_left.shape == (35,)
+        assert enriched.days_since_maintenance.shape == (35,)
+
+    def test_rolling_series_aligned(self, steady_series):
+        enriched = enrich_usage(steady_series.usage, steady_series.t_v)
+        assert enriched.rolling_mean_7.shape == enriched.usage.shape
+        assert np.allclose(enriched.rolling_mean_7, 20_000.0)
+        assert np.allclose(enriched.rolling_std_7, 0.0)
+
+    def test_matches_direct_derivation(self, steady_series):
+        from repro.core.cycles import derive_series
+
+        enriched = enrich_usage(steady_series.usage, steady_series.t_v)
+        direct = derive_series(steady_series.usage, steady_series.t_v)
+        assert np.array_equal(
+            enriched.days_to_maintenance,
+            direct.days_to_maintenance,
+            equal_nan=True,
+        )

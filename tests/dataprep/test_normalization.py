@@ -1,0 +1,66 @@
+"""Unit tests for repro.dataprep.normalization."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.normalization import (
+    SECONDS_PER_DAY,
+    UtilizationNormalizer,
+    scale_by_capacity,
+)
+
+
+class TestCapacityScaling:
+    def test_full_day_maps_to_one(self):
+        assert scale_by_capacity([SECONDS_PER_DAY])[0] == 1.0
+
+    def test_stateless(self):
+        out = scale_by_capacity([43_200.0, 0.0])
+        assert np.array_equal(out, [0.5, 0.0])
+
+    def test_normalizer_capacity_mode_needs_no_fit(self):
+        norm = UtilizationNormalizer("capacity")
+        out = norm.transform(np.array([21_600.0]))
+        assert out[0] == 0.25
+
+    def test_inverse(self):
+        norm = UtilizationNormalizer("capacity")
+        usage = np.array([10_000.0, 50_000.0])
+        assert np.allclose(norm.inverse_transform(norm.transform(usage)), usage)
+
+
+class TestMinMaxMode:
+    def test_fit_transform_unit_range(self, rng):
+        usage = rng.uniform(0, 30_000, 100)
+        norm = UtilizationNormalizer("minmax")
+        out = norm.fit_transform(usage)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_train_range_applied_to_test(self):
+        norm = UtilizationNormalizer("minmax").fit(np.array([0.0, 10_000.0]))
+        out = norm.transform(np.array([5_000.0, 20_000.0]))
+        assert out[0] == pytest.approx(0.5)
+        assert out[1] == pytest.approx(2.0)  # beyond training max
+
+    def test_use_before_fit_raises(self):
+        norm = UtilizationNormalizer("minmax")
+        with pytest.raises(RuntimeError, match="fit"):
+            norm.transform(np.array([1.0]))
+        with pytest.raises(RuntimeError):
+            norm.inverse_transform(np.array([1.0]))
+
+    def test_inverse_roundtrip(self, rng):
+        usage = rng.uniform(0, 40_000, 50)
+        norm = UtilizationNormalizer("minmax").fit(usage)
+        assert np.allclose(norm.inverse_transform(norm.transform(usage)), usage)
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            UtilizationNormalizer("zscore")
+
+    def test_fit_requires_1d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            UtilizationNormalizer("minmax").fit(np.zeros((2, 2)))

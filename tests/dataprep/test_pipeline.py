@@ -1,0 +1,94 @@
+"""Unit tests for repro.dataprep.pipeline (the five-step chain)."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.pipeline import DataPreparationPipeline
+from repro.telemetry.cloud import SECONDS_PER_DAY
+from repro.telemetry.controller import UsageReport
+
+
+def make_reports(daily_seconds):
+    """One report per day with the given working seconds."""
+    return [
+        UsageReport(
+            vehicle_id="v01",
+            period_start=day * SECONDS_PER_DAY,
+            period_end=day * SECONDS_PER_DAY + 3600,
+            working_seconds=seconds,
+            engine_hours_total=0.0,
+            signal_stats={},
+        )
+        for day, seconds in enumerate(daily_seconds)
+    ]
+
+
+class TestPrepareDaily:
+    def test_happy_path(self):
+        raw = np.full(30, 20_000.0)
+        prepared = DataPreparationPipeline().prepare_daily("v01", raw, 2e5)
+        assert prepared.vehicle_id == "v01"
+        assert prepared.series.t_v == 2e5
+        assert prepared.cleaning_report.fraction_touched == 0.0
+        assert len(prepared.series.completed_cycles) == 3
+
+    def test_dirty_input_cleaned(self):
+        raw = np.full(30, 20_000.0)
+        raw[3] = np.nan
+        raw[7] = -500.0
+        raw[9] = 100_000.0
+        prepared = DataPreparationPipeline().prepare_daily("v01", raw, 2e5)
+        assert np.isfinite(prepared.usage).all()
+        assert prepared.usage.min() >= 0
+        assert prepared.usage.max() <= 86_400
+        assert prepared.cleaning_report.n_missing == 1
+        assert prepared.cleaning_report.n_inconsistent == 2
+
+    def test_policies_forwarded(self):
+        raw = np.array([100.0, np.nan, 300.0])
+        prepared = DataPreparationPipeline(
+            missing_policy="interpolate"
+        ).prepare_daily("v01", raw, 1e5)
+        assert prepared.usage[1] == pytest.approx(200.0)
+
+    def test_relational_builder(self):
+        raw = np.full(30, 20_000.0)
+        prepared = DataPreparationPipeline().prepare_daily("v01", raw, 2e5)
+        ds = prepared.relational(window=2)
+        assert ds.X.shape[1] == 3
+        assert ds.n_records > 0
+
+    def test_relational_augmented_builder(self):
+        raw = np.full(40, 20_000.0)
+        prepared = DataPreparationPipeline().prepare_daily("v01", raw, 2e5)
+        base = prepared.relational(window=0)
+        augmented = prepared.relational_augmented(window=0, n_shifts=3, rng=0)
+        assert augmented.n_records > base.n_records
+
+
+class TestPrepareReports:
+    def test_telemetry_path(self):
+        reports = make_reports([20_000.0] * 25)
+        prepared = DataPreparationPipeline().prepare_reports(
+            "v01", reports, t_v=2e5
+        )
+        assert prepared.series.n_days == 25
+        assert np.allclose(prepared.usage, 20_000.0)
+
+    def test_missing_days_filled(self):
+        reports = make_reports([20_000.0] * 10)
+        del reports[4]
+        prepared = DataPreparationPipeline().prepare_reports(
+            "v01", reports, t_v=2e5, n_days=10
+        )
+        assert prepared.usage[4] == 0.0
+        assert prepared.cleaning_report.n_missing == 1
+
+
+class TestPrepareFleet:
+    def test_every_vehicle_prepared(self, small_fleet):
+        prepared = DataPreparationPipeline().prepare_fleet(small_fleet)
+        assert set(prepared) == set(small_fleet.vehicle_ids)
+        for vehicle_id, pv in prepared.items():
+            assert pv.series.vehicle_id == vehicle_id
+            assert pv.series.n_days == small_fleet[vehicle_id].n_days

@@ -1,0 +1,96 @@
+"""Unit tests for repro.experiments.figures_data (Figures 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.figures_data import (
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    sample_vehicles,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(n_vehicles=4)
+
+
+class TestSampleVehicles:
+    def test_archetype_contrast(self, setup):
+        v1, v2 = sample_vehicles(setup)
+        assert v1.vehicle_id == "v01"
+        assert v2.vehicle_id == "v02"
+        assert setup.fleet["v01"].spec.profile.name == "steady_worker"
+        assert setup.fleet["v02"].spec.profile.name == "regime_switcher"
+
+
+class TestFigure1:
+    def test_two_series_of_requested_length(self, setup):
+        series = figure1_data(setup, n_days=90)
+        assert len(series) == 2
+        assert all(s.x.shape == (90,) for s in series)
+
+    def test_usage_in_paper_range(self, setup):
+        for s in figure1_data(setup, n_days=90):
+            working = s.y[s.y > 0]
+            assert working.max() <= 60_000  # paper plot caps ~50k
+            assert working.min() >= 0
+
+    def test_regime_switcher_has_idle_run(self, setup):
+        """v2's defining feature: a multi-week idle block somewhere."""
+        import itertools
+
+        v2 = figure2_data(setup)[1]
+        usage = setup.fleet["v02"].usage
+        longest = max(
+            (len(list(g)) for z, g in itertools.groupby(usage == 0) if z),
+            default=0,
+        )
+        assert longest >= 14
+
+    def test_invalid_n_days(self, setup):
+        with pytest.raises(ValueError):
+            figure1_data(setup, n_days=0)
+
+
+class TestFigure2:
+    def test_sawtooth_shape(self, setup):
+        for s in figure2_data(setup):
+            d = s.y[np.isfinite(s.y)]
+            # Many cycles: D hits zero repeatedly and resets upward.
+            assert (d == 0).sum() >= 3
+            jumps = np.diff(s.y)
+            assert np.nanmax(jumps) > 30  # reset jumps at cycle starts
+
+    def test_full_span(self, setup):
+        for s in figure2_data(setup):
+            assert s.x.shape[0] == setup.fleet.vehicles[0].n_days
+
+
+class TestFigure3:
+    def test_single_cycle_monotonicity(self, setup):
+        for s in figure3_data(setup):
+            # Within one cycle L and D both decrease together.
+            assert s.y[0] == s.y.max()
+            assert s.y[-1] == 0
+            assert np.all(np.diff(s.x) <= 1e-9)
+
+    def test_l_spans_budget(self, setup):
+        for s in figure3_data(setup):
+            assert s.x.max() == pytest.approx(2_000_000.0)
+            assert s.x.min() > 0
+
+    def test_vertical_steps_at_idle_runs(self, setup):
+        """Zero-usage days leave L unchanged while D decreases."""
+        found_step = False
+        for s in figure3_data(setup):
+            flat = np.diff(s.x) == 0
+            if flat.any():
+                found_step = True
+        assert found_step
+
+    def test_out_of_range_cycle_index(self, setup):
+        with pytest.raises(ValueError, match="completed cycles"):
+            figure3_data(setup, cycle_index=999)

@@ -1,0 +1,39 @@
+"""Unit tests for repro.experiments.model_selection."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.model_selection import run_model_selection
+
+
+@pytest.fixture(scope="module")
+def result():
+    setup = ExperimentSetup(fast=True, n_old_vehicles=3)
+    return run_model_selection(setup, algorithms=("BL", "LR", "RF"), window=3)
+
+
+class TestModelSelection:
+    def test_one_winner_per_vehicle(self, result):
+        assert len(result.winners) == 3
+        assert set(result.winners.values()) <= {"BL", "LR", "RF"}
+
+    def test_winner_is_argmin_of_scores(self, result):
+        for vid, winner in result.winners.items():
+            scores = result.per_vehicle_e_mre[vid]
+            finite = {k: v for k, v in scores.items() if np.isfinite(v)}
+            if finite:
+                assert scores[winner] == min(finite.values())
+
+    def test_selection_beats_fixed_policies(self, result):
+        fixed = result.single_algorithm_e_mre()
+        assert result.selected_e_mre() <= min(fixed.values()) + 1e-9
+
+    def test_winner_counts_sum(self, result):
+        assert sum(result.winner_counts().values()) == len(result.winners)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Per-vehicle model selection" in text
+        assert "Selection payoff" in text
+        assert "per-vehicle selection" in text

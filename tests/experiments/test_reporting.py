@@ -1,0 +1,61 @@
+"""Unit tests for repro.experiments.reporting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import (
+    format_mapping_series,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["A", "B"], [(1, 2.5), ("x", float("nan"))])
+        lines = text.splitlines()
+        assert lines[0].split() == ["A", "B"]
+        assert set(lines[1]) == {"-"}
+        assert "2.5" in lines[2]
+        assert "-" in lines[3]  # NaN rendered as dash
+
+    def test_title_prepended(self):
+        text = format_table(["A"], [(1,)], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="width"):
+            format_table(["A", "B"], [(1,)])
+
+    def test_columns_aligned(self):
+        text = format_table(["Name", "V"], [("long-name", 1.0), ("s", 22.0)])
+        lines = text.splitlines()
+        # Both value cells start at the same column.
+        assert lines[2].index("1.0") == lines[3].index("22.0")
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        text = format_series([1, 2], [0.5, 0.25], "day", "error")
+        assert "day" in text and "error" in text
+        assert "0.5" in text
+
+
+class TestFormatMappingSeries:
+    def test_multi_series(self):
+        data = {
+            "RF": {0: 1.0, 6: 0.5},
+            "LR": {0: 2.0, 6: 2.5},
+        }
+        text = format_mapping_series(data, x_label="W")
+        header = text.splitlines()[0]
+        assert header.split() == ["W", "RF", "LR"]
+
+    def test_mismatched_x_rejected(self):
+        data = {"a": {0: 1.0}, "b": {1: 1.0}}
+        with pytest.raises(ValueError, match="different x"):
+            format_mapping_series(data, x_label="W")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_mapping_series({}, x_label="W")

@@ -1,0 +1,102 @@
+"""Unit tests for repro.fleet.generator."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.fleet.generator import DEFAULT_END, DEFAULT_START, Fleet, FleetGenerator
+from repro.fleet.profiles import ARCHETYPES
+
+
+class TestFleetGenerator:
+    def test_paper_scale_defaults(self):
+        gen = FleetGenerator()
+        assert gen.n_vehicles == 24
+        assert gen.t_v == 2_000_000.0
+        assert gen.start_date == dt.date(2015, 1, 1)
+        assert gen.end_date == dt.date(2019, 9, 30)
+        # Jan 2015 - Sep 2019: about 4.75 years of daily data.
+        assert 1700 <= gen.n_days <= 1750
+
+    def test_deterministic_for_seed(self):
+        a = FleetGenerator(n_vehicles=3, seed=11).generate()
+        b = FleetGenerator(n_vehicles=3, seed=11).generate()
+        for va, vb in zip(a, b):
+            assert np.array_equal(va.usage, vb.usage)
+            assert va.spec == vb.spec
+
+    def test_seeds_differ(self):
+        a = FleetGenerator(n_vehicles=2, seed=1).generate()
+        b = FleetGenerator(n_vehicles=2, seed=2).generate()
+        assert not np.array_equal(a.vehicles[0].usage, b.vehicles[0].usage)
+
+    def test_archetypes_assigned_round_robin(self, small_fleet):
+        names = [v.spec.profile.name for v in small_fleet]
+        expected = [ARCHETYPES[i % len(ARCHETYPES)].name for i in range(len(names))]
+        assert names == expected
+
+    def test_vehicle_ids_sequential(self, small_fleet):
+        assert small_fleet.vehicle_ids[:3] == ["v01", "v02", "v03"]
+
+    def test_all_series_same_length(self, small_fleet):
+        lengths = {v.n_days for v in small_fleet}
+        assert len(lengths) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_vehicles": 0},
+            {"t_v": -1.0},
+            {"end_date": dt.date(2014, 1, 1)},
+            {"archetypes": ()},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            FleetGenerator(**kwargs)
+
+
+class TestFleet:
+    def test_lookup_by_id(self, small_fleet):
+        vehicle = small_fleet["v02"]
+        assert vehicle.vehicle_id == "v02"
+
+    def test_unknown_id(self, small_fleet):
+        with pytest.raises(KeyError, match="Unknown vehicle"):
+            small_fleet["v99"]
+
+    def test_len_and_iter(self, small_fleet):
+        assert len(small_fleet) == 6
+        assert len(list(small_fleet)) == 6
+
+    def test_usage_matrix_shape(self, small_fleet):
+        matrix = small_fleet.usage_matrix()
+        assert matrix.shape == (6, small_fleet.vehicles[0].n_days)
+
+    def test_duplicate_ids_rejected(self, small_fleet):
+        vehicles = list(small_fleet.vehicles) + [small_fleet.vehicles[0]]
+        with pytest.raises(ValueError, match="Duplicate"):
+            Fleet(vehicles=vehicles, t_v=2e6)
+
+    def test_split_is_partition(self, small_fleet):
+        train, test = small_fleet.split(0.7, rng=0)
+        assert sorted(train + test) == sorted(small_fleet.vehicle_ids)
+        assert set(train).isdisjoint(test)
+        assert len(train) == 4  # round(0.7 * 6)
+
+    def test_split_never_empty_sides(self, small_fleet):
+        train, test = small_fleet.split(0.99, rng=0)
+        assert len(test) >= 1
+        train, test = small_fleet.split(0.01, rng=0)
+        assert len(train) >= 1
+
+    def test_split_invalid_fraction(self, small_fleet):
+        with pytest.raises(ValueError):
+            small_fleet.split(1.0)
+
+    def test_metadata_recorded(self, small_fleet):
+        assert "start_date" in small_fleet.metadata
+        assert small_fleet.metadata["archetypes"] == [
+            p.name for p in ARCHETYPES
+        ]

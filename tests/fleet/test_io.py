@@ -1,0 +1,48 @@
+"""Unit tests for repro.fleet.io (CSV/JSON persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.io import load_fleet, save_fleet
+
+
+class TestRoundtrip:
+    def test_usage_preserved(self, small_fleet, tmp_path):
+        save_fleet(small_fleet, tmp_path)
+        loaded = load_fleet(tmp_path)
+        assert loaded.vehicle_ids == small_fleet.vehicle_ids
+        for original, restored in zip(small_fleet, loaded):
+            assert np.allclose(original.usage, restored.usage, atol=1e-3)
+
+    def test_specs_preserved(self, small_fleet, tmp_path):
+        save_fleet(small_fleet, tmp_path)
+        loaded = load_fleet(tmp_path)
+        for original, restored in zip(small_fleet, loaded):
+            assert restored.spec.vehicle_type == original.spec.vehicle_type
+            assert restored.spec.model == original.spec.model
+            assert restored.spec.t_v == original.spec.t_v
+            assert restored.spec.profile == original.spec.profile
+            assert restored.start_date == original.start_date
+
+    def test_metadata_preserved(self, small_fleet, tmp_path):
+        save_fleet(small_fleet, tmp_path)
+        loaded = load_fleet(tmp_path)
+        assert loaded.t_v == small_fleet.t_v
+        assert loaded.seed == small_fleet.seed
+        assert loaded.metadata == small_fleet.metadata
+
+    def test_custom_stem(self, small_fleet, tmp_path):
+        usage_path, meta_path = save_fleet(small_fleet, tmp_path, stem="alpha")
+        assert usage_path.name == "alpha_usage.csv"
+        assert meta_path.name == "alpha_meta.json"
+        loaded = load_fleet(tmp_path, stem="alpha")
+        assert len(loaded) == len(small_fleet)
+
+    def test_missing_files_raise(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_fleet(tmp_path)
+
+    def test_csv_is_long_format_with_header(self, small_fleet, tmp_path):
+        usage_path, _ = save_fleet(small_fleet, tmp_path)
+        header = usage_path.read_text().splitlines()[0]
+        assert header == "vehicle_id,day,date,usage_seconds"

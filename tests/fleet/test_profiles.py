@@ -1,0 +1,77 @@
+"""Unit tests for repro.fleet.profiles."""
+
+import dataclasses
+
+import pytest
+
+from repro.fleet.profiles import (
+    ARCHETYPES,
+    BURSTY,
+    LIGHT_DUTY,
+    REGIME_SWITCHER,
+    SEASONAL,
+    STEADY_WORKER,
+    UsageProfile,
+)
+
+
+class TestArchetypes:
+    def test_five_distinct_archetypes(self):
+        assert len(ARCHETYPES) == 5
+        assert len({p.name for p in ARCHETYPES}) == 5
+
+    def test_steady_worker_matches_figure1(self):
+        # Figure 1's v1: 20-30 k s/day, idle every 10-15 working days.
+        assert 20_000 <= STEADY_WORKER.work_day_mean <= 30_000
+        assert 1 / 15 <= STEADY_WORKER.p_work_to_idle <= 1 / 10
+
+    def test_regime_switcher_has_long_idle(self):
+        assert REGIME_SWITCHER.long_idle_rate > 0
+        assert REGIME_SWITCHER.long_idle_mean_days >= 14
+
+    def test_seasonal_has_amplitude(self):
+        assert SEASONAL.seasonal_amplitude > 0
+
+    def test_light_duty_is_lightest(self):
+        assert LIGHT_DUTY.work_day_mean == min(
+            p.work_day_mean for p in ARCHETYPES
+        )
+
+    def test_all_have_first_cycle_attenuation(self):
+        for profile in ARCHETYPES:
+            assert profile.first_cycle_factor < 1.0
+
+    def test_bursty_has_highest_relative_variance(self):
+        cv = {p.name: p.work_day_sd / p.work_day_mean for p in ARCHETYPES}
+        assert max(cv, key=cv.get) == BURSTY.name
+
+
+class TestValidation:
+    def base(self, **over):
+        params = dict(name="x", work_day_mean=20_000.0, work_day_sd=4_000.0)
+        params.update(over)
+        return params
+
+    @pytest.mark.parametrize(
+        "over",
+        [
+            {"work_day_mean": 0.0},
+            {"work_day_sd": -1.0},
+            {"p_work_to_idle": 1.5},
+            {"p_idle_to_work": -0.1},
+            {"long_idle_rate": 2.0},
+            {"seasonal_amplitude": 1.0},
+            {"long_idle_rate": 0.1, "long_idle_mean_days": 0.0},
+            {"first_cycle_factor": 0.0},
+            {"regime_mean_days": -1.0},
+            {"regime_spread": 1.0},
+            {"annual_drift": 0.9},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, over):
+        with pytest.raises(ValueError):
+            UsageProfile(**self.base(**over))
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            STEADY_WORKER.work_day_mean = 1.0

@@ -1,0 +1,156 @@
+"""Unit tests for repro.fleet.usage (DailyUsageSimulator)."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.profiles import (
+    REGIME_SWITCHER,
+    STEADY_WORKER,
+    UsageProfile,
+)
+from repro.fleet.usage import SECONDS_PER_DAY, DailyUsageSimulator
+
+
+def plain_profile(**over):
+    """A profile with every extra effect disabled, for isolation."""
+    params = dict(
+        name="plain",
+        work_day_mean=20_000.0,
+        work_day_sd=2_000.0,
+        regime_mean_days=0.0,
+        regime_spread=0.0,
+        annual_drift=0.0,
+        first_cycle_factor=1.0,
+    )
+    params.update(over)
+    return UsageProfile(**params)
+
+
+class TestBasicGeneration:
+    def test_length_and_bounds(self, rng):
+        sim = DailyUsageSimulator(STEADY_WORKER)
+        usage = sim.generate(400, rng)
+        assert usage.shape == (400,)
+        assert usage.min() >= 0.0
+        assert usage.max() <= SECONDS_PER_DAY
+
+    def test_zero_days(self, rng):
+        assert DailyUsageSimulator(STEADY_WORKER).generate(0, rng).size == 0
+
+    def test_negative_days_rejected(self, rng):
+        with pytest.raises(ValueError):
+            DailyUsageSimulator(STEADY_WORKER).generate(-1, rng)
+
+    def test_deterministic_for_seed(self):
+        sim = DailyUsageSimulator(STEADY_WORKER)
+        a = sim.generate(200, np.random.default_rng(5))
+        b = sim.generate(200, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_working_days_near_profile_mean(self):
+        sim = DailyUsageSimulator(plain_profile(), t_v=None)
+        usage = sim.generate(2000, np.random.default_rng(0))
+        working = usage[usage > 0]
+        assert working.mean() == pytest.approx(20_000.0, rel=0.1)
+
+    def test_invalid_t_v(self):
+        with pytest.raises(ValueError, match="t_v"):
+            DailyUsageSimulator(STEADY_WORKER, t_v=0.0)
+
+
+class TestIdleBehaviour:
+    def test_idle_days_exist(self):
+        sim = DailyUsageSimulator(plain_profile(), t_v=None)
+        usage = sim.generate(1000, np.random.default_rng(1))
+        assert (usage == 0).sum() > 0
+
+    def test_long_idle_spells_in_regime_switcher(self):
+        sim = DailyUsageSimulator(REGIME_SWITCHER, t_v=None)
+        usage = sim.generate(1500, np.random.default_rng(2))
+        # Find the longest run of zero days: switchers park for weeks.
+        is_zero = usage == 0
+        longest = max(
+            (len(list(g)) for v, g in __import__("itertools").groupby(is_zero) if v),
+            default=0,
+        )
+        assert longest >= 14
+
+    def test_steady_worker_rarely_parks_long(self):
+        sim = DailyUsageSimulator(
+            plain_profile(p_work_to_idle=1 / 12, p_idle_to_work=0.9),
+            t_v=None,
+        )
+        usage = sim.generate(1500, np.random.default_rng(3))
+        import itertools
+
+        longest = max(
+            (len(list(g)) for v, g in itertools.groupby(usage == 0) if v),
+            default=0,
+        )
+        assert longest <= 10
+
+
+class TestFirstCycleRamp:
+    def test_first_cycle_lighter_than_rest(self):
+        profile = plain_profile(first_cycle_factor=0.5)
+        sim = DailyUsageSimulator(profile, t_v=2_000_000.0)
+        usage = sim.generate(1500, np.random.default_rng(4))
+        cumulative = np.cumsum(usage)
+        first_cycle_end = np.searchsorted(cumulative, 2_000_000.0)
+        first = usage[: first_cycle_end + 1]
+        later = usage[first_cycle_end + 1 :]
+        assert first[first > 0].mean() < later[later > 0].mean()
+
+    def test_ramp_factor_boundaries(self):
+        profile = plain_profile(first_cycle_factor=0.5)
+        sim = DailyUsageSimulator(profile, t_v=1000.0)
+        assert sim._first_cycle_ramp(0.0) == pytest.approx(0.5)
+        assert sim._first_cycle_ramp(500.0) == pytest.approx(0.75)
+        assert sim._first_cycle_ramp(1000.0) == 1.0
+        assert sim._first_cycle_ramp(5000.0) == 1.0
+
+    def test_no_t_v_disables_ramp(self):
+        sim = DailyUsageSimulator(plain_profile(first_cycle_factor=0.3), t_v=None)
+        assert sim._first_cycle_ramp(0.0) == 1.0
+
+
+class TestSeasonality:
+    def test_seasonal_factor_oscillates(self):
+        profile = plain_profile(seasonal_amplitude=0.5)
+        sim = DailyUsageSimulator(profile)
+        factors = [sim._seasonal_factor(d) for d in range(366)]
+        assert max(factors) == pytest.approx(1.5, abs=0.01)
+        assert min(factors) == pytest.approx(0.5, abs=0.01)
+
+    def test_no_amplitude_constant(self):
+        sim = DailyUsageSimulator(plain_profile())
+        assert sim._seasonal_factor(100) == 1.0
+
+
+class TestDrift:
+    def test_drift_makes_late_days_heavier(self):
+        profile = plain_profile(annual_drift=0.3, p_work_to_idle=0.0, p_idle_to_work=1.0)
+        sim = DailyUsageSimulator(profile, t_v=None)
+        usage = sim.generate(1460, np.random.default_rng(5))
+        first_year = usage[:365]
+        last_year = usage[-365:]
+        assert last_year.mean() > 1.3 * first_year.mean()
+
+
+class TestExpectedCycleDays:
+    def test_matches_simulation_roughly(self):
+        profile = plain_profile(p_work_to_idle=1 / 10, p_idle_to_work=0.9)
+        sim = DailyUsageSimulator(profile, t_v=2_000_000.0)
+        expected = sim.expected_cycle_days()
+        # Simulate and segment: mean completed-cycle length should agree.
+        from repro.core.cycles import segment_cycles
+
+        usage = sim.generate(3000, np.random.default_rng(6))
+        cycles = [c for c in segment_cycles(usage, 2_000_000.0) if c.completed]
+        observed = np.mean([c.n_days for c in cycles[1:]])  # skip ramped first
+        assert observed == pytest.approx(expected, rel=0.25)
+
+    def test_requires_t_v(self):
+        sim = DailyUsageSimulator(plain_profile(), t_v=None)
+        with pytest.raises(ValueError):
+            sim.expected_cycle_days()

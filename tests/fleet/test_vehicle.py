@@ -1,0 +1,83 @@
+"""Unit tests for repro.fleet.vehicle."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.fleet.profiles import STEADY_WORKER
+from repro.fleet.vehicle import SimulatedVehicle, VehicleSpec
+
+
+def spec(**over):
+    params = dict(
+        vehicle_id="v01",
+        vehicle_type="excavator",
+        model="TX-500",
+        t_v=2_000_000.0,
+        profile=STEADY_WORKER,
+    )
+    params.update(over)
+    return VehicleSpec(**params)
+
+
+class TestVehicleSpec:
+    def test_valid_spec(self):
+        s = spec()
+        assert s.vehicle_id == "v01"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="vehicle_id"):
+            spec(vehicle_id="")
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError, match="t_v"):
+            spec(t_v=0.0)
+
+
+class TestSimulatedVehicle:
+    def test_basic_properties(self):
+        usage = np.array([1000.0, 0.0, 2000.0])
+        vehicle = SimulatedVehicle(spec=spec(), usage=usage)
+        assert vehicle.vehicle_id == "v01"
+        assert vehicle.n_days == 3
+        assert vehicle.total_usage == 3000.0
+
+    def test_usage_bounds_enforced(self):
+        with pytest.raises(ValueError, match="86400"):
+            SimulatedVehicle(spec=spec(), usage=np.array([90_000.0]))
+        with pytest.raises(ValueError):
+            SimulatedVehicle(spec=spec(), usage=np.array([-1.0]))
+
+    def test_usage_must_be_1d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            SimulatedVehicle(spec=spec(), usage=np.zeros((2, 2)))
+
+    def test_date_of_day(self):
+        vehicle = SimulatedVehicle(
+            spec=spec(),
+            usage=np.zeros(10),
+            start_date=dt.date(2015, 1, 1),
+        )
+        assert vehicle.date_of_day(0) == dt.date(2015, 1, 1)
+        assert vehicle.date_of_day(9) == dt.date(2015, 1, 10)
+
+    def test_date_of_day_bounds(self):
+        vehicle = SimulatedVehicle(spec=spec(), usage=np.zeros(5))
+        with pytest.raises(IndexError):
+            vehicle.date_of_day(5)
+        with pytest.raises(IndexError):
+            vehicle.date_of_day(-1)
+
+    def test_usage_window_is_a_copy(self):
+        vehicle = SimulatedVehicle(spec=spec(), usage=np.arange(5.0))
+        window = vehicle.usage_window(1, 3)
+        window[0] = 999.0
+        assert vehicle.usage[1] == 1.0
+
+    def test_usage_window_bounds(self):
+        vehicle = SimulatedVehicle(spec=spec(), usage=np.zeros(5))
+        with pytest.raises(IndexError):
+            vehicle.usage_window(0, 6)
+        with pytest.raises(IndexError):
+            vehicle.usage_window(3, 2)

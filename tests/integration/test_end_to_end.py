@@ -1,0 +1,114 @@
+"""Integration tests across the whole stack.
+
+telemetry (frames -> controller -> cloud) -> dataprep (clean, aggregate,
+enrich, transform) -> core (train, predict) -> planner (schedule).
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.old_vehicles import OldVehicleConfig, OldVehicleExperiment
+from repro.core.planner import FleetMaintenancePlanner
+from repro.core.predictors import BaselinePredictor
+from repro.core.registry import make_predictor
+from repro.core.series import VehicleSeries
+from repro.dataprep.pipeline import DataPreparationPipeline
+from repro.telemetry.canbus import CANBus, SignalTrafficGenerator
+from repro.telemetry.cloud import SECONDS_PER_DAY, CloudStore
+from repro.telemetry.controller import OnboardController
+
+
+class TestTelemetryToDataprep:
+    """Drive CAN frames through the full acquisition chain."""
+
+    def test_frames_to_daily_series(self):
+        # 5 days, 4 working hours per day at a coarse sampling rate.
+        generator = SignalTrafficGenerator(sample_rate_hz=0.5, seed=0)
+        controller = OnboardController("v01", report_interval_s=6 * 3600.0)
+        store = CloudStore(seed=0)
+        for day in range(5):
+            start = day * SECONDS_PER_DAY
+            controller.process_frames(
+                generator.generate_window(start, 4 * 3600.0, working=True)
+            )
+            controller.process_frames(
+                generator.generate_window(
+                    start + 4 * 3600.0, 3600.0, working=False
+                )
+            )
+        store.ingest_many(controller.flush(now=5 * SECONDS_PER_DAY))
+
+        raw = store.daily_usage_array("v01", n_days=5)
+        prepared = DataPreparationPipeline().prepare_daily(
+            "v01", raw, t_v=50_000.0
+        )
+        # Roughly 4 working hours a day survived the whole chain.
+        working_days = prepared.usage[prepared.usage > 0]
+        assert len(working_days) >= 4
+        assert working_days.mean() == pytest.approx(4 * 3600.0, rel=0.15)
+
+    def test_lossy_chain_still_produces_clean_series(self):
+        generator = SignalTrafficGenerator(sample_rate_hz=0.5, seed=1)
+        bus = CANBus(drop_probability=0.2, corrupt_probability=0.05, seed=1)
+        controller = OnboardController("v02", report_interval_s=3 * 3600.0)
+        store = CloudStore(loss_probability=0.2, duplicate_probability=0.1, seed=1)
+
+        for day in range(6):
+            start = day * SECONDS_PER_DAY
+            for frame in generator.generate_window(
+                start, 2 * 3600.0, working=True
+            ):
+                bus.send(frame)
+            controller.process_frames(bus.drain())
+        store.ingest_many(controller.flush(now=6 * SECONDS_PER_DAY))
+
+        raw = store.daily_usage_array("v02", n_days=6)
+        prepared = DataPreparationPipeline().prepare_daily(
+            "v02", raw, t_v=50_000.0
+        )
+        assert np.isfinite(prepared.usage).all()
+        assert prepared.usage.min() >= 0.0
+        assert prepared.usage.max() <= 86_400.0
+
+
+class TestFleetToPrediction:
+    def test_simulated_fleet_through_methodology(self, small_fleet):
+        prepared = DataPreparationPipeline().prepare_fleet(small_fleet)
+        series = [pv.series for pv in prepared.values()]
+        experiment = OldVehicleExperiment(
+            OldVehicleConfig(window=3, restrict_to_horizon=True)
+        )
+        result = experiment.run_fleet(series, "XGB")
+        assert np.isfinite(result.e_mre)
+        assert result.e_mre < 15.0  # sane scale, paper-magnitude errors
+
+    def test_prediction_to_planner(self, small_fleet):
+        vehicle = small_fleet.vehicles[0]
+        series = VehicleSeries.from_vehicle(vehicle)
+        cut = int(0.7 * series.n_days)
+        from repro.dataprep.transformation import build_relational_dataset
+
+        train = build_relational_dataset(series.bundle, 0, day_range=(0, cut))
+        predictor = make_predictor("XGB")
+        predictor.fit(train)
+        planner = FleetMaintenancePlanner(daily_capacity=1, horizon_days=365)
+        forecast = planner.forecast_vehicle(series, predictor, window=0)
+        schedule = planner.build_schedule([forecast], dt.date(2017, 4, 1))
+        assert len(schedule) == 1
+        assert schedule[0].vehicle_id == vehicle.vehicle_id
+
+
+class TestCsvRoundtripThroughMethodology:
+    def test_saved_fleet_reproduces_results(self, small_fleet, tmp_path):
+        from repro.fleet.io import load_fleet, save_fleet
+
+        save_fleet(small_fleet, tmp_path)
+        loaded = load_fleet(tmp_path)
+        original = VehicleSeries.from_vehicle(small_fleet.vehicles[0])
+        restored = VehicleSeries.from_vehicle(loaded.vehicles[0])
+        experiment = OldVehicleExperiment(OldVehicleConfig(window=0))
+        a = experiment.run_vehicle(original, "LR")
+        b = experiment.run_vehicle(restored, "LR")
+        assert a.e_mre == pytest.approx(b.e_mre, abs=1e-6)

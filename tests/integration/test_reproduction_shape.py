@@ -1,0 +1,103 @@
+"""Shape assertions for the paper's headline claims, at reduced scale.
+
+These are the reproduction's acceptance tests: they assert the *relative*
+results the paper reports (who wins, what helps), not absolute numbers.
+The full-scale runs that print paper-style tables live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.table1 import run_table1
+from repro.experiments.table3 import run_table3
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(fast=True, n_old_vehicles=6)
+
+
+@pytest.fixture(scope="module")
+def table1(setup):
+    return run_table1(setup)
+
+
+@pytest.fixture(scope="module")
+def figure4(setup):
+    return run_figure4(
+        setup, algorithms=("BL", "LR", "RF", "XGB"), windows=(0, 6, 12)
+    )
+
+
+@pytest.fixture(scope="module")
+def table3(setup):
+    return run_table3(setup)
+
+
+class TestTable1Claims:
+    def test_restriction_cuts_ml_error_substantially(self, table1):
+        """Paper: 48-65 % error reduction from last-29-days training."""
+        for key in ("LR", "LSVR", "RF", "XGB"):
+            assert table1.row(key).reduction_pct > 30.0
+
+    def test_bl_worst_after_restriction(self, table1):
+        bl = table1.row("BL").e_mre_restricted
+        for key in ("LR", "LSVR", "RF", "XGB"):
+            assert table1.row(key).e_mre_restricted < bl
+
+    def test_bl_beats_all_data_lr(self, table1):
+        """Paper Table 1: LR trained on all data (26.1) loses to BL (20.2)."""
+        assert table1.row("BL").e_mre_all_data < table1.row("LR").e_mre_all_data
+
+
+class TestFigure4Claims:
+    def test_ensembles_improve_with_lags(self, figure4):
+        """Paper: RF +44 %, XGB +25 % from the feature window."""
+        improvement = figure4.improvement()
+        for key in ("RF", "XGB"):
+            best = max(improvement[key].values())
+            assert best > 10.0
+
+    def test_bl_flat(self, figure4):
+        assert all(v == 0.0 for v in figure4.improvement()["BL"].values())
+
+    def test_nonlinear_beat_linear_at_best_windows(self, figure4):
+        best = {
+            key: min(figure4.e_mre[key].values())
+            for key in ("LR", "RF", "XGB")
+        }
+        assert best["RF"] < best["LR"]
+        assert best["XGB"] < best["LR"]
+
+
+class TestTable3Claims:
+    def test_bl_collapses_for_semi_new(self, table3):
+        """Paper: BL = 34.9 vs ML <= 8.8 — own-history averages mislead."""
+        bl = table3.semi_new_e_mre["BL"]
+        ml = [v for k, v in table3.semi_new_e_mre.items() if k != "BL"]
+        assert bl > min(ml) * 1.5
+        assert bl == max(
+            v for v in table3.semi_new_e_mre.values() if np.isfinite(v)
+        )
+
+    def test_nonlinear_sim_best_for_semi_new(self, table3):
+        """Paper: RF_Sim (2.9) best, with non-linear models leading."""
+        best = table3.best_semi_new()
+        assert best in {"RF_Sim", "XGB_Sim", "RF_Uni", "XGB_Uni"}
+
+    def test_similarity_helps_nonlinear_models(self, table3):
+        """Paper: RF_Sim (2.9) <= RF_Uni (3.2)."""
+        assert (
+            table3.semi_new_e_mre["RF_Sim"]
+            <= table3.semi_new_e_mre["RF_Uni"] * 1.1
+        )
+
+    def test_new_vehicle_errors_larger_than_semi_new(self, table3):
+        """Cold start with zero history is the hardest setting."""
+        best_new = min(table3.new_e_global.values())
+        best_semi = min(
+            v for v in table3.semi_new_e_mre.values() if np.isfinite(v)
+        )
+        assert best_new > best_semi

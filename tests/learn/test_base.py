@@ -1,0 +1,127 @@
+"""Unit tests for the estimator protocol (repro.learn.base)."""
+
+import numpy as np
+import pytest
+
+from repro.learn.base import BaseEstimator, clone
+from repro.learn.forest import RandomForestRegressor
+from repro.learn.linear import LinearRegression, Ridge
+from repro.learn.svm import LinearSVR
+
+
+class Toy(BaseEstimator):
+    def __init__(self, alpha=1.0, beta="x"):
+        self.alpha = alpha
+        self.beta = beta
+
+    def fit(self, X, y):
+        self.fitted_ = True
+        return self
+
+
+class Outer(BaseEstimator):
+    def __init__(self, inner=None, gamma=0.5):
+        self.inner = inner
+        self.gamma = gamma
+
+
+class TestGetParams:
+    def test_returns_constructor_args(self):
+        assert Toy(alpha=2.0).get_params() == {"alpha": 2.0, "beta": "x"}
+
+    def test_deep_includes_nested(self):
+        outer = Outer(inner=Toy(alpha=3.0))
+        params = outer.get_params(deep=True)
+        assert params["inner__alpha"] == 3.0
+        assert params["gamma"] == 0.5
+
+    def test_shallow_excludes_nested_keys(self):
+        outer = Outer(inner=Toy())
+        assert "inner__alpha" not in outer.get_params(deep=False)
+
+
+class TestSetParams:
+    def test_sets_own_params(self):
+        toy = Toy().set_params(alpha=5.0)
+        assert toy.alpha == 5.0
+
+    def test_sets_nested_params(self):
+        outer = Outer(inner=Toy())
+        outer.set_params(inner__alpha=9.0)
+        assert outer.inner.alpha == 9.0
+
+    def test_invalid_param_rejected(self):
+        with pytest.raises(ValueError, match="Invalid parameter"):
+            Toy().set_params(nope=1)
+
+    def test_empty_call_is_noop(self):
+        toy = Toy(alpha=2.0)
+        assert toy.set_params() is toy
+        assert toy.alpha == 2.0
+
+
+class TestRepr:
+    def test_defaults_hidden(self):
+        assert repr(Toy()) == "Toy()"
+
+    def test_non_defaults_shown(self):
+        assert "alpha=7.0" in repr(Toy(alpha=7.0))
+
+
+class TestClone:
+    def test_clone_is_unfitted_copy(self):
+        toy = Toy(alpha=4.0)
+        toy.fit(None, None)
+        fresh = clone(toy)
+        assert fresh.alpha == 4.0
+        assert not hasattr(fresh, "fitted_")
+        assert fresh is not toy
+
+    def test_clone_list(self):
+        clones = clone([Toy(alpha=1.0), Toy(alpha=2.0)])
+        assert [c.alpha for c in clones] == [1.0, 2.0]
+
+    def test_clone_rejects_non_estimator(self):
+        with pytest.raises(TypeError):
+            clone(42)
+
+    def test_clone_deepcopies_mutable_params(self):
+        grid = {"a": [1, 2]}
+        toy = Toy(alpha=grid)
+        fresh = clone(toy)
+        fresh.alpha["a"].append(3)
+        assert toy.alpha == {"a": [1, 2]}
+
+
+@pytest.mark.parametrize(
+    "estimator",
+    [
+        LinearRegression(),
+        Ridge(alpha=0.3),
+        LinearSVR(C=2.0),
+        RandomForestRegressor(n_estimators=3, random_state=0),
+    ],
+)
+class TestProtocolCompliance:
+    """Every real estimator must round-trip its params through clone."""
+
+    def test_params_roundtrip(self, estimator):
+        params = estimator.get_params(deep=False)
+        rebuilt = type(estimator)(**params)
+        assert rebuilt.get_params(deep=False).keys() == params.keys()
+
+    def test_clone_preserves_params(self, estimator):
+        fresh = clone(estimator)
+        for key, value in estimator.get_params(deep=False).items():
+            got = getattr(fresh, key)
+            if isinstance(value, np.ndarray):
+                assert np.array_equal(got, value)
+            else:
+                assert got == value
+
+    def test_score_after_fit(self, estimator, rng):
+        X = rng.normal(size=(60, 2))
+        y = X[:, 0] * 2 + 1
+        estimator = clone(estimator)
+        estimator.fit(X, y)
+        assert estimator.score(X, y) > 0.5

@@ -1,0 +1,147 @@
+"""Unit tests for repro.learn.boosting."""
+
+import numpy as np
+import pytest
+
+from repro.learn.boosting import BinMapper, HistGradientBoostingRegressor
+from repro.learn.metrics import r2_score
+
+
+class TestBinMapper:
+    def test_few_distinct_values_one_bin_each(self):
+        X = np.array([[0.0], [0.0], [1.0], [2.0], [2.0]])
+        mapper = BinMapper(max_bins=8).fit(X)
+        binned = mapper.transform(X)
+        assert binned[0, 0] == binned[1, 0]
+        assert binned[3, 0] == binned[4, 0]
+        assert len(np.unique(binned)) == 3
+
+    def test_monotone_in_value(self, rng):
+        X = rng.normal(size=(500, 1))
+        mapper = BinMapper(max_bins=32).fit(X)
+        binned = mapper.transform(X).ravel()
+        order = np.argsort(X.ravel())
+        assert np.all(np.diff(binned[order].astype(int)) >= 0)
+
+    def test_max_bins_respected(self, rng):
+        X = rng.normal(size=(10_000, 1))
+        mapper = BinMapper(max_bins=16).fit(X)
+        binned = mapper.transform(X)
+        assert binned.max() < 16
+
+    def test_transform_requires_fit(self):
+        with pytest.raises(Exception):
+            BinMapper().transform(np.zeros((2, 1)))
+
+    def test_feature_count_mismatch(self, rng):
+        mapper = BinMapper().fit(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError, match="features"):
+            mapper.transform(rng.normal(size=(5, 3)))
+
+    @pytest.mark.parametrize("bad", [1, 257, 0])
+    def test_invalid_max_bins(self, bad):
+        with pytest.raises(ValueError, match="max_bins"):
+            BinMapper(max_bins=bad)
+
+
+class TestBoostingFit:
+    def test_strong_on_nonlinear_signal(self, regression_data):
+        X_train, y_train, X_test, y_test = regression_data
+        model = HistGradientBoostingRegressor(
+            max_iter=120, random_state=0
+        ).fit(X_train, y_train)
+        assert r2_score(y_test, model.predict(X_test)) > 0.9
+
+    def test_train_loss_decreases(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        model = HistGradientBoostingRegressor(max_iter=50).fit(X_train, y_train)
+        losses = model.train_score_
+        assert losses[-1] < losses[0]
+        # Mostly monotone: allow rare tiny upticks from shrinkage.
+        assert np.sum(np.diff(losses) > 1e-9) <= 2
+
+    def test_single_iteration_is_baseline_plus_one_tree(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        model = HistGradientBoostingRegressor(max_iter=1).fit(X, y)
+        assert model.n_iter_ == 1
+        assert len(model.estimators_) == 1
+
+    def test_learning_rate_scales_steps(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        slow = HistGradientBoostingRegressor(
+            max_iter=10, learning_rate=0.01
+        ).fit(X_train, y_train)
+        fast = HistGradientBoostingRegressor(
+            max_iter=10, learning_rate=0.5
+        ).fit(X_train, y_train)
+        # After few rounds the slow learner stays near the mean baseline.
+        assert slow.train_score_[-1] > fast.train_score_[-1]
+
+    def test_max_leaf_nodes_respected(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        model = HistGradientBoostingRegressor(
+            max_iter=5, max_leaf_nodes=4
+        ).fit(X_train, y_train)
+        assert all(t.n_leaves <= 4 for t in model.estimators_)
+
+    def test_constant_target_predicts_constant(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = np.full(50, 3.5)
+        model = HistGradientBoostingRegressor(max_iter=10).fit(X, y)
+        assert np.allclose(model.predict(X), 3.5)
+
+
+class TestEarlyStopping:
+    def test_stops_before_max_iter_on_plateau(self, rng):
+        X = rng.normal(size=(400, 2))
+        y = X[:, 0]  # trivially learnable
+        model = HistGradientBoostingRegressor(
+            max_iter=500,
+            early_stopping=True,
+            n_iter_no_change=5,
+            random_state=0,
+        ).fit(X, y)
+        assert model.n_iter_ < 500
+        assert model.validation_score_ is not None
+
+    def test_no_early_stopping_runs_full(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        model = HistGradientBoostingRegressor(max_iter=20).fit(X, y)
+        assert model.n_iter_ == 20
+        assert model.validation_score_ is None
+
+
+class TestHyperparamValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"learning_rate": 0.0}, "learning_rate"),
+            ({"max_iter": 0}, "max_iter"),
+            ({"max_leaf_nodes": 1}, "max_leaf_nodes"),
+            ({"max_depth": 0}, "max_depth"),
+            ({"min_samples_leaf": 0}, "min_samples_leaf"),
+            ({"l2_regularization": -1.0}, "l2_regularization"),
+        ],
+    )
+    def test_rejected(self, rng, kwargs, match):
+        X = rng.normal(size=(20, 1))
+        y = rng.normal(size=20)
+        with pytest.raises(ValueError, match=match):
+            HistGradientBoostingRegressor(**kwargs).fit(X, y)
+
+    def test_max_depth_respected_via_prediction_granularity(self, rng):
+        X = np.linspace(0, 1, 200).reshape(-1, 1)
+        y = np.sin(8 * X[:, 0])
+        shallow = HistGradientBoostingRegressor(
+            max_iter=1, max_depth=1, learning_rate=1.0
+        ).fit(X, y)
+        # A depth-1 tree yields at most 2 distinct leaf adjustments.
+        assert len(np.unique(shallow.predict(X))) <= 2
+
+    def test_determinism_without_early_stopping(self, regression_data):
+        X_train, y_train, X_test, _ = regression_data
+        a = HistGradientBoostingRegressor(max_iter=30).fit(X_train, y_train)
+        b = HistGradientBoostingRegressor(max_iter=30).fit(X_train, y_train)
+        assert np.array_equal(a.predict(X_test), b.predict(X_test))

@@ -1,0 +1,41 @@
+"""Unit tests for repro.learn.dummy."""
+
+import numpy as np
+import pytest
+
+from repro.learn.dummy import DummyRegressor
+
+
+class TestDummyRegressor:
+    def test_mean_strategy(self, rng):
+        X = rng.normal(size=(10, 1))
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0])
+        model = DummyRegressor().fit(X, y)
+        assert np.all(model.predict(X) == 5.5)
+
+    def test_median_strategy(self, rng):
+        X = rng.normal(size=(5, 1))
+        y = np.array([0.0, 0.0, 0.0, 0.0, 100.0])
+        model = DummyRegressor(strategy="median").fit(X, y)
+        assert np.all(model.predict(X) == 0.0)
+
+    def test_constant_strategy(self, rng):
+        X = rng.normal(size=(3, 2))
+        model = DummyRegressor(strategy="constant", constant=42.0).fit(
+            X, np.zeros(3)
+        )
+        assert np.all(model.predict(X) == 42.0)
+
+    def test_constant_requires_value(self, rng):
+        X = rng.normal(size=(3, 1))
+        with pytest.raises(ValueError, match="constant"):
+            DummyRegressor(strategy="constant").fit(X, np.zeros(3))
+
+    def test_unknown_strategy(self, rng):
+        X = rng.normal(size=(3, 1))
+        with pytest.raises(ValueError, match="strategy"):
+            DummyRegressor(strategy="mode").fit(X, np.zeros(3))
+
+    def test_prediction_length_follows_input(self, rng):
+        model = DummyRegressor().fit(rng.normal(size=(5, 1)), np.ones(5))
+        assert model.predict(rng.normal(size=(17, 1))).shape == (17,)

@@ -1,0 +1,156 @@
+"""Unit tests for repro.learn.forest (RandomForestRegressor)."""
+
+import numpy as np
+import pytest
+
+from repro.learn.forest import RandomForestRegressor
+from repro.learn.metrics import r2_score
+from repro.learn.tree import DecisionTreeRegressor
+
+
+class TestFitPredict:
+    def test_beats_single_tree_on_noisy_data(self, regression_data):
+        X_train, y_train, X_test, y_test = regression_data
+        tree = DecisionTreeRegressor(random_state=0).fit(X_train, y_train)
+        forest = RandomForestRegressor(
+            n_estimators=40, random_state=0
+        ).fit(X_train, y_train)
+        assert r2_score(y_test, forest.predict(X_test)) > r2_score(
+            y_test, tree.predict(X_test)
+        )
+
+    def test_prediction_is_tree_average(self, regression_data):
+        X_train, y_train, X_test, _ = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=7, random_state=3
+        ).fit(X_train, y_train)
+        manual = np.mean(
+            [t.predict(X_test) for t in forest.estimators_], axis=0
+        )
+        assert np.allclose(forest.predict(X_test), manual)
+
+    def test_n_estimators_respected(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.normal(size=50)
+        forest = RandomForestRegressor(n_estimators=13, random_state=0).fit(X, y)
+        assert len(forest.estimators_) == 13
+
+    def test_deterministic_for_seed(self, regression_data):
+        X_train, y_train, X_test, _ = regression_data
+        a = RandomForestRegressor(n_estimators=10, random_state=5).fit(
+            X_train, y_train
+        )
+        b = RandomForestRegressor(n_estimators=10, random_state=5).fit(
+            X_train, y_train
+        )
+        assert np.array_equal(a.predict(X_test), b.predict(X_test))
+
+    def test_different_seeds_differ(self, regression_data):
+        X_train, y_train, X_test, _ = regression_data
+        a = RandomForestRegressor(n_estimators=10, random_state=1).fit(
+            X_train, y_train
+        )
+        b = RandomForestRegressor(n_estimators=10, random_state=2).fit(
+            X_train, y_train
+        )
+        assert not np.array_equal(a.predict(X_test), b.predict(X_test))
+
+
+class TestBootstrapAndOob:
+    def test_no_bootstrap_with_all_features_gives_identical_trees(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X[:, 0] * 2
+        forest = RandomForestRegressor(
+            n_estimators=5, bootstrap=False, max_features=None, random_state=0
+        ).fit(X, y)
+        preds = [t.predict(X) for t in forest.estimators_]
+        for p in preds[1:]:
+            assert np.allclose(p, preds[0])
+
+    def test_oob_score_reasonable(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=60, random_state=0, oob_score=True
+        ).fit(X_train, y_train)
+        assert 0.5 < forest.oob_score_ <= 1.0
+        assert forest.oob_prediction_.shape == y_train.shape
+
+    def test_oob_requires_bootstrap(self, rng):
+        X = rng.normal(size=(20, 1))
+        y = rng.normal(size=20)
+        with pytest.raises(ValueError, match="bootstrap"):
+            RandomForestRegressor(bootstrap=False, oob_score=True).fit(X, y)
+
+    def test_oob_less_optimistic_than_train_score(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=60, random_state=0, oob_score=True
+        ).fit(X_train, y_train)
+        assert forest.oob_score_ < forest.score(X_train, y_train)
+
+
+class TestHyperparams:
+    def test_max_depth_forwarded(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = rng.normal(size=200)
+        forest = RandomForestRegressor(
+            n_estimators=5, max_depth=2, random_state=0
+        ).fit(X, y)
+        assert all(t.get_depth() <= 2 for t in forest.estimators_)
+
+    def test_invalid_n_estimators(self, rng):
+        X = rng.normal(size=(10, 1))
+        y = rng.normal(size=10)
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestRegressor(n_estimators=0).fit(X, y)
+
+    def test_feature_importances_normalized(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=15, random_state=0
+        ).fit(X_train, y_train)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+        assert (forest.feature_importances_ >= 0).all()
+
+
+class TestPredictQuantiles:
+    def test_shape_and_ordering(self, regression_data):
+        X_train, y_train, X_test, _ = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=30, random_state=0
+        ).fit(X_train, y_train)
+        bands = forest.predict_quantiles(X_test, quantiles=(0.1, 0.5, 0.9))
+        assert bands.shape == (len(X_test), 3)
+        assert np.all(bands[:, 0] <= bands[:, 1])
+        assert np.all(bands[:, 1] <= bands[:, 2])
+
+    def test_median_near_point_prediction(self, regression_data):
+        X_train, y_train, X_test, _ = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=60, random_state=0
+        ).fit(X_train, y_train)
+        median = forest.predict_quantiles(X_test, quantiles=(0.5,))[:, 0]
+        point = forest.predict(X_test)
+        assert np.abs(median - point).mean() < np.abs(point).mean()
+
+    def test_wider_bands_on_noisier_targets(self, rng):
+        X = rng.uniform(-1, 1, size=(400, 2))
+        quiet = X[:, 0]
+        noisy = X[:, 0] + rng.normal(0, 2.0, 400)
+        def band_width(y):
+            forest = RandomForestRegressor(
+                n_estimators=40, random_state=0
+            ).fit(X, y)
+            bands = forest.predict_quantiles(X, quantiles=(0.1, 0.9))
+            return float(np.mean(bands[:, 1] - bands[:, 0]))
+        assert band_width(noisy) > band_width(quiet)
+
+    def test_invalid_quantiles(self, regression_data):
+        X_train, y_train, X_test, _ = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=5, random_state=0
+        ).fit(X_train, y_train)
+        with pytest.raises(ValueError, match="quantiles"):
+            forest.predict_quantiles(X_test, quantiles=(1.5,))
+        with pytest.raises(ValueError):
+            forest.predict_quantiles(X_test, quantiles=())

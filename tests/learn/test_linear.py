@@ -1,0 +1,87 @@
+"""Unit tests for repro.learn.linear."""
+
+import numpy as np
+import pytest
+
+from repro.learn.exceptions import NotFittedError
+from repro.learn.linear import LinearRegression, Ridge
+
+
+class TestLinearRegression:
+    def test_recovers_exact_coefficients(self, linear_data):
+        X, y, coef, intercept = linear_data
+        model = LinearRegression().fit(X, y)
+        assert model.coef_ == pytest.approx(coef, abs=1e-6)
+        assert model.intercept_ == pytest.approx(intercept, abs=1e-6)
+
+    def test_predict_matches_formula(self, linear_data):
+        X, y, _, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        manual = X @ model.coef_ + model.intercept_
+        assert np.allclose(model.predict(X), manual)
+
+    def test_no_intercept_goes_through_origin(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X @ np.array([1.5, -2.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_ == pytest.approx([1.5, -2.0], abs=1e-8)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict([[1.0]])
+
+    def test_feature_count_mismatch(self, linear_data):
+        X, y, _, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.zeros((2, X.shape[1] + 1)))
+
+    def test_collinear_features_do_not_crash(self, rng):
+        x = rng.normal(size=100)
+        X = np.column_stack([x, x, x])  # rank 1
+        y = 2 * x + 1
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-6)
+
+    def test_single_feature(self, rng):
+        X = rng.normal(size=(50, 1))
+        y = 3 * X[:, 0] - 1
+        model = LinearRegression().fit(X, y)
+        assert model.coef_[0] == pytest.approx(3.0)
+
+
+class TestRidge:
+    def test_zero_alpha_equals_ols(self, linear_data):
+        X, y, _, _ = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = Ridge(alpha=0.0).fit(X, y)
+        assert ridge.coef_ == pytest.approx(ols.coef_, abs=1e-8)
+
+    def test_shrinkage_reduces_norm(self, rng):
+        X = rng.normal(size=(80, 4))
+        y = X @ np.array([5.0, -4.0, 3.0, -2.0]) + rng.normal(0, 0.5, 80)
+        small = Ridge(alpha=0.01).fit(X, y)
+        large = Ridge(alpha=1000.0).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_intercept_not_penalized(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = np.zeros(200) + 100.0  # constant target far from origin
+        model = Ridge(alpha=1e6).fit(X, y)
+        # Heavy penalty kills the slope, but the intercept stays at the mean.
+        assert model.intercept_ == pytest.approx(100.0, abs=1e-6)
+        assert np.allclose(model.coef_, 0.0, atol=1e-3)
+
+    def test_negative_alpha_rejected(self, linear_data):
+        X, y, _, _ = linear_data
+        with pytest.raises(ValueError, match="alpha"):
+            Ridge(alpha=-1.0).fit(X, y)
+
+    def test_stabilizes_collinear_problem(self, rng):
+        x = rng.normal(size=100)
+        X = np.column_stack([x, x + rng.normal(0, 1e-10, 100)])
+        y = x
+        model = Ridge(alpha=1.0).fit(X, y)
+        assert np.all(np.isfinite(model.coef_))
+        assert np.abs(model.coef_).max() < 10.0

@@ -1,0 +1,101 @@
+"""Unit tests for repro.learn.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.learn.metrics import (
+    explained_variance_score,
+    max_error,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    median_absolute_error,
+    r2_score,
+    residuals,
+    root_mean_squared_error,
+)
+
+
+class TestBasicMetrics:
+    def test_mse_known_value(self):
+        assert mean_squared_error([1, 2, 3], [1, 2, 5]) == pytest.approx(4 / 3)
+
+    def test_rmse_is_sqrt_of_mse(self):
+        y, p = [0, 0, 0], [3, 0, 0]
+        assert root_mean_squared_error(y, p) == pytest.approx(
+            np.sqrt(mean_squared_error(y, p))
+        )
+
+    def test_mae_known_value(self):
+        assert mean_absolute_error([1, 2], [2, 4]) == pytest.approx(1.5)
+
+    def test_median_ae_robust_to_outlier(self):
+        y = [0, 0, 0, 0, 0]
+        p = [1, 1, 1, 1, 100]
+        assert median_absolute_error(y, p) == 1.0
+
+    def test_max_error(self):
+        assert max_error([1, 2, 3], [1, 0, 3]) == 2.0
+
+    def test_mape(self):
+        assert mean_absolute_percentage_error([10, 20], [11, 18]) == (
+            pytest.approx((0.1 + 0.1) / 2)
+        )
+
+    def test_residuals_signed(self):
+        out = residuals([3, 1], [1, 3])
+        assert np.array_equal(out, [2, -2])
+
+    def test_perfect_prediction_zero_error(self):
+        y = np.arange(10.0)
+        assert mean_squared_error(y, y) == 0.0
+        assert mean_absolute_error(y, y) == 0.0
+        assert max_error(y, y) == 0.0
+
+
+class TestR2:
+    def test_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        p = np.full(3, y.mean())
+        assert r2_score(y, p) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        p = np.array([3.0, 2.0, 1.0])
+        assert r2_score(y, p) < 0
+
+    def test_constant_target_conventions(self):
+        y = np.ones(4)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1) == 0.0
+
+
+class TestExplainedVariance:
+    def test_bias_ignored(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        # A constant offset leaves residual variance at zero.
+        assert explained_variance_score(y, y + 10) == pytest.approx(1.0)
+
+    def test_r2_penalizes_bias_but_ev_does_not(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, y + 10) < explained_variance_score(y, y + 10)
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        from repro.learn.exceptions import DataValidationError
+
+        with pytest.raises(DataValidationError):
+            mean_squared_error([1, 2], [1, 2, 3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_column_vector_accepted(self):
+        out = mean_absolute_error(np.array([[1.0], [2.0]]), [1.0, 2.0])
+        assert out == 0.0

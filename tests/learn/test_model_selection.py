@@ -1,0 +1,321 @@
+"""Unit tests for repro.learn.model_selection."""
+
+import numpy as np
+import pytest
+
+from repro.learn.linear import LinearRegression, Ridge
+from repro.learn.metrics import mean_absolute_error
+from repro.learn.model_selection import (
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    TimeSeriesSplit,
+    cross_val_score,
+    make_scorer,
+    neg_mean_absolute_error_scorer,
+    temporal_train_test_split,
+    train_test_split,
+)
+from repro.learn.tree import DecisionTreeRegressor
+
+
+class TestKFold:
+    def test_covers_all_samples_exactly_once(self):
+        folds = list(KFold(n_splits=4).split(np.zeros(22)))
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test) == list(range(22))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(n_splits=3).split(np.zeros(10)):
+            assert not set(train) & set(test)
+
+    def test_shuffle_changes_order_deterministically(self):
+        a = list(KFold(3, shuffle=True, random_state=1).split(np.zeros(9)))
+        b = list(KFold(3, shuffle=True, random_state=1).split(np.zeros(9)))
+        c = list(KFold(3, shuffle=True, random_state=2).split(np.zeros(9)))
+        assert np.array_equal(a[0][1], b[0][1])
+        assert not all(
+            np.array_equal(x[1], y[1]) for x, y in zip(a, c)
+        )
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="split"):
+            list(KFold(n_splits=5).split(np.zeros(3)))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_uneven_fold_sizes(self):
+        sizes = [len(test) for _, test in KFold(3).split(np.zeros(10))]
+        assert sorted(sizes) == [3, 3, 4]
+
+
+class TestTimeSeriesSplit:
+    def test_train_always_precedes_test(self):
+        for train, test in TimeSeriesSplit(n_splits=4).split(np.zeros(50)):
+            assert train.max() < test.min()
+
+    def test_train_grows(self):
+        lengths = [
+            len(train)
+            for train, _ in TimeSeriesSplit(n_splits=4).split(np.zeros(50))
+        ]
+        assert lengths == sorted(lengths)
+        assert lengths[0] > 0
+
+    def test_max_train_size(self):
+        for train, _ in TimeSeriesSplit(
+            n_splits=3, max_train_size=5
+        ).split(np.zeros(40)):
+            assert len(train) <= 5
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(TimeSeriesSplit(n_splits=5).split(np.zeros(4)))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        X_train, X_test = train_test_split(X, test_size=0.2, random_state=0)
+        assert len(X_test) == 20
+        assert len(X_train) == 80
+
+    def test_multiple_arrays_stay_aligned(self):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.arange(50) * 10
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_size=0.3, random_state=1
+        )
+        assert np.array_equal(X_train.ravel() * 10, y_train)
+        assert np.array_equal(X_test.ravel() * 10, y_test)
+
+    def test_no_shuffle_keeps_order(self):
+        X = np.arange(10).reshape(-1, 1)
+        X_train, X_test = train_test_split(X, test_size=0.2, shuffle=False)
+        assert np.array_equal(X_test.ravel(), [0, 1])
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), test_size=1.5)
+
+
+class TestTemporalSplit:
+    def test_seventy_thirty(self):
+        X = np.arange(100)
+        X_train, X_test = temporal_train_test_split(X, train_fraction=0.7)
+        assert len(X_train) == 70
+        assert np.array_equal(X_train, np.arange(70))
+
+    def test_chronological_order_preserved(self):
+        X = np.arange(10)
+        X_train, X_test = temporal_train_test_split(X, train_fraction=0.5)
+        assert X_train.max() < X_test.min()
+
+    def test_degenerate_fraction_clamped(self):
+        X = np.arange(3)
+        X_train, X_test = temporal_train_test_split(X, train_fraction=0.99)
+        assert len(X_test) >= 1
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y"]})
+        combos = list(grid)
+        assert len(combos) == 4
+        assert {"a": 1, "b": "x"} in combos
+
+    def test_len(self):
+        assert len(ParameterGrid({"a": [1, 2, 3], "b": [1, 2]})) == 6
+
+    def test_list_of_grids(self):
+        grid = ParameterGrid([{"a": [1]}, {"b": [2, 3]}])
+        assert len(grid) == 3
+
+    def test_empty_grid_yields_empty_dict(self):
+        assert list(ParameterGrid({})) == [{}]
+
+    def test_string_values_rejected(self):
+        with pytest.raises(ValueError, match="iterable"):
+            ParameterGrid({"a": "abc"})
+
+
+class TestScorers:
+    def test_make_scorer_greater_is_better(self, linear_data):
+        X, y, _, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        scorer = make_scorer(mean_absolute_error, greater_is_better=False)
+        assert scorer(model, X, y) == pytest.approx(0.0, abs=1e-6)
+        assert scorer(model, X, y + 1) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_builtin_neg_mae_scorer(self, linear_data):
+        X, y, _, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        assert neg_mean_absolute_error_scorer(model, X, y) <= 0.0
+
+
+class TestCrossValScore:
+    def test_returns_one_score_per_fold(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        scores = cross_val_score(
+            DecisionTreeRegressor(max_depth=4, random_state=0),
+            X_train,
+            y_train,
+            cv=4,
+        )
+        assert scores.shape == (4,)
+
+    def test_does_not_mutate_estimator(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        template = LinearRegression()
+        cross_val_score(template, X_train, y_train, cv=3)
+        assert not hasattr(template, "coef_")
+
+
+class TestGridSearchCV:
+    def test_finds_obviously_better_param(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        search = GridSearchCV(
+            DecisionTreeRegressor(random_state=0),
+            {"max_depth": [1, 8]},
+            cv=3,
+        ).fit(X_train, y_train)
+        assert search.best_params_ == {"max_depth": 8}
+
+    def test_refit_enables_predict(self, regression_data):
+        X_train, y_train, X_test, _ = regression_data
+        search = GridSearchCV(
+            Ridge(), {"alpha": [0.1, 10.0]}, cv=3
+        ).fit(X_train, y_train)
+        assert search.predict(X_test).shape == (len(X_test),)
+
+    def test_no_refit_blocks_predict(self, regression_data):
+        X_train, y_train, X_test, _ = regression_data
+        search = GridSearchCV(
+            Ridge(), {"alpha": [1.0]}, cv=3, refit=False
+        ).fit(X_train, y_train)
+        with pytest.raises(AttributeError):
+            search.predict(X_test)
+
+    def test_cv_results_structure(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        search = GridSearchCV(
+            Ridge(), {"alpha": [0.1, 1.0, 10.0]}, cv=3
+        ).fit(X_train, y_train)
+        assert len(search.cv_results_["params"]) == 3
+        assert search.cv_results_["mean_test_score"].shape == (3,)
+        assert search.best_index_ == int(
+            np.argmax(search.cv_results_["mean_test_score"])
+        )
+
+    def test_custom_scorer_used(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        search = GridSearchCV(
+            DecisionTreeRegressor(random_state=0),
+            {"max_depth": [1, 6]},
+            cv=3,
+            scoring=neg_mean_absolute_error_scorer,
+        ).fit(X_train, y_train)
+        assert search.best_score_ <= 0.0
+        assert search.best_params_["max_depth"] == 6
+
+    def test_empty_grid_rejected(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        with pytest.raises(ValueError, match="empty"):
+            GridSearchCV(Ridge(), [], cv=3).fit(X_train, y_train)
+
+    def test_time_series_cv_accepted(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        search = GridSearchCV(
+            Ridge(), {"alpha": [0.1, 1.0]}, cv=TimeSeriesSplit(n_splits=3)
+        ).fit(X_train, y_train)
+        assert "alpha" in search.best_params_
+
+
+class TestParameterSampler:
+    def test_sample_count(self):
+        from repro.learn.model_selection import ParameterSampler
+
+        sampler = ParameterSampler({"a": [1, 2, 3]}, n_iter=7, random_state=0)
+        assert len(list(sampler)) == 7
+        assert len(sampler) == 7
+
+    def test_values_come_from_lists(self):
+        from repro.learn.model_selection import ParameterSampler
+
+        sampler = ParameterSampler(
+            {"a": [1, 2], "b": ["x"]}, n_iter=20, random_state=0
+        )
+        for params in sampler:
+            assert params["a"] in (1, 2)
+            assert params["b"] == "x"
+
+    def test_scipy_distribution_supported(self):
+        from scipy import stats
+
+        from repro.learn.model_selection import ParameterSampler
+
+        sampler = ParameterSampler(
+            {"depth": stats.randint(3, 51)}, n_iter=50, random_state=0
+        )
+        depths = [p["depth"] for p in sampler]
+        assert all(3 <= d <= 50 for d in depths)
+        assert len(set(depths)) > 5
+
+    def test_deterministic_for_seed(self):
+        from repro.learn.model_selection import ParameterSampler
+
+        a = list(ParameterSampler({"a": [1, 2, 3]}, 10, random_state=4))
+        b = list(ParameterSampler({"a": [1, 2, 3]}, 10, random_state=4))
+        assert a == b
+
+    def test_invalid_inputs(self):
+        from repro.learn.model_selection import ParameterSampler
+
+        with pytest.raises(ValueError):
+            ParameterSampler({}, n_iter=5)
+        with pytest.raises(ValueError):
+            ParameterSampler({"a": [1]}, n_iter=0)
+        with pytest.raises(ValueError):
+            ParameterSampler({"a": "abc"}, n_iter=5)
+
+
+class TestRandomizedSearchCV:
+    def test_finds_good_depth(self, regression_data):
+        from repro.learn.model_selection import RandomizedSearchCV
+
+        X_train, y_train, X_test, y_test = regression_data
+        search = RandomizedSearchCV(
+            DecisionTreeRegressor(random_state=0),
+            {"max_depth": [1, 2, 8, 9, 10]},
+            n_iter=5,
+            cv=3,
+            random_state=0,
+        ).fit(X_train, y_train)
+        assert search.best_params_["max_depth"] >= 8
+        assert search.predict(X_test).shape == (len(X_test),)
+
+    def test_evaluates_n_iter_candidates(self, regression_data):
+        from repro.learn.model_selection import RandomizedSearchCV
+
+        X_train, y_train, _, _ = regression_data
+        search = RandomizedSearchCV(
+            Ridge(),
+            {"alpha": [0.01, 0.1, 1.0, 10.0, 100.0]},
+            n_iter=4,
+            cv=3,
+            random_state=1,
+        ).fit(X_train, y_train)
+        assert len(search.cv_results_["params"]) == 4
+
+    def test_clone_roundtrip(self):
+        from repro.learn.base import clone
+        from repro.learn.model_selection import RandomizedSearchCV
+
+        search = RandomizedSearchCV(
+            Ridge(), {"alpha": [1.0]}, n_iter=2, random_state=3
+        )
+        fresh = clone(search)
+        assert fresh.n_iter == 2
+        assert fresh.random_state == 3

@@ -1,0 +1,126 @@
+"""Unit tests for repro.learn.neural (MLPRegressor)."""
+
+import numpy as np
+import pytest
+
+from repro.learn.base import clone
+from repro.learn.exceptions import NotFittedError
+from repro.learn.metrics import r2_score
+from repro.learn.neural import MLPRegressor
+
+
+class TestFitPredict:
+    def test_learns_nonlinear_signal(self, regression_data):
+        X_train, y_train, X_test, y_test = regression_data
+        model = MLPRegressor(
+            hidden_layer_sizes=(64, 32), max_iter=200, random_state=0
+        ).fit(X_train, y_train)
+        assert r2_score(y_test, model.predict(X_test)) > 0.8
+
+    def test_learns_linear_signal(self, linear_data):
+        X, y, _, _ = linear_data
+        model = MLPRegressor(max_iter=200, random_state=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.95
+
+    def test_loss_decreases(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        model = MLPRegressor(max_iter=50, random_state=0).fit(X_train, y_train)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_deterministic_for_seed(self, regression_data):
+        X_train, y_train, X_test, _ = regression_data
+        a = MLPRegressor(max_iter=20, random_state=7).fit(X_train, y_train)
+        b = MLPRegressor(max_iter=20, random_state=7).fit(X_train, y_train)
+        assert np.array_equal(a.predict(X_test), b.predict(X_test))
+
+    def test_tanh_activation_works(self, regression_data):
+        X_train, y_train, X_test, y_test = regression_data
+        model = MLPRegressor(
+            activation="tanh", max_iter=150, random_state=0
+        ).fit(X_train, y_train)
+        assert r2_score(y_test, model.predict(X_test)) > 0.6
+
+    def test_handles_huge_feature_scales(self, rng):
+        """The maintenance features span 1e4..1e6; internal scaling copes."""
+        X = np.column_stack(
+            [rng.uniform(0, 2e6, 300), rng.uniform(0, 3e4, 300)]
+        )
+        y = X[:, 0] / 2e4 + X[:, 1] / 3e3
+        model = MLPRegressor(max_iter=150, random_state=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9
+
+
+class TestEarlyStopping:
+    def test_stops_on_plateau(self, rng):
+        X = rng.normal(size=(500, 3))
+        y = X[:, 0]
+        model = MLPRegressor(
+            max_iter=1000,
+            early_stopping=True,
+            n_iter_no_change=5,
+            random_state=0,
+        ).fit(X, y)
+        assert model.n_iter_ < 1000
+
+    def test_without_early_stopping_runs_all_epochs(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = X[:, 0]
+        model = MLPRegressor(max_iter=17, random_state=0).fit(X, y)
+        assert model.n_iter_ == 17
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"hidden_layer_sizes": ()}, "hidden_layer_sizes"),
+            ({"hidden_layer_sizes": (0,)}, "hidden_layer_sizes"),
+            ({"activation": "sigmoid"}, "activation"),
+            ({"learning_rate": 0.0}, "learning_rate"),
+            ({"max_iter": 0}, "max_iter"),
+            ({"batch_size": 0}, "batch_size"),
+            ({"alpha": -1.0}, "alpha"),
+        ],
+    )
+    def test_invalid_hyperparams(self, rng, kwargs, match):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match=match):
+            MLPRegressor(**kwargs).fit(X, np.zeros(10))
+
+    def test_unfitted_predict(self):
+        with pytest.raises(NotFittedError):
+            MLPRegressor().predict(np.zeros((1, 2)))
+
+    def test_feature_count_checked(self, rng):
+        X = rng.normal(size=(30, 2))
+        model = MLPRegressor(max_iter=5, random_state=0).fit(X, X[:, 0])
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.zeros((2, 5)))
+
+    def test_clone_roundtrip(self):
+        model = MLPRegressor(hidden_layer_sizes=(8,), alpha=0.01)
+        fresh = clone(model)
+        assert fresh.hidden_layer_sizes == (8,)
+        assert fresh.alpha == 0.01
+
+
+class TestRegistryIntegration:
+    def test_mlp_registered_as_extension(self):
+        from repro.core.registry import ALGORITHMS, PAPER_ALGORITHM_ORDER
+
+        assert "MLP" in ALGORITHMS
+        assert "MLP" not in PAPER_ALGORITHM_ORDER
+
+    def test_mlp_predictor_on_maintenance_data(self):
+        from repro.core.cycles import derive_series
+        from repro.core.registry import make_predictor
+        from repro.dataprep.transformation import build_relational_dataset
+
+        usage = np.full(60, 20_000.0)
+        dataset = build_relational_dataset(
+            derive_series(usage, 200_000.0), window=0
+        )
+        predictor = make_predictor("MLP")
+        predictor.fit(dataset)
+        pred = predictor.predict(dataset.X)
+        assert np.abs(pred - dataset.y).mean() < 2.0

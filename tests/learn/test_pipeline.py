@@ -1,0 +1,113 @@
+"""Unit tests for repro.learn.pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.learn.base import clone
+from repro.learn.linear import LinearRegression, Ridge
+from repro.learn.pipeline import Pipeline, make_pipeline
+from repro.learn.preprocessing import MinMaxScaler, StandardScaler
+from repro.learn.svm import LinearSVR
+
+
+class TestPipelineFitPredict:
+    def test_scaling_then_regression(self, rng):
+        X = rng.normal(1e6, 1e5, size=(100, 2))  # huge scale
+        y = (X[:, 0] - 1e6) / 1e5
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("model", LinearRegression())]
+        ).fit(X, y)
+        assert pipe.score(X, y) > 0.99
+
+    def test_equivalent_to_manual_chain(self, rng):
+        X = rng.normal(size=(80, 3))
+        y = X[:, 0] * 2
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("model", Ridge(alpha=0.1))]
+        ).fit(X, y)
+        scaler = StandardScaler().fit(X)
+        model = Ridge(alpha=0.1).fit(scaler.transform(X), y)
+        assert np.allclose(
+            pipe.predict(X), model.predict(scaler.transform(X))
+        )
+
+    def test_transform_only_pipeline(self, rng):
+        X = rng.normal(size=(20, 2))
+        pipe = Pipeline(
+            [("a", StandardScaler()), ("b", MinMaxScaler())]
+        ).fit(X)
+        out = pipe.transform(X)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_predict_before_fit(self, rng):
+        pipe = Pipeline([("m", LinearRegression())])
+        with pytest.raises(Exception):
+            pipe.predict(rng.normal(size=(2, 1)))
+
+
+class TestPipelineParams:
+    def test_nested_get_params(self):
+        pipe = Pipeline([("svr", LinearSVR(C=3.0))])
+        assert pipe.get_params()["svr__C"] == 3.0
+
+    def test_nested_set_params(self):
+        pipe = Pipeline([("svr", LinearSVR())])
+        pipe.set_params(svr__C=9.0)
+        assert pipe.steps[0][1].C == 9.0
+
+    def test_invalid_step_name_in_set_params(self):
+        pipe = Pipeline([("svr", LinearSVR())])
+        with pytest.raises(ValueError, match="Invalid parameter"):
+            pipe.set_params(nope__C=1.0)
+
+    def test_clone_keeps_structure(self):
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("svr", LinearSVR(C=2.0))]
+        )
+        fresh = clone(pipe)
+        assert fresh.steps[1][1].C == 2.0
+        assert fresh.steps[1][1] is not pipe.steps[1][1]
+
+    def test_fit_does_not_mutate_template_steps(self, rng):
+        scaler = StandardScaler()
+        pipe = Pipeline([("scale", scaler), ("m", LinearRegression())])
+        X = rng.normal(size=(30, 1))
+        pipe.fit(X, X[:, 0])
+        # fit() clones each step, so the original template stays unfitted.
+        assert not hasattr(scaler, "offset_")
+
+
+class TestPipelineValidation:
+    def test_duplicate_names_rejected(self, rng):
+        pipe = Pipeline([("a", StandardScaler()), ("a", LinearRegression())])
+        with pytest.raises(ValueError, match="unique"):
+            pipe.fit(rng.normal(size=(5, 1)), np.zeros(5))
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Pipeline([]).fit(np.zeros((2, 1)), np.zeros(2))
+
+    def test_intermediate_must_transform(self, rng):
+        pipe = Pipeline(
+            [("m", LinearRegression()), ("scale", StandardScaler())]
+        )
+        with pytest.raises(TypeError, match="transform"):
+            pipe.fit(rng.normal(size=(5, 1)), np.zeros(5))
+
+    def test_dunder_in_name_rejected(self, rng):
+        pipe = Pipeline([("a__b", LinearRegression())])
+        with pytest.raises(ValueError, match="Invalid step name"):
+            pipe.fit(rng.normal(size=(5, 1)), np.zeros(5))
+
+
+class TestMakePipeline:
+    def test_auto_names(self):
+        pipe = make_pipeline(StandardScaler(), LinearRegression())
+        names = [name for name, _ in pipe.steps]
+        assert names == ["standardscaler", "linearregression"]
+
+    def test_duplicate_types_get_suffixes(self):
+        pipe = make_pipeline(StandardScaler(), StandardScaler())
+        names = [name for name, _ in pipe.steps]
+        assert names == ["standardscaler", "standardscaler-2"]

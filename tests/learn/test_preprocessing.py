@@ -1,0 +1,113 @@
+"""Unit tests for repro.learn.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.learn.exceptions import NotFittedError
+from repro.learn.preprocessing import MinMaxScaler, RobustScaler, StandardScaler
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_range(self, rng):
+        X = rng.normal(10, 5, size=(100, 3))
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min(axis=0) == pytest.approx([0, 0, 0])
+        assert out.max(axis=0) == pytest.approx([1, 1, 1])
+
+    def test_custom_range(self, rng):
+        X = rng.normal(size=(50, 2))
+        out = MinMaxScaler(feature_range=(-1, 1)).fit_transform(X)
+        assert out.min() == pytest.approx(-1)
+        assert out.max() == pytest.approx(1)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(30, 4))
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        out = MinMaxScaler().fit_transform(X)
+        assert np.allclose(out[:, 0], 0.0)
+
+    def test_clip_on_unseen_extremes(self):
+        X_train = np.array([[0.0], [10.0]])
+        scaler = MinMaxScaler(clip=True).fit(X_train)
+        out = scaler.transform(np.array([[-5.0], [15.0]]))
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    def test_no_clip_extrapolates(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[20.0]]))[0, 0] == pytest.approx(2.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="feature_range"):
+            MinMaxScaler(feature_range=(1, 1)).fit(np.zeros((3, 1)))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(7, 3, size=(500, 2))
+        out = StandardScaler().fit_transform(X)
+        assert out.mean(axis=0) == pytest.approx([0, 0], abs=1e-10)
+        assert out.std(axis=0) == pytest.approx([1, 1], abs=1e-10)
+
+    def test_without_mean(self, rng):
+        X = rng.normal(5, 1, size=(100, 1))
+        out = StandardScaler(with_mean=False).fit_transform(X)
+        assert out.mean() > 1.0  # mean untouched, only scaled
+
+    def test_without_std(self, rng):
+        X = rng.normal(5, 3, size=(100, 1))
+        out = StandardScaler(with_std=False).fit_transform(X)
+        assert out.std() == pytest.approx(X.std())
+
+    def test_constant_column_safe(self):
+        X = np.column_stack([np.full(10, 3.0), np.arange(10.0)])
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out[:, 0], 0.0)
+        assert np.isfinite(out).all()
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(40, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+
+class TestRobustScaler:
+    def test_centers_on_median(self, rng):
+        X = rng.normal(size=(200, 1))
+        X[0, 0] = 1e6  # outlier should barely matter
+        out = RobustScaler().fit_transform(X)
+        assert abs(np.median(out)) < 1e-10
+
+    def test_less_outlier_sensitive_than_standard(self, rng):
+        X = rng.normal(size=(200, 1))
+        X_dirty = X.copy()
+        X_dirty[0, 0] = 1e6
+        robust = RobustScaler().fit(X_dirty)
+        standard = StandardScaler().fit(X_dirty)
+        # The standard scale explodes with the outlier; robust does not.
+        assert robust.scale_[0] < standard.scale_[0]
+
+    def test_invalid_quantiles(self):
+        with pytest.raises(ValueError, match="quantile_range"):
+            RobustScaler(quantile_range=(80, 20)).fit(np.zeros((5, 1)))
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "scaler", [MinMaxScaler(), StandardScaler(), RobustScaler()]
+    )
+    def test_transform_before_fit(self, scaler):
+        with pytest.raises(NotFittedError):
+            scaler.transform(np.zeros((2, 1)))
+
+    @pytest.mark.parametrize(
+        "scaler", [MinMaxScaler(), StandardScaler(), RobustScaler()]
+    )
+    def test_feature_count_checked(self, scaler, rng):
+        scaler.fit(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(rng.normal(size=(3, 5)))

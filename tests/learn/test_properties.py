@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the ML substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.learn.boosting import BinMapper
+from repro.learn.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+)
+from repro.learn.model_selection import KFold, TimeSeriesSplit
+from repro.learn.preprocessing import MinMaxScaler, StandardScaler
+from repro.learn.tree import DecisionTreeRegressor
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def vectors(min_size=2, max_size=40):
+    return arrays(
+        dtype=np.float64,
+        shape=st.integers(min_size, max_size),
+        elements=finite_floats,
+    )
+
+
+class TestMetricProperties:
+    @given(vectors())
+    def test_zero_error_on_identity(self, y):
+        assert mean_squared_error(y, y) == 0.0
+        assert mean_absolute_error(y, y) == 0.0
+
+    @given(vectors(), st.floats(min_value=0.1, max_value=100))
+    def test_mae_of_constant_offset_is_the_offset(self, y, offset):
+        np.testing.assert_allclose(
+            mean_absolute_error(y, y + offset), offset, rtol=1e-6, atol=1e-6
+        )
+
+    @given(vectors())
+    def test_mse_nonnegative(self, y):
+        noise = np.linspace(-1, 1, y.size)
+        assert mean_squared_error(y, y + noise) >= 0.0
+
+    @given(vectors(min_size=3))
+    def test_r2_at_most_one(self, y):
+        pred = y + np.linspace(-0.5, 0.5, y.size)
+        assert r2_score(y, pred) <= 1.0 + 1e-12
+
+
+class TestScalerProperties:
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 30), st.integers(1, 5)),
+            elements=finite_floats,
+        )
+    )
+    def test_minmax_output_in_range(self, X):
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() >= -1e-9
+        assert out.max() <= 1.0 + 1e-9
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 30), st.integers(1, 5)),
+            elements=st.floats(min_value=-1e4, max_value=1e4),
+        )
+    )
+    def test_roundtrip_inverse(self, X):
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        np.testing.assert_allclose(back, X, atol=1e-6)
+
+
+class TestSplitterProperties:
+    @given(st.integers(6, 100), st.integers(2, 5))
+    def test_kfold_partitions(self, n, k):
+        folds = list(KFold(n_splits=k).split(np.zeros(n)))
+        assert len(folds) == k
+        all_test = np.concatenate([t for _, t in folds])
+        assert sorted(all_test.tolist()) == list(range(n))
+
+    @given(st.integers(10, 80), st.integers(2, 4))
+    def test_tss_no_future_leakage(self, n, k):
+        for train, test in TimeSeriesSplit(n_splits=k).split(np.zeros(n)):
+            assert train.max() < test.min()
+
+
+class TestTreeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(5, 40), st.integers(1, 3)),
+            elements=st.floats(min_value=-100, max_value=100),
+        ),
+        st.integers(1, 4),
+    )
+    def test_predictions_within_target_range(self, X, depth):
+        y = X[:, 0] * 2.0 + 1.0
+        tree = DecisionTreeRegressor(max_depth=depth).fit(X, y)
+        pred = tree.predict(X)
+        # Leaf values are means of training targets: never extrapolate.
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(4, 30), st.integers(1, 3)),
+            elements=st.floats(min_value=-50, max_value=50),
+        )
+    )
+    def test_depth_never_exceeds_limit(self, X):
+        y = np.arange(X.shape[0], dtype=float)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert tree.get_depth() <= 2
+
+
+class TestBinMapperProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(3, 200), st.integers(1, 3)),
+            elements=finite_floats,
+        )
+    )
+    def test_binning_is_order_preserving(self, X):
+        mapper = BinMapper(max_bins=16).fit(X)
+        binned = mapper.transform(X)
+        for j in range(X.shape[1]):
+            order = np.argsort(X[:, j], kind="stable")
+            diffs = np.diff(binned[order, j].astype(int))
+            assert (diffs >= 0).all()

@@ -1,0 +1,77 @@
+"""Unit tests for repro.learn.svm (LinearSVR)."""
+
+import numpy as np
+import pytest
+
+from repro.learn.metrics import r2_score
+from repro.learn.svm import LinearSVR
+
+
+class TestLinearSVR:
+    def test_fits_linear_relationship(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 4.0
+        model = LinearSVR(C=100.0, epsilon=0.0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.99
+
+    def test_epsilon_tube_ignores_small_noise(self, rng):
+        X = rng.normal(size=(300, 1))
+        noise = rng.uniform(-0.4, 0.4, 300)
+        y = 3.0 * X[:, 0] + noise
+        model = LinearSVR(C=10.0, epsilon=0.5).fit(X, y)
+        # Residuals inside the tube cost nothing: slope stays near 3.
+        assert model.coef_[0] == pytest.approx(3.0, abs=0.15)
+
+    def test_small_C_means_heavy_regularization(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X @ np.array([10.0, -8.0])
+        weak = LinearSVR(C=1e-6, epsilon=0.0).fit(X, y)
+        strong = LinearSVR(C=100.0, epsilon=0.0).fit(X, y)
+        assert np.linalg.norm(weak.coef_) < np.linalg.norm(strong.coef_)
+
+    def test_l1_loss_variant_converges(self, rng):
+        X = rng.normal(size=(150, 2))
+        y = X @ np.array([1.0, 2.0]) + 0.5
+        model = LinearSVR(
+            C=10.0, epsilon=0.1, loss="epsilon_insensitive"
+        ).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.98
+
+    def test_l1_loss_robust_to_outliers(self, rng):
+        X = rng.normal(size=(200, 1))
+        y = 2.0 * X[:, 0]
+        y[:5] += 100.0  # gross outliers
+        l1 = LinearSVR(C=1.0, epsilon=0.0, loss="epsilon_insensitive").fit(X, y)
+        l2 = LinearSVR(
+            C=1.0, epsilon=0.0, loss="squared_epsilon_insensitive"
+        ).fit(X, y)
+        # The L1 tube bends less toward the outliers than the squared loss.
+        assert abs(l1.coef_[0] - 2.0) < abs(l2.coef_[0] - 2.0)
+
+    def test_no_intercept(self, rng):
+        X = rng.normal(size=(100, 1))
+        y = 5.0 * X[:, 0]
+        model = LinearSVR(C=100.0, fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+
+    def test_reports_iterations_and_convergence(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = X[:, 0]
+        model = LinearSVR(C=1.0).fit(X, y)
+        assert model.n_iter_ >= 1
+        assert isinstance(model.converged_, bool)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"C": 0.0}, "C must be positive"),
+            ({"C": -1.0}, "C must be positive"),
+            ({"epsilon": -0.5}, "epsilon"),
+            ({"loss": "hinge"}, "loss must be one of"),
+        ],
+    )
+    def test_invalid_hyperparams(self, rng, kwargs, match):
+        X = rng.normal(size=(10, 1))
+        y = X[:, 0]
+        with pytest.raises(ValueError, match=match):
+            LinearSVR(**kwargs).fit(X, y)

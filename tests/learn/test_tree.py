@@ -1,0 +1,170 @@
+"""Unit tests for repro.learn.tree (CART)."""
+
+import numpy as np
+import pytest
+
+from repro.learn.exceptions import NotFittedError
+from repro.learn.metrics import r2_score
+from repro.learn.tree import DecisionTreeRegressor, export_text
+
+
+class TestBasicFitting:
+    def test_perfectly_separable_step(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = np.array([5.0, 5.0, 5.0, 9.0, 9.0, 9.0])
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.array_equal(tree.predict(X), y)
+        assert tree.get_n_leaves() == 2
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        y = np.full(10, 7.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.get_n_leaves() == 1
+        assert np.all(tree.predict(X) == 7.0)
+
+    def test_deep_tree_interpolates_training_data(self, rng):
+        X = rng.uniform(-1, 1, size=(100, 2))
+        y = rng.normal(size=100)
+        tree = DecisionTreeRegressor().fit(X, y)
+        # Unconstrained CART memorizes distinct-feature training sets.
+        assert r2_score(y, tree.predict(X)) > 0.999
+
+    def test_nonlinear_signal(self, regression_data):
+        X_train, y_train, X_test, y_test = regression_data
+        tree = DecisionTreeRegressor(max_depth=8).fit(X_train, y_train)
+        assert r2_score(y_test, tree.predict(X_test)) > 0.8
+
+
+class TestPruningControls:
+    def test_max_depth_respected(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = rng.normal(size=200)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert tree.get_depth() <= 3
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        tree = DecisionTreeRegressor(min_samples_leaf=10).fit(X, y)
+        leaf_sizes = tree.tree_.n_node_samples[
+            tree.tree_.children_left == -1
+        ]
+        assert leaf_sizes.min() >= 10
+
+    def test_min_samples_split_respected(self, rng):
+        X = rng.normal(size=(50, 1))
+        y = rng.normal(size=50)
+        tree = DecisionTreeRegressor(min_samples_split=40).fit(X, y)
+        internal = tree.tree_.children_left != -1
+        assert tree.tree_.n_node_samples[internal].min() >= 40
+
+    def test_min_impurity_decrease_blocks_weak_splits(self, rng):
+        X = rng.normal(size=(100, 1))
+        y = rng.normal(0, 0.01, size=100)  # almost no structure
+        strict = DecisionTreeRegressor(min_impurity_decrease=1.0).fit(X, y)
+        assert strict.get_n_leaves() == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_depth": 0},
+            {"min_samples_split": 1},
+            {"min_samples_leaf": 0},
+            {"min_impurity_decrease": -0.1},
+            {"max_features": 0},
+            {"max_features": 2.0},
+            {"max_features": "cube"},
+        ],
+    )
+    def test_invalid_hyperparams(self, rng, kwargs):
+        X = rng.normal(size=(20, 3))
+        y = rng.normal(size=20)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(**kwargs).fit(X, y)
+
+
+class TestMaxFeatures:
+    @pytest.mark.parametrize("mf, expected", [("sqrt", 3), ("log2", 3), (0.5, 5), (4, 4)])
+    def test_resolution(self, mf, expected):
+        tree = DecisionTreeRegressor(max_features=mf)
+        assert tree._resolve_max_features(10) == expected
+
+    def test_subsampled_trees_differ(self, rng):
+        X = rng.normal(size=(200, 6))
+        y = X @ rng.normal(size=6)
+        # Depth-limited trees can't memorize, so the random feature
+        # subsets picked at each split show up in the predictions.
+        t1 = DecisionTreeRegressor(
+            max_features=2, max_depth=3, random_state=1
+        ).fit(X, y)
+        t2 = DecisionTreeRegressor(
+            max_features=2, max_depth=3, random_state=2
+        ).fit(X, y)
+        assert not np.array_equal(t1.predict(X), t2.predict(X))
+
+
+class TestSampleIndices:
+    def test_fit_on_subset_matches_explicit_subset(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0] * 2
+        idx = np.arange(0, 100, 2)
+        via_indices = DecisionTreeRegressor(random_state=0).fit(
+            X, y, sample_indices=idx
+        )
+        via_copy = DecisionTreeRegressor(random_state=0).fit(X[idx], y[idx])
+        probe = rng.normal(size=(20, 2))
+        assert np.allclose(via_indices.predict(probe), via_copy.predict(probe))
+
+    def test_empty_indices_rejected(self, rng):
+        X = rng.normal(size=(10, 1))
+        y = rng.normal(size=10)
+        with pytest.raises(ValueError, match="empty"):
+            DecisionTreeRegressor().fit(X, y, sample_indices=np.array([], dtype=int))
+
+
+class TestTreeIntrospection:
+    def test_feature_importances_sum_to_one(self, regression_data):
+        X_train, y_train, _, _ = regression_data
+        tree = DecisionTreeRegressor(max_depth=6).fit(X_train, y_train)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_important_feature_identified(self, rng):
+        X = rng.normal(size=(300, 3))
+        y = 10 * X[:, 1]  # only feature 1 matters
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 1
+
+    def test_apply_returns_leaves(self, regression_data):
+        X_train, y_train, X_test, _ = regression_data
+        tree = DecisionTreeRegressor(max_depth=4).fit(X_train, y_train)
+        leaves = tree.apply(X_test)
+        is_leaf = tree.tree_.children_left[leaves] == -1
+        assert is_leaf.all()
+
+    def test_export_text_contains_thresholds(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        tree = DecisionTreeRegressor().fit(X, y)
+        text = export_text(tree, feature_names=["usage"])
+        assert "usage <=" in text
+        assert "value:" in text
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict([[0.0]])
+
+    def test_predict_feature_mismatch(self, rng):
+        X = rng.normal(size=(20, 2))
+        tree = DecisionTreeRegressor().fit(X, rng.normal(size=20))
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(np.zeros((3, 5)))
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self, rng):
+        X = rng.normal(size=(150, 4))
+        y = rng.normal(size=150)
+        a = DecisionTreeRegressor(max_features=2, random_state=42).fit(X, y)
+        b = DecisionTreeRegressor(max_features=2, random_state=42).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))

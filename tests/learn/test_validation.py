@@ -1,0 +1,145 @@
+"""Unit tests for repro.learn.validation."""
+
+import numpy as np
+import pytest
+
+from repro.learn.exceptions import DataValidationError, NotFittedError
+from repro.learn.validation import (
+    check_array,
+    check_consistent_length,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+    column_or_1d,
+)
+
+
+class TestCheckArray:
+    def test_accepts_2d_list(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_rejects_1d_when_ensure_2d(self):
+        with pytest.raises(DataValidationError, match="2-dimensional"):
+            check_array([1.0, 2.0])
+
+    def test_allows_1d_when_not_ensure_2d(self):
+        out = check_array([1.0, 2.0], ensure_2d=False)
+        assert out.shape == (2,)
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataValidationError, match="at most 2"):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataValidationError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataValidationError, match="NaN"):
+            check_array([[np.inf, 1.0]])
+
+    def test_allow_nan_passes_through(self):
+        out = check_array([[np.nan, 1.0]], allow_nan=True)
+        assert np.isnan(out[0, 0])
+
+    def test_min_samples(self):
+        with pytest.raises(DataValidationError, match="at least 3"):
+            check_array([[1.0], [2.0]], min_samples=3)
+
+    def test_name_in_message(self):
+        with pytest.raises(DataValidationError, match="features"):
+            check_array([1.0], name="features")
+
+
+class TestColumnOr1d:
+    def test_flattens_column_vector(self):
+        out = column_or_1d(np.array([[1.0], [2.0]]))
+        assert out.shape == (2,)
+
+    def test_keeps_1d(self):
+        out = column_or_1d([1.0, 2.0, 3.0])
+        assert out.shape == (3,)
+
+    def test_rejects_wide_matrix(self):
+        with pytest.raises(DataValidationError):
+            column_or_1d(np.zeros((3, 2)))
+
+
+class TestCheckXy:
+    def test_happy_path(self):
+        X, y = check_X_y([[1.0], [2.0]], [3.0, 4.0])
+        assert X.shape == (2, 1)
+        assert y.shape == (2,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataValidationError, match="Inconsistent"):
+            check_X_y([[1.0], [2.0]], [3.0])
+
+    def test_nan_target_rejected(self):
+        with pytest.raises(DataValidationError):
+            check_X_y([[1.0]], [np.nan])
+
+
+class TestCheckConsistentLength:
+    def test_passes_on_equal(self):
+        check_consistent_length([1, 2], [3, 4], None)
+
+    def test_fails_on_unequal(self):
+        with pytest.raises(DataValidationError):
+            check_consistent_length([1, 2], [3])
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(42).integers(0, 1000, 5)
+        b = check_random_state(42).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert check_random_state(gen) is gen
+
+    def test_legacy_random_state_converted(self):
+        legacy = np.random.RandomState(3)
+        assert isinstance(check_random_state(legacy), np.random.Generator)
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(DataValidationError):
+            check_random_state("not a seed")
+
+
+class TestCheckIsFitted:
+    def test_unfitted_raises(self):
+        class Model:
+            pass
+
+        with pytest.raises(NotFittedError, match="not fitted"):
+            check_is_fitted(Model())
+
+    def test_trailing_underscore_marks_fitted(self):
+        class Model:
+            pass
+
+        model = Model()
+        model.coef_ = [1.0]
+        check_is_fitted(model)
+
+    def test_explicit_attributes(self):
+        class Model:
+            pass
+
+        model = Model()
+        model.a_ = 1
+        with pytest.raises(NotFittedError):
+            check_is_fitted(model, ["a_", "b_"])
+        model.b_ = 2
+        check_is_fitted(model, ["a_", "b_"])
+
+    def test_notfitted_is_attributeerror(self):
+        # getattr-probing callers rely on this inheritance.
+        assert issubclass(NotFittedError, AttributeError)

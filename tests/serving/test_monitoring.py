@@ -1,0 +1,104 @@
+"""Unit tests for repro.serving.monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.serving.monitoring import (
+    DriftMonitor,
+    population_stability_index,
+)
+
+
+class TestPsi:
+    def test_identical_distributions_near_zero(self, rng):
+        reference = rng.normal(size=5000)
+        live = rng.normal(size=5000)
+        assert population_stability_index(reference, live) < 0.02
+
+    def test_shifted_distribution_flagged(self, rng):
+        reference = rng.normal(0, 1, size=5000)
+        live = rng.normal(2, 1, size=5000)
+        assert population_stability_index(reference, live) > 0.25
+
+    def test_scale_change_flagged(self, rng):
+        reference = rng.normal(0, 1, size=5000)
+        live = rng.normal(0, 3, size=5000)
+        assert population_stability_index(reference, live) > 0.1
+
+    def test_too_few_samples(self, rng):
+        with pytest.raises(ValueError):
+            population_stability_index(rng.normal(size=5), rng.normal(size=5))
+
+
+class TestDriftMonitor:
+    def test_no_alert_when_accurate(self):
+        monitor = DriftMonitor(threshold_days=5.0, min_samples=3)
+        for _ in range(10):
+            monitor.record("v01", 10.0, 9.0)
+        assert monitor.check("v01") is None
+        assert monitor.alerts() == []
+
+    def test_alert_when_degraded(self):
+        monitor = DriftMonitor(threshold_days=5.0, min_samples=3)
+        for _ in range(10):
+            monitor.record("v01", 30.0, 10.0)
+        alert = monitor.check("v01")
+        assert alert is not None
+        assert alert.mean_abs_error == pytest.approx(20.0)
+        assert "v01" in str(alert)
+
+    def test_min_samples_gate(self):
+        monitor = DriftMonitor(threshold_days=1.0, min_samples=5)
+        for _ in range(4):
+            monitor.record("v01", 100.0, 0.0)
+        assert monitor.check("v01") is None
+
+    def test_rolling_window_forgets_old_errors(self):
+        monitor = DriftMonitor(threshold_days=5.0, window=5, min_samples=3)
+        for _ in range(10):
+            monitor.record("v01", 30.0, 0.0)  # terrible
+        for _ in range(5):
+            monitor.record("v01", 10.0, 10.0)  # perfect, fills the window
+        assert monitor.check("v01") is None
+
+    def test_bias_is_signed(self):
+        monitor = DriftMonitor()
+        monitor.record("v01", 10.0, 15.0)  # over-prediction
+        monitor.record("v01", 10.0, 13.0)
+        assert monitor.bias("v01") == pytest.approx(-4.0)
+        assert monitor.mean_abs_error("v01") == pytest.approx(4.0)
+
+    def test_alerts_sorted_worst_first(self):
+        monitor = DriftMonitor(threshold_days=1.0, min_samples=1)
+        monitor.record("mild", 5.0, 2.0)
+        monitor.record("bad", 50.0, 2.0)
+        alerts = monitor.alerts()
+        assert [a.vehicle_id for a in alerts] == ["bad", "mild"]
+
+    def test_record_many_skips_nan(self):
+        monitor = DriftMonitor(min_samples=1)
+        monitor.record_many("v01", [np.nan, 5.0], [1.0, 4.0])
+        assert monitor.summary()["v01"]["n"] == 1
+
+    def test_record_rejects_nonfinite(self):
+        monitor = DriftMonitor()
+        with pytest.raises(ValueError):
+            monitor.record("v01", np.nan, 1.0)
+
+    def test_summary_shape(self):
+        monitor = DriftMonitor()
+        monitor.record("a", 1.0, 1.0)
+        summary = monitor.summary()
+        assert set(summary["a"]) == {"n", "mae", "bias"}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold_days": 0.0},
+            {"window": 0},
+            {"min_samples": 0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftMonitor(**kwargs)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.serving.persistence."""
+
+import numpy as np
+import pytest
+
+from repro.learn.linear import LinearRegression
+from repro.serving.persistence import ModelStore
+
+
+@pytest.fixture
+def fitted_model(rng):
+    X = rng.normal(size=(30, 2))
+    return LinearRegression().fit(X, X[:, 0] * 2 + 1)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path, fitted_model, rng):
+        store = ModelStore(tmp_path)
+        version = store.save("v01.per-vehicle", fitted_model)
+        assert version == 1
+        artifact = store.load("v01.per-vehicle")
+        X = rng.normal(size=(5, 2))
+        assert np.allclose(
+            artifact.predictor.predict(X), fitted_model.predict(X)
+        )
+
+    def test_metadata_stored(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model, {"algorithm": "LR", "window": 6})
+        artifact = store.load("m")
+        assert artifact.algorithm == "LR"
+        assert artifact.metadata["window"] == 6
+        assert artifact.metadata["predictor_type"] == "LinearRegression"
+        assert "created_at" in artifact.metadata
+
+    def test_versions_increment(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        assert store.save("m", fitted_model) == 1
+        assert store.save("m", fitted_model) == 2
+        assert store.versions("m") == [1, 2]
+
+    def test_load_specific_version(self, tmp_path, rng):
+        store = ModelStore(tmp_path)
+        X = rng.normal(size=(20, 1))
+        a = LinearRegression().fit(X, 2 * X[:, 0])
+        b = LinearRegression().fit(X, 5 * X[:, 0])
+        store.save("m", a)
+        store.save("m", b)
+        old = store.load("m", version=1)
+        latest = store.load("m")
+        assert old.predictor.coef_[0] == pytest.approx(2.0)
+        assert latest.predictor.coef_[0] == pytest.approx(5.0)
+        assert latest.version == 2
+
+    def test_missing_key(self, tmp_path):
+        store = ModelStore(tmp_path)
+        with pytest.raises(KeyError, match="No stored models"):
+            store.load("ghost")
+
+    def test_missing_version(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        with pytest.raises(KeyError, match="Version 9"):
+            store.load("m", version=9)
+
+    def test_keys_listing(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("b-model", fitted_model)
+        store.save("a-model", fitted_model)
+        assert store.keys() == ["a-model", "b-model"]
+
+    def test_delete(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        store.save("m", fitted_model)
+        store.delete("m", 1)
+        assert store.versions("m") == [2]
+        with pytest.raises(KeyError):
+            store.delete("m", 1)
+
+    def test_invalid_key_rejected(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        with pytest.raises(ValueError, match="Invalid model key"):
+            store.save("../escape", fitted_model)
+        with pytest.raises(ValueError):
+            store.save("", fitted_model)
+
+    def test_empty_store(self, tmp_path):
+        store = ModelStore(tmp_path / "nowhere")
+        assert store.keys() == []
+        assert store.versions("m") == []

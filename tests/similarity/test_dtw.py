@@ -1,0 +1,74 @@
+"""Unit tests for repro.similarity.dtw."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.dtw import dtw_distance, dtw_path
+
+
+class TestDtwDistance:
+    def test_identity_is_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert dtw_distance(a, a) == 0.0
+
+    def test_time_shift_cheaper_than_euclidean(self):
+        a = np.array([0.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0])
+        b = np.array([0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 0.0])  # shifted copy
+        assert dtw_distance(a, b) < np.abs(a - b).sum()
+        assert dtw_distance(a, b) == pytest.approx(0.0)
+
+    def test_known_small_case(self):
+        # Align [0, 2] with [0, 1, 2]: path 0-0, 2-1?? optimal is
+        # (0,0),(1,1),(1,2) -> |0-0| + |2-1| + |2-2| = 1.
+        assert dtw_distance([0.0, 2.0], [0.0, 1.0, 2.0]) == 1.0
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=8)
+        b = rng.normal(size=11)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_window_constraint_increases_or_keeps_cost(self, rng):
+        a = rng.normal(size=15)
+        b = rng.normal(size=15)
+        unconstrained = dtw_distance(a, b)
+        banded = dtw_distance(a, b, window=1)
+        assert banded >= unconstrained - 1e-12
+
+    def test_window_auto_widens_for_unequal_lengths(self):
+        # window=0 would forbid any path between different lengths; the
+        # implementation widens it to the length gap.
+        value = dtw_distance([1.0, 2.0, 3.0, 4.0], [1.0, 4.0], window=0)
+        assert np.isfinite(value)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance([], [1.0])
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance([1.0], [1.0], window=-1)
+
+
+class TestDtwPath:
+    def test_path_endpoints(self):
+        path = dtw_path([1.0, 2.0, 3.0], [1.0, 3.0])
+        assert path[0] == (0, 0)
+        assert path[-1] == (2, 1)
+
+    def test_path_monotone(self, rng):
+        a = rng.normal(size=6)
+        b = rng.normal(size=9)
+        path = dtw_path(a, b)
+        for (i1, j1), (i2, j2) in zip(path, path[1:]):
+            assert i2 >= i1 and j2 >= j1
+            assert (i2 - i1) + (j2 - j1) >= 1
+
+    def test_path_cost_matches_distance(self):
+        a = np.array([0.0, 1.0, 2.0, 1.0])
+        b = np.array([0.0, 2.0, 1.0])
+        path = dtw_path(a, b)
+        cost = sum(abs(a[i] - b[j]) for i, j in path)
+        assert cost == pytest.approx(dtw_distance(a, b))
+
+    def test_single_point_path(self):
+        assert dtw_path([5.0], [7.0]) == [(0, 0)]

@@ -1,0 +1,116 @@
+"""Unit tests for repro.similarity.measures."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.measures import (
+    MEASURES,
+    average_usage_distance,
+    correlation_distance,
+    euclidean_distance,
+    most_similar,
+    pointwise_average_distance,
+    resolve_measure,
+)
+
+
+class TestPointwiseAverageDistance:
+    def test_identity_is_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert pointwise_average_distance(a, a) == 0.0
+
+    def test_known_value(self):
+        assert pointwise_average_distance([0.0, 0.0], [1.0, 3.0]) == 2.0
+
+    def test_unequal_lengths_use_overlap(self):
+        assert pointwise_average_distance([1.0, 1.0, 99.0], [1.0, 1.0]) == 0.0
+
+    def test_symmetric(self, rng):
+        a = rng.normal(size=10)
+        b = rng.normal(size=10)
+        assert pointwise_average_distance(a, b) == pointwise_average_distance(b, a)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pointwise_average_distance([], [1.0])
+
+
+class TestAverageUsageDistance:
+    def test_same_mean_is_zero(self):
+        assert average_usage_distance([0.0, 10.0], [5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        assert average_usage_distance([0.0], [7.0]) == 7.0
+
+    def test_length_insensitive(self):
+        # Means compare directly; no alignment involved.
+        assert average_usage_distance([4.0] * 3, [4.0] * 100) == 0.0
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean_distance([0.0, 0.0], [3.0, 4.0]) == 5.0
+
+
+class TestCorrelationDistance:
+    def test_perfectly_correlated_is_zero(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert correlation_distance(a, 10 * a + 5) == pytest.approx(0.0)
+
+    def test_anticorrelated_is_two(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert correlation_distance(a, -a) == pytest.approx(2.0)
+
+    def test_constant_series_defined(self):
+        assert correlation_distance([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            correlation_distance([1.0], [2.0])
+
+
+class TestResolveMeasure:
+    def test_by_name(self):
+        assert resolve_measure("euclidean") is euclidean_distance
+
+    def test_callable_passthrough(self):
+        fn = lambda a, b: 0.0
+        assert resolve_measure(fn) is fn
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="Unknown measure"):
+            resolve_measure("cosine")
+
+    def test_all_registered_measures_resolve(self):
+        for name in MEASURES:
+            resolve_measure(name)
+
+
+class TestMostSimilar:
+    def test_picks_minimum_distance(self):
+        target = np.array([10.0, 10.0, 10.0])
+        candidates = {
+            "far": np.array([100.0, 100.0, 100.0]),
+            "near": np.array([11.0, 9.0, 10.0]),
+        }
+        key, distance = most_similar(target, candidates)
+        assert key == "near"
+        assert distance == pytest.approx(2.0 / 3.0)
+
+    def test_tie_breaks_on_sorted_key(self):
+        target = np.zeros(3)
+        candidates = {"b": np.zeros(3), "a": np.zeros(3)}
+        key, _ = most_similar(target, candidates)
+        assert key == "a"
+
+    def test_custom_measure(self):
+        target = np.array([5.0])
+        candidates = {"x": np.array([4.0]), "y": np.array([6.0])}
+        key, _ = most_similar(
+            target, candidates, measure=lambda a, b: float(b[0])
+        )
+        assert key == "x"
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            most_similar(np.zeros(2), {})

@@ -1,0 +1,133 @@
+"""Unit tests for repro.telemetry.canbus."""
+
+import pytest
+
+from repro.telemetry.canbus import (
+    CANBus,
+    CANFrame,
+    SignalTrafficGenerator,
+    decode_signal_frame,
+    encode_signal_frame,
+)
+from repro.telemetry.signals import DEFAULT_CATALOG, ENGINE_SPEED
+
+
+class TestCANFrame:
+    def test_valid_frame(self):
+        frame = CANFrame(timestamp=1.0, arbitration_id=190, data=b"\x01\x02")
+        assert frame.timestamp == 1.0
+
+    def test_payload_size_limit(self):
+        with pytest.raises(ValueError, match="8 bytes"):
+            CANFrame(timestamp=0.0, arbitration_id=1, data=b"x" * 9)
+
+    def test_arbitration_id_29_bits(self):
+        with pytest.raises(ValueError, match="29 bits"):
+            CANFrame(timestamp=0.0, arbitration_id=1 << 29, data=b"")
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        frame = encode_signal_frame(ENGINE_SPEED, 1500.0, timestamp=12.5)
+        name, value = decode_signal_frame(frame)
+        assert name == "engine_speed"
+        assert value == pytest.approx(1500.0, abs=ENGINE_SPEED.resolution)
+        assert frame.timestamp == 12.5
+
+    def test_decode_checks_length(self):
+        frame = CANFrame(
+            timestamp=0.0, arbitration_id=ENGINE_SPEED.spn, data=b"\x01"
+        )
+        with pytest.raises(ValueError, match="bytes"):
+            decode_signal_frame(frame)
+
+    def test_unknown_spn_raises_keyerror(self):
+        frame = CANFrame(timestamp=0.0, arbitration_id=424242, data=b"\x00")
+        with pytest.raises(KeyError):
+            decode_signal_frame(frame)
+
+
+class TestCANBus:
+    def test_reliable_bus_delivers_everything(self):
+        bus = CANBus(seed=0)
+        frame = encode_signal_frame(ENGINE_SPEED, 1000.0, 0.0)
+        for _ in range(10):
+            assert bus.send(frame)
+        assert len(bus) == 10
+        assert len(bus.drain()) == 10
+        assert len(bus) == 0
+
+    def test_drop_probability(self):
+        bus = CANBus(drop_probability=1.0, seed=0)
+        frame = encode_signal_frame(ENGINE_SPEED, 1000.0, 0.0)
+        assert not bus.send(frame)
+        assert len(bus) == 0
+
+    def test_partial_drops(self):
+        bus = CANBus(drop_probability=0.5, seed=1)
+        frame = encode_signal_frame(ENGINE_SPEED, 1000.0, 0.0)
+        delivered = sum(bus.send(frame) for _ in range(500))
+        assert 150 < delivered < 350
+
+    def test_corruption_changes_payload_sometimes(self):
+        bus = CANBus(corrupt_probability=1.0, seed=3)
+        frame = encode_signal_frame(ENGINE_SPEED, 1000.0, 0.0)
+        n = 50
+        for _ in range(n):
+            bus.send(frame)
+        frames = bus.drain()
+        assert len(frames) == n
+        assert any(f.data != frame.data for f in frames)
+
+    @pytest.mark.parametrize("field", ["drop_probability", "corrupt_probability"])
+    def test_invalid_probability(self, field):
+        with pytest.raises(ValueError):
+            CANBus(**{field: 1.5})
+
+
+class TestSignalTrafficGenerator:
+    def test_frame_count_matches_rate(self):
+        gen = SignalTrafficGenerator(sample_rate_hz=10.0, seed=0)
+        frames = gen.generate_window(0.0, duration_s=2.0, working=True)
+        assert len(frames) == 20 * len(DEFAULT_CATALOG)
+
+    def test_frames_sorted_by_timestamp(self):
+        gen = SignalTrafficGenerator(sample_rate_hz=5.0, seed=0)
+        frames = gen.generate_window(0.0, 3.0, working=True)
+        times = [f.timestamp for f in frames]
+        assert times == sorted(times)
+
+    def test_working_engine_speed_above_threshold(self):
+        gen = SignalTrafficGenerator(sample_rate_hz=20.0, seed=0)
+        frames = gen.generate_window(0.0, 5.0, working=True)
+        speeds = [
+            decode_signal_frame(f)[1]
+            for f in frames
+            if f.arbitration_id == ENGINE_SPEED.spn
+        ]
+        threshold = ENGINE_SPEED.working_threshold
+        assert sum(s >= threshold for s in speeds) / len(speeds) > 0.95
+
+    def test_idle_engine_speed_below_threshold(self):
+        gen = SignalTrafficGenerator(sample_rate_hz=20.0, seed=0)
+        frames = gen.generate_window(0.0, 5.0, working=False)
+        speeds = [
+            decode_signal_frame(f)[1]
+            for f in frames
+            if f.arbitration_id == ENGINE_SPEED.spn
+        ]
+        threshold = ENGINE_SPEED.working_threshold
+        assert all(s < threshold for s in speeds)
+
+    def test_zero_duration_gives_no_frames(self):
+        gen = SignalTrafficGenerator(seed=0)
+        assert gen.generate_window(0.0, 0.0, working=True) == []
+
+    def test_negative_duration_rejected(self):
+        gen = SignalTrafficGenerator(seed=0)
+        with pytest.raises(ValueError):
+            gen.generate_window(0.0, -1.0, working=True)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError, match="sample_rate_hz"):
+            SignalTrafficGenerator(sample_rate_hz=0.0)

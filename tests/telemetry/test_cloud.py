@@ -1,0 +1,100 @@
+"""Unit tests for repro.telemetry.cloud."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.cloud import SECONDS_PER_DAY, CloudStore
+from repro.telemetry.controller import UsageReport
+
+
+def report(vehicle="v01", start=0.0, end=3600.0, seconds=1800.0):
+    return UsageReport(
+        vehicle_id=vehicle,
+        period_start=start,
+        period_end=end,
+        working_seconds=seconds,
+        engine_hours_total=seconds / 3600.0,
+        signal_stats={},
+    )
+
+
+class TestIngestion:
+    def test_reliable_store_keeps_everything(self):
+        store = CloudStore(seed=0)
+        assert store.ingest_many([report(start=i * 3600.0) for i in range(5)]) == 5
+        assert store.n_ingested == 5
+        assert len(store.reports_for("v01")) == 5
+
+    def test_loss_injection(self):
+        store = CloudStore(loss_probability=1.0, seed=0)
+        assert not store.ingest(report())
+        assert store.n_lost == 1
+        assert store.reports_for("v01") == []
+
+    def test_duplication_injection(self):
+        store = CloudStore(duplicate_probability=1.0, seed=0)
+        store.ingest(report())
+        assert store.n_duplicated == 1
+        assert len(store.reports_for("v01")) == 2
+
+    def test_vehicle_ids_sorted(self):
+        store = CloudStore(seed=0)
+        store.ingest(report(vehicle="v02"))
+        store.ingest(report(vehicle="v01"))
+        assert store.vehicle_ids == ["v01", "v02"]
+
+    def test_reports_sorted_by_period_start(self):
+        store = CloudStore(seed=0)
+        store.ingest(report(start=7200.0))
+        store.ingest(report(start=0.0))
+        starts = [r.period_start for r in store.reports_for("v01")]
+        assert starts == sorted(starts)
+
+    @pytest.mark.parametrize("field", ["loss_probability", "duplicate_probability"])
+    def test_invalid_probability(self, field):
+        with pytest.raises(ValueError):
+            CloudStore(**{field: -0.1})
+
+
+class TestDailyAggregation:
+    def test_same_day_reports_sum(self):
+        store = CloudStore(seed=0)
+        store.ingest(report(start=0.0, seconds=1000.0))
+        store.ingest(report(start=3600.0, seconds=500.0))
+        daily = store.daily_usage("v01")
+        assert daily[0] == pytest.approx(1500.0)
+
+    def test_reports_land_on_their_start_day(self):
+        store = CloudStore(seed=0)
+        store.ingest(report(start=SECONDS_PER_DAY * 3 + 10, seconds=700.0))
+        daily = store.daily_usage("v01")
+        assert daily == {3: 700.0}
+
+    def test_dense_array_has_nan_gaps(self):
+        store = CloudStore(seed=0)
+        store.ingest(report(start=0.0, seconds=100.0))
+        store.ingest(report(start=SECONDS_PER_DAY * 2, seconds=200.0))
+        series = store.daily_usage_array("v01")
+        assert series.shape == (3,)
+        assert series[0] == 100.0
+        assert np.isnan(series[1])
+        assert series[2] == 200.0
+
+    def test_explicit_length(self):
+        store = CloudStore(seed=0)
+        store.ingest(report(start=0.0, seconds=100.0))
+        series = store.daily_usage_array("v01", n_days=5)
+        assert series.shape == (5,)
+        assert np.isnan(series[4])
+
+    def test_unknown_vehicle_empty(self):
+        store = CloudStore(seed=0)
+        assert store.daily_usage_array("ghost").shape == (0,)
+
+    def test_duplicated_uploads_create_overflow(self):
+        """Duplication can push a day past 86 400 s — cleaning's problem."""
+        store = CloudStore(duplicate_probability=1.0, seed=0)
+        store.ingest(report(seconds=50_000.0))
+        daily = store.daily_usage("v01")
+        assert daily[0] == pytest.approx(100_000.0)
+        assert daily[0] > SECONDS_PER_DAY

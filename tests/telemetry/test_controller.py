@@ -1,0 +1,128 @@
+"""Unit tests for repro.telemetry.controller."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.canbus import SignalTrafficGenerator, encode_signal_frame
+from repro.telemetry.controller import OnboardController, SignalStats
+from repro.telemetry.signals import DEFAULT_CATALOG, ENGINE_SPEED, OIL_PRESSURE
+
+
+class TestSignalStats:
+    def test_streaming_moments(self):
+        stats = SignalStats()
+        for value in [1.0, 2.0, 3.0]:
+            stats.update(value)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+
+    def test_empty_snapshot_is_nan(self):
+        snap = SignalStats().snapshot()
+        assert snap["count"] == 0
+        assert np.isnan(snap["mean"])
+
+
+def make_controller(interval=3600.0):
+    return OnboardController("v01", report_interval_s=interval)
+
+
+class TestWorkingTimeIntegration:
+    def test_working_window_accumulates_time(self):
+        gen = SignalTrafficGenerator(sample_rate_hz=2.0, seed=0)
+        controller = make_controller()
+        controller.process_frames(gen.generate_window(0.0, 600.0, working=True))
+        reports = controller.flush(now=600.0)
+        assert len(reports) == 1
+        # ~600 s of work observed at 2 Hz sampling.
+        assert reports[0].working_seconds == pytest.approx(600.0, rel=0.05)
+
+    def test_idle_window_accumulates_nothing(self):
+        gen = SignalTrafficGenerator(sample_rate_hz=2.0, seed=0)
+        controller = make_controller()
+        controller.process_frames(gen.generate_window(0.0, 600.0, working=False))
+        reports = controller.flush(now=600.0)
+        assert len(reports) == 1
+        assert reports[0].working_seconds == 0.0
+
+    def test_mixed_day_splits_correctly(self):
+        gen = SignalTrafficGenerator(sample_rate_hz=2.0, seed=0)
+        controller = make_controller()
+        controller.process_frames(gen.generate_window(0.0, 300.0, working=True))
+        controller.process_frames(gen.generate_window(300.0, 300.0, working=False))
+        reports = controller.flush(now=600.0)
+        total = sum(r.working_seconds for r in reports)
+        assert total == pytest.approx(300.0, rel=0.1)
+
+    def test_periodic_report_cutting(self):
+        gen = SignalTrafficGenerator(sample_rate_hz=1.0, seed=0)
+        controller = make_controller(interval=100.0)
+        controller.process_frames(gen.generate_window(0.0, 350.0, working=True))
+        reports = controller.flush(now=350.0)
+        assert len(reports) == 4  # 3 full periods + 1 partial
+        for report in reports:
+            assert report.vehicle_id == "v01"
+            assert report.period_end >= report.period_start
+
+    def test_engine_hours_accumulate_across_reports(self):
+        gen = SignalTrafficGenerator(sample_rate_hz=1.0, seed=0)
+        controller = make_controller(interval=100.0)
+        controller.process_frames(gen.generate_window(0.0, 400.0, working=True))
+        reports = controller.flush(now=400.0)
+        hours = [r.engine_hours_total for r in reports]
+        assert hours == sorted(hours)
+        assert hours[-1] == pytest.approx(400.0 / 3600.0, rel=0.1)
+
+
+class TestInconsistentFrames:
+    def test_out_of_range_values_counted_not_integrated(self):
+        from repro.telemetry.canbus import CANFrame
+
+        controller = make_controller()
+        # Max raw (65535) decodes to 8191.875 rpm — beyond the 8000 rpm
+        # physical maximum, hence inconsistent.
+        bad = CANFrame(
+            timestamp=0.0,
+            arbitration_id=ENGINE_SPEED.spn,
+            data=(65535).to_bytes(2, "little"),
+        )
+        controller.process_frame(bad)
+        reports = controller.flush(now=1.0)
+        assert reports[0].inconsistent_frames == 1
+        assert "engine_speed" not in reports[0].signal_stats
+
+    def test_unknown_arbitration_id_ignored(self):
+        from repro.telemetry.canbus import CANFrame
+
+        controller = make_controller()
+        controller.process_frame(
+            CANFrame(timestamp=0.0, arbitration_id=424242, data=b"\x00")
+        )
+        assert controller.flush(now=1.0) == []
+
+
+class TestSignalStatsInReports:
+    def test_stats_cover_all_catalog_signals(self):
+        gen = SignalTrafficGenerator(sample_rate_hz=2.0, seed=0)
+        controller = make_controller()
+        controller.process_frames(gen.generate_window(0.0, 100.0, working=True))
+        report = controller.flush(now=100.0)[0]
+        assert set(report.signal_stats) == set(DEFAULT_CATALOG.names)
+        oil = report.signal_stats["oil_pressure"]
+        assert OIL_PRESSURE.minimum <= oil["mean"] <= OIL_PRESSURE.maximum
+
+
+class TestControllerValidation:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError, match="report_interval_s"):
+            OnboardController("v01", report_interval_s=0.0)
+
+    def test_working_signal_needs_threshold(self):
+        with pytest.raises(ValueError, match="working_threshold"):
+            OnboardController("v01", working_signal="oil_pressure")
+
+    def test_flush_idempotent(self):
+        controller = make_controller()
+        assert controller.flush() == []
+        assert controller.flush() == []

@@ -1,0 +1,100 @@
+"""Unit tests for repro.telemetry.signals."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.signals import (
+    DEFAULT_CATALOG,
+    ENGINE_SPEED,
+    OIL_PRESSURE,
+    SignalCatalog,
+    SignalSpec,
+)
+
+
+class TestSignalSpec:
+    def test_encode_decode_roundtrip_within_resolution(self):
+        value = 1234.5
+        raw = ENGINE_SPEED.encode(value)
+        back = ENGINE_SPEED.decode(raw)
+        assert back == pytest.approx(value, abs=ENGINE_SPEED.resolution)
+
+    def test_encode_clips_to_raw_range(self):
+        assert OIL_PRESSURE.encode(-100.0) == 0
+        assert OIL_PRESSURE.encode(1e9) == OIL_PRESSURE.raw_max
+
+    def test_decode_rejects_out_of_range_raw(self):
+        with pytest.raises(ValueError, match="Raw value"):
+            OIL_PRESSURE.decode(OIL_PRESSURE.raw_max + 1)
+        with pytest.raises(ValueError):
+            OIL_PRESSURE.decode(-1)
+
+    def test_offset_encoding(self):
+        # Coolant temperature uses a -40 degC offset.
+        from repro.telemetry.signals import COOLANT_TEMPERATURE
+
+        raw = COOLANT_TEMPERATURE.encode(0.0)
+        assert raw == 40
+        assert COOLANT_TEMPERATURE.decode(raw) == 0.0
+
+    def test_consistency_check(self):
+        assert ENGINE_SPEED.is_consistent(1500.0)
+        assert not ENGINE_SPEED.is_consistent(-5.0)
+        assert not ENGINE_SPEED.is_consistent(9000.0)
+        assert not ENGINE_SPEED.is_consistent(np.nan)
+
+    def test_raw_max_scales_with_byte_length(self):
+        assert OIL_PRESSURE.raw_max == 255  # 1 byte
+        assert ENGINE_SPEED.raw_max == 65535  # 2 bytes
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"minimum": 10.0, "maximum": 5.0},
+            {"resolution": 0.0},
+            {"byte_length": 3},
+        ],
+    )
+    def test_invalid_spec(self, kwargs):
+        base = dict(
+            name="x", spn=999, unit="u", minimum=0.0, maximum=100.0
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            SignalSpec(**base)
+
+
+class TestSignalCatalog:
+    def test_default_catalog_contents(self):
+        assert "engine_speed" in DEFAULT_CATALOG
+        assert len(DEFAULT_CATALOG) == 7
+
+    def test_lookup_by_name_and_spn(self):
+        assert DEFAULT_CATALOG.by_name("engine_speed").spn == 190
+        assert DEFAULT_CATALOG.by_spn(190).name == "engine_speed"
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(KeyError, match="Unknown signal"):
+            DEFAULT_CATALOG.by_name("flux_capacitor")
+        with pytest.raises(KeyError, match="Unknown SPN"):
+            DEFAULT_CATALOG.by_spn(424242)
+
+    def test_duplicate_name_rejected(self):
+        catalog = SignalCatalog([ENGINE_SPEED])
+        dup = SignalSpec(
+            name="engine_speed", spn=1, unit="rpm", minimum=0, maximum=1
+        )
+        with pytest.raises(ValueError, match="Duplicate signal name"):
+            catalog.register(dup)
+
+    def test_duplicate_spn_rejected(self):
+        catalog = SignalCatalog([ENGINE_SPEED])
+        dup = SignalSpec(
+            name="other", spn=ENGINE_SPEED.spn, unit="u", minimum=0, maximum=1
+        )
+        with pytest.raises(ValueError, match="Duplicate SPN"):
+            catalog.register(dup)
+
+    def test_iteration_and_names(self):
+        names = {spec.name for spec in DEFAULT_CATALOG}
+        assert names == set(DEFAULT_CATALOG.names)

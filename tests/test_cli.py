@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerateAndCalibrate:
+    def test_generate_writes_fleet(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "--vehicles",
+                "3",
+                "--seed",
+                "1",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet_usage.csv" in out
+        assert "3 vehicles" in out
+        assert (tmp_path / "fleet_usage.csv").exists()
+        assert (tmp_path / "fleet_meta.json").exists()
+
+    def test_calibrate_from_saved_fleet(self, tmp_path, capsys):
+        main(["generate", "--vehicles", "3", "--output", str(tmp_path)])
+        capsys.readouterr()
+        code = main(["calibrate", "--input", str(tmp_path)])
+        assert code == 0
+        assert "working-day mean" in capsys.readouterr().out
+
+    def test_calibrate_without_input_generates(self, capsys):
+        code = main(["calibrate", "--vehicles", "3", "--seed", "2"])
+        assert code == 0
+        assert "3 vehicles" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_table1_small(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "table1",
+                "--vehicles",
+                "6",
+                "--old-vehicles",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "BL" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "table9"])
+
+
+class TestPredict:
+    def test_predict_trained_vehicle(self, tmp_path, capsys):
+        main(["generate", "--vehicles", "3", "--output", str(tmp_path)])
+        capsys.readouterr()
+        code = main(
+            [
+                "predict",
+                "--input",
+                str(tmp_path),
+                "--vehicle",
+                "v01",
+                "--algorithm",
+                "XGB",
+                "--window",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "days to maint." in out
+        assert "predicted due" in out
+
+    def test_unknown_vehicle_errors(self, tmp_path, capsys):
+        main(["generate", "--vehicles", "2", "--output", str(tmp_path)])
+        capsys.readouterr()
+        code = main(
+            ["predict", "--input", str(tmp_path), "--vehicle", "v99"]
+        )
+        assert code == 2
+        assert "Unknown vehicle" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("generate", "calibrate", "evaluate", "predict"):
+            assert command in out

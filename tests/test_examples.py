@@ -1,0 +1,43 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Marked slow-ish (each runs a real scenario); they guard the README's
+promise that the examples are runnable.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesInventory:
+    def test_at_least_five_examples(self):
+        assert len(EXAMPLES) >= 5
+        assert "quickstart.py" in EXAMPLES
+
+    def test_every_example_has_main(self):
+        for name in EXAMPLES:
+            module = load_example(name)
+            assert callable(getattr(module, "main", None)), name
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
