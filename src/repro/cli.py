@@ -76,6 +76,8 @@ def _cmd_evaluate(args) -> int:
         n_vehicles=args.vehicles,
         fast=not args.paper_grids,
         n_old_vehicles=args.old_vehicles,
+        max_workers=args.max_workers,
+        executor_kind=args.executor,
     )
 
     def render_all() -> list[str]:
@@ -202,6 +204,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--paper-grids",
         action="store_true",
         help="use the paper's full hyper-parameter grids (slow)",
+    )
+    evaluate.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="fan per-vehicle runs out over N workers (default: serial)",
+    )
+    evaluate.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="worker pool kind used with --max-workers",
     )
     evaluate.set_defaults(func=_cmd_evaluate)
 

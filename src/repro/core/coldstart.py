@@ -300,53 +300,76 @@ class ColdStartExperiment:
 
     # -- full protocol ---------------------------------------------------------
 
+    def _semi_new_vehicle(
+        self,
+        series: VehicleSeries,
+        train_series: Sequence[VehicleSeries],
+        unified: dict,
+        algorithms: Sequence[str],
+    ) -> list[ColdStartResult]:
+        """All semi-new scores for one test vehicle (BL, Sim, Uni)."""
+        results = [
+            self._score(
+                series,
+                self.fit_baseline_semi_new(series),
+                era="semi_new",
+                algorithm="BL",
+                strategy="BL",
+            )
+        ]
+        for algorithm in algorithms:
+            predictor, donor_id = self.fit_similarity(
+                series, train_series, algorithm
+            )
+            results.append(
+                self._score(
+                    series,
+                    predictor,
+                    era="semi_new",
+                    algorithm=algorithm,
+                    strategy="Sim",
+                    donor_id=donor_id,
+                )
+            )
+            results.append(
+                self._score(
+                    series,
+                    unified[algorithm],
+                    era="semi_new",
+                    algorithm=algorithm,
+                    strategy="Uni",
+                )
+            )
+        return results
+
     def run_semi_new(
         self,
         train_series: Sequence[VehicleSeries],
         test_series: Sequence[VehicleSeries],
         algorithms: Iterable[str],
+        executor=None,
     ) -> list[ColdStartResult]:
-        """Table 3 (semi-new column): BL + {alg}x{Uni, Sim} per vehicle."""
+        """Table 3 (semi-new column): BL + {alg}x{Uni, Sim} per vehicle.
+
+        ``executor`` fans the per-test-vehicle work out in parallel;
+        the flattened result order matches the serial loop exactly.
+        """
         algorithms = [a for a in algorithms if a != "BL"]
-        results: list[ColdStartResult] = []
         unified = {
             algorithm: self.fit_unified(train_series, algorithm)
             for algorithm in algorithms
         }
-        for series in test_series:
-            results.append(
-                self._score(
-                    series,
-                    self.fit_baseline_semi_new(series),
-                    era="semi_new",
-                    algorithm="BL",
-                    strategy="BL",
-                )
-            )
-            for algorithm in algorithms:
-                predictor, donor_id = self.fit_similarity(
-                    series, train_series, algorithm
-                )
-                results.append(
-                    self._score(
-                        series,
-                        predictor,
-                        era="semi_new",
-                        algorithm=algorithm,
-                        strategy="Sim",
-                        donor_id=donor_id,
-                    )
-                )
-                results.append(
-                    self._score(
-                        series,
-                        unified[algorithm],
-                        era="semi_new",
-                        algorithm=algorithm,
-                        strategy="Uni",
-                    )
-                )
-        return results
+        task = _SemiNewVehicleTask(
+            config=self.config,
+            train_series=tuple(train_series),
+            unified=unified,
+            algorithms=tuple(algorithms),
+        )
+        if executor is None:
+            groups = [task(series) for series in test_series]
+        else:
+            groups = executor.map_ordered(task, test_series)
+        return [result for group in groups for result in group]
 
     def run_new(
         self,
@@ -354,6 +377,7 @@ class ColdStartExperiment:
         test_series: Sequence[VehicleSeries],
         algorithms: Iterable[str],
         era: str = "full",
+        executor=None,
     ) -> list[ColdStartResult]:
         """Table 3 (new column): ``Model_Uni`` only, scored by E_Global.
 
@@ -364,23 +388,60 @@ class ColdStartExperiment:
         vehicle was still categorically new (a stricter reading).
         """
         algorithms = [a for a in algorithms if a != "BL"]
-        results: list[ColdStartResult] = []
         unified = {
             algorithm: self.fit_unified(train_series, algorithm)
             for algorithm in algorithms
         }
-        for series in test_series:
-            for algorithm in algorithms:
-                results.append(
-                    self._score(
-                        series,
-                        unified[algorithm],
-                        era=era,
-                        algorithm=algorithm,
-                        strategy="Uni",
-                    )
-                )
-        return results
+        task = _NewVehicleTask(
+            config=self.config,
+            unified=unified,
+            algorithms=tuple(algorithms),
+            era=era,
+        )
+        if executor is None:
+            groups = [task(series) for series in test_series]
+        else:
+            groups = executor.map_ordered(task, test_series)
+        return [result for group in groups for result in group]
+
+
+@dataclass(frozen=True)
+class _SemiNewVehicleTask:
+    """Picklable per-vehicle semi-new job for parallel fan-out."""
+
+    config: ColdStartConfig
+    train_series: tuple
+    unified: dict
+    algorithms: tuple
+
+    def __call__(self, series: VehicleSeries) -> list[ColdStartResult]:
+        experiment = ColdStartExperiment(self.config)
+        return experiment._semi_new_vehicle(
+            series, self.train_series, self.unified, self.algorithms
+        )
+
+
+@dataclass(frozen=True)
+class _NewVehicleTask:
+    """Picklable per-vehicle new-era job for parallel fan-out."""
+
+    config: ColdStartConfig
+    unified: dict
+    algorithms: tuple
+    era: str
+
+    def __call__(self, series: VehicleSeries) -> list[ColdStartResult]:
+        experiment = ColdStartExperiment(self.config)
+        return [
+            experiment._score(
+                series,
+                self.unified[algorithm],
+                era=self.era,
+                algorithm=algorithm,
+                strategy="Uni",
+            )
+            for algorithm in self.algorithms
+        ]
 
 
 def aggregate_by_label(

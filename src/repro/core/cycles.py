@@ -28,7 +28,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Cycle", "SeriesBundle", "segment_cycles", "derive_series"]
+__all__ = [
+    "Cycle",
+    "SeriesBundle",
+    "segment_cycles",
+    "derive_series",
+    "IncrementalSeriesState",
+]
 
 
 @dataclass(frozen=True)
@@ -192,3 +198,134 @@ def derive_series(usage, t_v: float, start: int = 0) -> SeriesBundle:
         usage_left=l_series,
         days_to_maintenance=d_series,
     )
+
+
+class IncrementalSeriesState:
+    """Incremental counterpart of :func:`derive_series`.
+
+    Appending one day of utilization updates ``C``, ``L`` and the open
+    cycle in O(1) (amortized); completing a cycle back-fills that
+    cycle's ``D`` labels, which is O(cycle length) exactly once per
+    cycle — so ingesting an ``n``-day history costs O(n) total instead
+    of the O(n^2) of re-deriving from scratch after every day.
+
+    The arithmetic mirrors the batch path operation-for-operation (the
+    same sequential accumulation order), so :meth:`bundle` is
+    bit-identical to ``derive_series(usage, t_v, start)`` on the same
+    history — the property suite pins this equivalence exactly.
+    """
+
+    def __init__(self, t_v: float, start: int = 0):
+        if t_v <= 0:
+            raise ValueError(f"t_v must be positive, got {t_v}.")
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}.")
+        self.t_v = float(t_v)
+        self.start = int(start)
+        self._n = 0
+        self._usage = np.empty(16, dtype=np.float64)
+        self._c = np.empty(16, dtype=np.float64)
+        self._l = np.empty(16, dtype=np.float64)
+        self._d = np.empty(16, dtype=np.float64)
+        self._completed: list[Cycle] = []
+        self._cycle_start = self.start
+        self._accumulated = 0.0
+
+    @classmethod
+    def from_usage(cls, usage, t_v: float, start: int = 0) -> "IncrementalSeriesState":
+        """Build the state from an existing history in one pass."""
+        usage = _validate_usage(usage)
+        if start > usage.size:
+            raise ValueError(f"start={start} outside [0, {usage.size}].")
+        state = cls(t_v, start=start)
+        state.extend(usage)
+        return state
+
+    @property
+    def n_days(self) -> int:
+        return self._n
+
+    @property
+    def completed_cycles(self) -> tuple[Cycle, ...]:
+        return tuple(self._completed)
+
+    @property
+    def usage(self) -> np.ndarray:
+        """The observed utilization series (read-only view)."""
+        return self._usage[: self._n]
+
+    def _grow(self) -> None:
+        if self._n < self._usage.size:
+            return
+        capacity = max(16, 2 * self._usage.size)
+        for name in ("_usage", "_c", "_l", "_d"):
+            fresh = np.empty(capacity, dtype=np.float64)
+            fresh[: self._n] = getattr(self, name)[: self._n]
+            setattr(self, name, fresh)
+
+    def append(self, value: float) -> None:
+        """Ingest one day of utilization."""
+        value = float(value)
+        if not np.isfinite(value) or value < 0:
+            raise ValueError(
+                f"usage must be finite and non-negative, got {value}."
+            )
+        self._grow()
+        day = self._n
+        if day < self.start:
+            self._c[day] = np.nan
+            self._l[day] = np.nan
+            self._d[day] = np.nan
+        else:
+            self._c[day] = day - self._cycle_start
+            self._l[day] = self.t_v - self._accumulated
+            self._d[day] = np.nan
+            self._accumulated += value
+            if self._accumulated >= self.t_v:
+                self._completed.append(
+                    Cycle(
+                        start=self._cycle_start,
+                        end=day,
+                        completed=True,
+                        total_usage=self._accumulated,
+                    )
+                )
+                days = np.arange(self._cycle_start, day + 1)
+                self._d[days] = day - days
+                self._cycle_start = day + 1
+                self._accumulated = 0.0
+        self._usage[day] = value
+        self._n += 1
+
+    def extend(self, usage) -> None:
+        """Ingest several days in order."""
+        for value in np.asarray(usage, dtype=np.float64):
+            self.append(value)
+
+    def bundle(self) -> SeriesBundle:
+        """Snapshot of the derived series as of the latest appended day.
+
+        ``usage``/``C``/``L`` are zero-copy views (their past entries are
+        never rewritten); ``D`` is copied because a later cycle
+        completion back-fills labels inside the currently open cycle.
+        """
+        n = self._n
+        cycles = list(self._completed)
+        if self._cycle_start < n:
+            cycles.append(
+                Cycle(
+                    start=self._cycle_start,
+                    end=n - 1,
+                    completed=False,
+                    total_usage=self._accumulated,
+                )
+            )
+        return SeriesBundle(
+            usage=self._usage[:n],
+            t_v=self.t_v,
+            start=self.start,
+            cycles=tuple(cycles),
+            days_since_maintenance=self._c[:n],
+            usage_left=self._l[:n],
+            days_to_maintenance=self._d[:n].copy(),
+        )

@@ -230,13 +230,22 @@ class OldVehicleExperiment:
         self,
         fleet_series: Sequence[VehicleSeries],
         algorithm: str,
+        executor=None,
     ) -> FleetResult:
-        """Evaluate one algorithm over every vehicle."""
+        """Evaluate one algorithm over every vehicle.
+
+        ``executor`` (a :class:`repro.serving.executor.FleetExecutor`)
+        fans the per-vehicle runs out in parallel; results keep the
+        input vehicle order and are identical to the serial loop
+        (training is per-vehicle independent and seeded).
+        """
         if not fleet_series:
             raise ValueError("fleet_series must be non-empty.")
-        results = [
-            self.run_vehicle(series, algorithm) for series in fleet_series
-        ]
+        task = _RunVehicleTask(config=self.config, algorithm=algorithm)
+        if executor is None:
+            results = [task(series) for series in fleet_series]
+        else:
+            results = executor.map_ordered(task, fleet_series)
         return FleetResult(
             algorithm=algorithm, window=self.config.window, results=results
         )
@@ -245,12 +254,26 @@ class OldVehicleExperiment:
         self,
         fleet_series: Sequence[VehicleSeries],
         algorithms: Iterable[str],
+        executor=None,
     ) -> dict[str, FleetResult]:
         """Evaluate several algorithms; keys follow the input order."""
         return {
-            algorithm: self.run_fleet(fleet_series, algorithm)
+            algorithm: self.run_fleet(fleet_series, algorithm, executor)
             for algorithm in algorithms
         }
+
+
+@dataclass(frozen=True)
+class _RunVehicleTask:
+    """Picklable (vehicle -> result) job for process-pool fan-out."""
+
+    config: OldVehicleConfig
+    algorithm: str
+
+    def __call__(self, series: VehicleSeries) -> VehicleResult:
+        return OldVehicleExperiment(self.config).run_vehicle(
+            series, self.algorithm
+        )
 
 
 def select_best_algorithm(

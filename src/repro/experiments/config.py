@@ -13,6 +13,7 @@ from functools import cached_property
 
 from ..core.series import VehicleSeries
 from ..fleet.generator import Fleet, FleetGenerator
+from ..serving.executor import FleetExecutor
 
 __all__ = ["ExperimentSetup"]
 
@@ -34,6 +35,12 @@ class ExperimentSetup:
     n_old_vehicles:
         How many vehicles the old-vehicle experiments use; ``None``
         means all in slow mode / 8 in fast mode.
+    max_workers:
+        Parallel fan-out for the per-vehicle experiment runs; ``None``
+        keeps the historical serial loop.  Results are identical either
+        way (per-vehicle training is independent and seeded).
+    executor_kind:
+        ``"thread"`` (default) or ``"process"`` for the fan-out.
     """
 
     seed: int = 0
@@ -41,6 +48,8 @@ class ExperimentSetup:
     t_v: float = 2_000_000.0
     fast: bool = True
     n_old_vehicles: int | None = None
+    max_workers: int | None = None
+    executor_kind: str = "thread"
 
     @cached_property
     def fleet(self) -> Fleet:
@@ -65,3 +74,12 @@ class ExperimentSetup:
     def grid(self) -> str | None:
         """Grid-search mode forwarded to the registry."""
         return None if self.fast else "paper"
+
+    @property
+    def executor(self) -> FleetExecutor | None:
+        """Per-vehicle fan-out executor (``None`` = serial loop)."""
+        if self.max_workers is None:
+            return None
+        return FleetExecutor(
+            max_workers=self.max_workers, kind=self.executor_kind
+        )

@@ -75,6 +75,7 @@ def run_figure4(
     if 0 not in windows:
         raise ValueError("windows must include 0 (the improvement anchor).")
     series = setup.old_series
+    executor = setup.executor
 
     curves: dict[str, dict[int, float]] = {}
     for algorithm in algorithms:
@@ -83,7 +84,7 @@ def run_figure4(
             experiment = OldVehicleExperiment(
                 OldVehicleConfig(window=0, restrict_to_horizon=True)
             )
-            value = experiment.run_fleet(series, algorithm).e_mre
+            value = experiment.run_fleet(series, algorithm, executor).e_mre
             curve = {w: float(value) for w in windows}
         else:
             for window in windows:
@@ -95,7 +96,7 @@ def run_figure4(
                     )
                 )
                 curve[window] = float(
-                    experiment.run_fleet(series, algorithm).e_mre
+                    experiment.run_fleet(series, algorithm, executor).e_mre
                 )
         curves[algorithm] = curve
     return Figure4Result(e_mre=curves, setup=setup)

@@ -84,14 +84,17 @@ def run_table1(
         )
     )
 
+    executor = setup.executor
     rows = []
     for algorithm in algorithms:
-        e_all = all_data.run_fleet(series, algorithm).e_mre
+        e_all = all_data.run_fleet(series, algorithm, executor).e_mre
         if algorithm == "BL":
             # "Since BL is not trained, its results do not change."
             e_restricted = e_all
         else:
-            e_restricted = restricted.run_fleet(series, algorithm).e_mre
+            e_restricted = restricted.run_fleet(
+                series, algorithm, executor
+            ).e_mre
         rows.append(
             Table1Row(
                 algorithm=algorithm,

@@ -7,11 +7,20 @@ methodology matrix, versioned model storage, and resolved-residual drift
 monitoring.
 """
 
+from .cycle_cache import CacheStats, CycleStateCache
+from .engine import EngineConfig, FleetEngine
+from .executor import FleetExecutor, default_max_workers
 from .monitoring import DriftAlert, DriftMonitor, population_stability_index
 from .persistence import ModelArtifact, ModelStore
 from .service import Forecast, MaintenancePredictionService
 
 __all__ = [
+    "CacheStats",
+    "CycleStateCache",
+    "EngineConfig",
+    "FleetEngine",
+    "FleetExecutor",
+    "default_max_workers",
     "DriftAlert",
     "DriftMonitor",
     "population_stability_index",

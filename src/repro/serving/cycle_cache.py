@@ -1,0 +1,123 @@
+"""Per-vehicle incremental cycle-state cache.
+
+The serial service re-derives every vehicle's ``C``/``L``/``D`` series
+from scratch on each :meth:`~repro.serving.service.MaintenancePredictionService.series`
+call — O(history) per lookup, O(history^2) over a vehicle's life.  This
+cache keeps one :class:`~repro.core.cycles.IncrementalSeriesState` per
+vehicle, keyed by ``(vehicle_id, usage_length, t_v)``: a lookup with a
+longer history appends only the new tail (O(tail)), while a shorter
+history, a changed budget, or a rewritten last day invalidates the entry
+and rebuilds it from scratch.
+
+Entries are locked individually so parallel per-vehicle prediction can
+refresh different vehicles — or race on a shared donor vehicle —
+without corrupting state.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.cycles import IncrementalSeriesState, SeriesBundle
+
+__all__ = ["CacheStats", "CycleStateCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how the cache is performing."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    appended_days: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "appended_days": self.appended_days,
+        }
+
+
+@dataclass
+class _Entry:
+    state: IncrementalSeriesState | None = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class CycleStateCache:
+    """Vehicle-keyed cache of incremental derive-series state."""
+
+    def __init__(self):
+        self._entries: dict[str, _Entry] = {}
+        self._registry_lock = threading.Lock()
+        self._stats = CacheStats()
+
+    def _entry(self, vehicle_id: str) -> _Entry:
+        with self._registry_lock:
+            entry = self._entries.get(vehicle_id)
+            if entry is None:
+                entry = self._entries[vehicle_id] = _Entry()
+            return entry
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    def invalidate(self, vehicle_id: str | None = None) -> None:
+        """Drop one vehicle's cached state (or all of them).
+
+        Call this after rewriting a vehicle's history in place; plain
+        appends and truncations are detected automatically.
+        """
+        with self._registry_lock:
+            if vehicle_id is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(vehicle_id, None)
+
+    def bundle(
+        self, vehicle_id: str, usage, t_v: float, start: int = 0
+    ) -> SeriesBundle:
+        """Derived series for a vehicle's current history.
+
+        Incrementally extends the cached state when ``usage`` grew by
+        appends; rebuilds when the key ``(usage_length, t_v)`` moved
+        backwards, the accumulation start changed, or the most recent
+        shared day no longer matches (a history rewrite).
+        """
+        usage = np.asarray(usage, dtype=np.float64)
+        entry = self._entry(vehicle_id)
+        with entry.lock:
+            state = entry.state
+            reusable = (
+                state is not None
+                and state.t_v == float(t_v)
+                and state.start == start
+                and state.n_days <= usage.size
+                and (
+                    state.n_days == 0
+                    or state.usage[-1] == usage[state.n_days - 1]
+                )
+            )
+            if not reusable:
+                if state is not None:
+                    self._stats.invalidations += 1
+                self._stats.misses += 1
+                state = IncrementalSeriesState.from_usage(
+                    usage, t_v, start=start
+                )
+                self._stats.appended_days += usage.size
+                entry.state = state
+            else:
+                tail = usage.size - state.n_days
+                if tail:
+                    state.extend(usage[state.n_days :])
+                    self._stats.appended_days += tail
+                self._stats.hits += 1
+            return state.bundle()

@@ -1,0 +1,272 @@
+"""Batch fleet engine: parallel training + batch prediction.
+
+:class:`MaintenancePredictionService` handles one vehicle at a time and
+re-derives every cycle series from scratch; this module scales the same
+methodology to fleet-sized traffic without changing a single predicted
+``D̂_v(t)``:
+
+* **incremental cycle-state caching** — the engine's service runs with a
+  :class:`~repro.serving.cycle_cache.CycleStateCache`, so a day of
+  ingest updates ``C``/``L``/``D`` in O(1) instead of O(history);
+* **parallel per-vehicle training** — stale old-vehicle models are
+  retrained through a :class:`~repro.serving.executor.FleetExecutor`
+  (threads by default, process pool opt-in) and installed in
+  deterministic vehicle order;
+* **batch prediction** — :meth:`FleetEngine.predict_all` fans
+  per-vehicle forecasts out over threads and returns them sorted by
+  vehicle id.
+
+Serial-equivalence contract: every forecast is bit-identical to what
+the plain serial service would produce on the same history, because
+training data, model seeds and routing are unchanged — only the
+schedule differs.  ``tests/serving/test_fleet_engine.py`` enforces
+this with exact equality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.categorize import VehicleCategory
+from ..core.registry import make_predictor
+from ..core.series import VehicleSeries
+from ..dataprep.transformation import build_relational_dataset
+from .cycle_cache import CycleStateCache
+from .executor import FleetExecutor
+from .service import Forecast, MaintenancePredictionService
+
+__all__ = ["EngineConfig", "FleetEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Concurrency and caching knobs of the fleet engine.
+
+    Attributes
+    ----------
+    max_workers:
+        Worker bound for training and prediction fan-out; ``None``
+        sizes to the host, ``1`` forces the serial schedule.
+    executor:
+        ``"thread"`` (default) or ``"process"`` for the *training*
+        fan-out.  Prediction always fans out over threads because it
+        mutates live per-vehicle service state.
+    use_cycle_cache:
+        Attach an incremental :class:`CycleStateCache` to the service.
+    """
+
+    max_workers: int | None = None
+    executor: str = "thread"
+    use_cycle_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"Unknown executor {self.executor!r}; choose "
+                "'serial', 'thread' or 'process'."
+            )
+
+
+@dataclass(frozen=True)
+class _TrainingTask:
+    """Picklable per-vehicle training job (process-pool safe)."""
+
+    vehicle_id: str
+    usage: np.ndarray
+    t_v: float
+    window: int
+    algorithm: str
+    n_cycles: int
+
+    def __call__(self):
+        series = VehicleSeries(
+            vehicle_id=self.vehicle_id, usage=self.usage, t_v=self.t_v
+        )
+        dataset = build_relational_dataset(series.bundle, self.window)
+        if dataset.n_records == 0:
+            raise ValueError(
+                f"Vehicle {self.vehicle_id!r} has no labeled records yet."
+            )
+        predictor = make_predictor(self.algorithm)
+        predictor.fit(dataset, usage=series.usage)
+        return predictor
+
+
+def _run_training_task(task: _TrainingTask):
+    return task()
+
+
+class FleetEngine:
+    """Fleet-scale front end over :class:`MaintenancePredictionService`.
+
+    Parameters
+    ----------
+    service:
+        An existing service to drive; when ``None`` a fresh one is
+        built from ``service_kwargs`` (``t_v`` is then required).
+    config:
+        :class:`EngineConfig`; defaults to threads sized to the host
+        with the cycle cache enabled.
+    """
+
+    def __init__(
+        self,
+        service: MaintenancePredictionService | None = None,
+        *,
+        config: EngineConfig | None = None,
+        **service_kwargs,
+    ):
+        self.config = config or EngineConfig()
+        if service is None:
+            service_kwargs.setdefault(
+                "cycle_cache", self.config.use_cycle_cache
+            )
+            service = MaintenancePredictionService(**service_kwargs)
+        elif service_kwargs:
+            raise ValueError(
+                "Pass service_kwargs only when the engine builds the "
+                "service itself."
+            )
+        elif self.config.use_cycle_cache and service.cycle_cache is None:
+            service.cycle_cache = CycleStateCache()
+        self.service = service
+
+    # -- executors ---------------------------------------------------------
+
+    def _training_executor(self) -> FleetExecutor:
+        return FleetExecutor(
+            max_workers=self.config.max_workers, kind=self.config.executor
+        )
+
+    def _prediction_executor(self) -> FleetExecutor:
+        # Prediction mutates live per-vehicle state (pending forecasts,
+        # model caches), so it must stay in-process.
+        kind = "serial" if self.config.executor == "serial" else "thread"
+        return FleetExecutor(max_workers=self.config.max_workers, kind=kind)
+
+    # -- ingestion ---------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> dict[str, int] | None:
+        cache = self.service.cycle_cache
+        return None if cache is None else cache.stats.as_dict()
+
+    def register_fleet(self, vehicle_ids: Iterable[str]) -> None:
+        """Register many vehicles at once (order-independent)."""
+        for vehicle_id in sorted(vehicle_ids):
+            self.service.register_vehicle(vehicle_id)
+
+    def ingest_day(self, usage_by_vehicle: Mapping[str, float]) -> None:
+        """Ingest one day of utilization for part or all of the fleet.
+
+        Vehicles are processed in sorted id order so monitor resolution
+        and cache updates are deterministic.
+        """
+        for vehicle_id in sorted(usage_by_vehicle):
+            self.service.ingest(
+                vehicle_id, float(usage_by_vehicle[vehicle_id])
+            )
+
+    def ingest_history(self, vehicle_id: str, usage) -> None:
+        self.service.ingest_series(vehicle_id, usage)
+
+    def invalidate(self, vehicle_id: str | None = None) -> None:
+        """Invalidate cached cycle state after a history rewrite."""
+        if self.service.cycle_cache is not None:
+            self.service.cycle_cache.invalidate(vehicle_id)
+
+    # -- training ----------------------------------------------------------
+
+    def _stale_old_vehicles(self) -> list[tuple[str, int]]:
+        service = self.service
+        stale = []
+        for vehicle_id in service.vehicle_ids:
+            if service.category(vehicle_id) is not VehicleCategory.OLD:
+                continue
+            state = service._vehicles[vehicle_id]
+            n_cycles = len(service.series(vehicle_id).completed_cycles)
+            if state.model is None or state.model_trained_cycles != n_cycles:
+                stale.append((vehicle_id, n_cycles))
+        return stale
+
+    def refresh_models(self) -> int:
+        """Retrain every stale old-vehicle model, fanned out in parallel.
+
+        Each task trains on exactly the dataset the serial
+        ``_ensure_vehicle_model`` would use, so the installed models are
+        identical; installation (and persistence) happens in the parent
+        in sorted vehicle order.  Returns the number retrained.
+        """
+        service = self.service
+        stale = self._stale_old_vehicles()
+        if not stale:
+            return 0
+        tasks = [
+            _TrainingTask(
+                vehicle_id=vehicle_id,
+                usage=np.asarray(
+                    service._vehicles[vehicle_id].usage, dtype=np.float64
+                ),
+                t_v=service.t_v,
+                window=service.window,
+                algorithm=service.algorithm,
+                n_cycles=n_cycles,
+            )
+            for vehicle_id, n_cycles in stale
+        ]
+        predictors = self._training_executor().map_ordered(
+            _run_training_task, tasks
+        )
+        for task, predictor in zip(tasks, predictors):
+            state = service._vehicles[task.vehicle_id]
+            state.model = predictor
+            state.model_trained_cycles = task.n_cycles
+            service._persist(
+                f"{task.vehicle_id}.per-vehicle",
+                predictor,
+                strategy="per-vehicle",
+                trained_cycles=task.n_cycles,
+            )
+        return len(stale)
+
+    # -- prediction --------------------------------------------------------
+
+    def _ready_ids(self) -> list[str]:
+        service = self.service
+        return [
+            vehicle_id
+            for vehicle_id in service.vehicle_ids
+            if service.series(vehicle_id).n_days > service.window
+        ]
+
+    def predict_all(self, *, skip_unready: bool = True) -> list[Forecast]:
+        """Forecast the whole fleet from the latest ingested day.
+
+        Refreshes stale old-vehicle models (parallel), pre-warms the
+        shared unified model, then fans per-vehicle prediction out over
+        threads.  Forecasts come back sorted by vehicle id; vehicles
+        with fewer than ``window + 1`` observed days are skipped when
+        ``skip_unready`` (else the underlying ``ValueError`` surfaces).
+        """
+        service = self.service
+        self.refresh_models()
+        ids = self._ready_ids() if skip_unready else service.vehicle_ids
+        if any(
+            service.category(vehicle_id) is VehicleCategory.NEW
+            for vehicle_id in ids
+        ):
+            # Train Model_Uni once before the fan-out; the per-call
+            # donor-set check then hits this cache read-only.  NEW
+            # vehicles are never donors, so exclude-self is a no-op.
+            service._ensure_unified_model()
+        return self._prediction_executor().map_ordered(service.predict, ids)
+
+    def predict_many(self, vehicle_ids: Iterable[str]) -> list[Forecast]:
+        """Batch-forecast a subset, in sorted vehicle order."""
+        self.refresh_models()
+        return self._prediction_executor().map_ordered(
+            self.service.predict, sorted(vehicle_ids)
+        )

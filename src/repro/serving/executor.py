@@ -1,0 +1,92 @@
+"""Deterministic fan-out executor for fleet-sized workloads.
+
+A thin wrapper over :mod:`concurrent.futures` shared by the fleet
+engine and the experiment drivers.  Three kinds:
+
+* ``"serial"`` — plain in-process loop (the reference path);
+* ``"thread"`` — :class:`~concurrent.futures.ThreadPoolExecutor`
+  (default; model fits release little GIL but I/O and numpy-heavy
+  stages overlap, and it needs no pickling);
+* ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor`
+  (opt-in; true CPU parallelism, tasks and results must pickle).
+
+Results always come back in submission order, so a parallel run is a
+drop-in replacement for the serial loop — same outputs, same order.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+__all__ = ["EXECUTOR_KINDS", "FleetExecutor", "default_max_workers"]
+
+EXECUTOR_KINDS: tuple[str, ...] = ("serial", "thread", "process")
+
+
+def default_max_workers() -> int:
+    """A conservative default worker count for this host."""
+    return min(32, os.cpu_count() or 1)
+
+
+class FleetExecutor:
+    """Ordered map over a pool of workers.
+
+    Parameters
+    ----------
+    max_workers:
+        Upper bound on concurrent workers; ``None`` uses
+        :func:`default_max_workers`.  ``1`` degenerates to the serial
+        loop regardless of ``kind``.
+    kind:
+        ``"serial"``, ``"thread"`` (default) or ``"process"``.
+    """
+
+    def __init__(self, max_workers: int | None = None, kind: str = "thread"):
+        if kind not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"Unknown executor kind {kind!r}; choose from {EXECUTOR_KINDS}."
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {max_workers}."
+            )
+        self.max_workers = (
+            default_max_workers() if max_workers is None else int(max_workers)
+        )
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetExecutor(kind={self.kind!r}, "
+            f"max_workers={self.max_workers})"
+        )
+
+    def map_ordered(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item; results in input order.
+
+        With ``kind="process"`` both ``fn`` and the items must be
+        picklable (use a module-level callable, not a closure).
+        """
+        items = list(items)
+        workers = min(self.max_workers, len(items))
+        if self.kind == "serial" or workers <= 1:
+            return [fn(item) for item in items]
+        pool_cls = (
+            ThreadPoolExecutor if self.kind == "thread" else ProcessPoolExecutor
+        )
+        with pool_cls(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+    @classmethod
+    def resolve(
+        cls,
+        executor: "FleetExecutor | None",
+        fn: Callable,
+        items: Sequence,
+    ) -> list:
+        """Run through ``executor`` when given, else the serial loop."""
+        if executor is None:
+            return [fn(item) for item in items]
+        return executor.map_ordered(fn, items)

@@ -33,6 +33,8 @@ def population_stability_index(
     """
     reference = np.asarray(reference, dtype=np.float64)
     live = np.asarray(live, dtype=np.float64)
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}.")
     if reference.size < n_bins or live.size == 0:
         raise ValueError(
             f"Need >= {n_bins} reference and >= 1 live samples, got "
@@ -40,12 +42,26 @@ def population_stability_index(
         )
     quantiles = np.linspace(0, 100, n_bins + 1)[1:-1]
     edges = np.unique(np.percentile(reference, quantiles))
-    ref_counts = np.bincount(
-        np.searchsorted(edges, reference), minlength=edges.size + 1
-    )
-    live_counts = np.bincount(
-        np.searchsorted(edges, live), minlength=edges.size + 1
-    )
+    if edges.size == 1:
+        # Degenerate reference: heavy ties collapse every interior decile
+        # to one value c.  Half-open searchsorted bins would then lump
+        # "equal to c" together with "below c", silently hiding any
+        # downward shift of the live distribution (while flagging the
+        # mirror-image upward shift) — bin explicitly on {<c, ==c, >c}.
+        c = edges[0]
+        ref_counts = np.array(
+            [(reference < c).sum(), (reference == c).sum(), (reference > c).sum()]
+        )
+        live_counts = np.array(
+            [(live < c).sum(), (live == c).sum(), (live > c).sum()]
+        )
+    else:
+        ref_counts = np.bincount(
+            np.searchsorted(edges, reference), minlength=edges.size + 1
+        )
+        live_counts = np.bincount(
+            np.searchsorted(edges, live), minlength=edges.size + 1
+        )
     ref_frac = np.maximum(ref_counts / reference.size, eps)
     live_frac = np.maximum(live_counts / live.size, eps)
     return float(np.sum((live_frac - ref_frac) * np.log(live_frac / ref_frac)))

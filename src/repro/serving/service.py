@@ -18,6 +18,7 @@ and the ground truth becomes known.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,6 +33,7 @@ from ..dataprep.transformation import (
     build_relational_dataset,
 )
 from ..similarity.measures import most_similar
+from .cycle_cache import CycleStateCache
 from .monitoring import DriftMonitor
 from .persistence import ModelStore
 
@@ -80,6 +82,12 @@ class MaintenancePredictionService:
         Optional :class:`DriftMonitor` fed with resolved residuals.
     similarity_measure:
         Donor-selection measure for semi-new vehicles.
+    cycle_cache:
+        ``True`` (or a shared :class:`CycleStateCache`) switches
+        :meth:`series` to the incremental cycle-state path: appending a
+        day updates ``C``/``L``/``D`` in O(1) instead of re-deriving the
+        full history.  Derived series are bit-identical to the default
+        from-scratch path (the equivalence suite pins this).
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class MaintenancePredictionService:
         store: ModelStore | None = None,
         monitor: DriftMonitor | None = None,
         similarity_measure="average_usage",
+        cycle_cache: CycleStateCache | bool | None = None,
     ):
         if t_v <= 0:
             raise ValueError(f"t_v must be positive, got {t_v}.")
@@ -101,9 +110,15 @@ class MaintenancePredictionService:
         self.store = store
         self.monitor = monitor
         self.similarity_measure = similarity_measure
+        if cycle_cache is True:
+            cycle_cache = CycleStateCache()
+        elif cycle_cache is False:
+            cycle_cache = None
+        self.cycle_cache: CycleStateCache | None = cycle_cache
         self._vehicles: dict[str, _VehicleState] = {}
         self._unified_model = None
         self._unified_trained_on: frozenset[str] = frozenset()
+        self._persist_lock = threading.Lock()
 
     # -- ingestion -----------------------------------------------------------
 
@@ -142,6 +157,16 @@ class MaintenancePredictionService:
 
     def series(self, vehicle_id: str) -> VehicleSeries:
         state = self._state(vehicle_id)
+        if self.cycle_cache is not None:
+            bundle = self.cycle_cache.bundle(
+                vehicle_id, state.usage, self.t_v
+            )
+            return VehicleSeries(
+                vehicle_id=vehicle_id,
+                usage=bundle.usage,
+                t_v=self.t_v,
+                _bundle=bundle,
+            )
         return VehicleSeries(
             vehicle_id=vehicle_id,
             usage=np.asarray(state.usage, dtype=np.float64),
@@ -165,11 +190,16 @@ class MaintenancePredictionService:
 
     def _persist(self, key: str, predictor, **metadata) -> None:
         if self.store is not None:
-            self.store.save(
-                key,
-                predictor,
-                {"algorithm": self.algorithm, "window": self.window, **metadata},
-            )
+            with self._persist_lock:
+                self.store.save(
+                    key,
+                    predictor,
+                    {
+                        "algorithm": self.algorithm,
+                        "window": self.window,
+                        **metadata,
+                    },
+                )
 
     def _ensure_vehicle_model(self, vehicle_id: str):
         """Per-vehicle model, retrained when a new cycle has completed."""

@@ -10,7 +10,11 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.core.categorize import VehicleCategory, categorize_usage
-from repro.core.cycles import derive_series, segment_cycles
+from repro.core.cycles import (
+    IncrementalSeriesState,
+    derive_series,
+    segment_cycles,
+)
 from repro.dataprep.transformation import build_relational_dataset
 
 usage_arrays = arrays(
@@ -107,6 +111,85 @@ class TestCategorizationProperties:
             rank = order[categorize_usage(usage[:cut], t_v)]
             assert rank >= previous
             previous = rank
+
+
+class TestIncrementalSeriesProperties:
+    """The incremental path must be *bit-identical* to full re-derivation.
+
+    Both paths accumulate usage in the same sequential order, so under
+    IEEE-754 round-to-nearest the floats agree exactly — these asserts
+    use strict equality on purpose, not tolerances.
+    """
+
+    @given(usage_arrays, budgets, st.integers(0, 40))
+    def test_appending_k_days_matches_full_rederivation(self, usage, t_v, k):
+        k = min(k, usage.size)
+        state = IncrementalSeriesState.from_usage(usage[: usage.size - k], t_v)
+        for value in usage[usage.size - k :]:
+            state.append(value)
+        incremental = state.bundle()
+        full = derive_series(usage, t_v)
+        assert incremental.cycles == full.cycles
+        assert np.array_equal(incremental.usage, full.usage)
+        assert np.array_equal(
+            incremental.days_since_maintenance,
+            full.days_since_maintenance,
+            equal_nan=True,
+        )
+        assert np.array_equal(
+            incremental.usage_left, full.usage_left, equal_nan=True
+        )
+        assert np.array_equal(
+            incremental.days_to_maintenance,
+            full.days_to_maintenance,
+            equal_nan=True,
+        )
+
+    @given(usage_arrays, budgets)
+    def test_bundle_snapshots_are_stable(self, usage, t_v):
+        """Later appends must never rewrite a previously returned bundle."""
+        state = IncrementalSeriesState(t_v)
+        state.append(usage[0])
+        snapshot = state.bundle()
+        frozen_d = snapshot.days_to_maintenance.copy()
+        for value in usage[1:]:
+            state.append(value)
+        assert np.array_equal(
+            snapshot.days_to_maintenance, frozen_d, equal_nan=True
+        )
+
+    @given(usage_arrays, budgets, st.integers(0, 30))
+    def test_time_shift_invariance_of_cycle_boundaries(self, usage, t_v, s):
+        """Dropping a prefix only relabels days; cycles are unchanged.
+
+        This is the augmentation invariance the data-prep layer relies
+        on: ``segment_cycles(usage, t_v, start=s)`` must equal
+        ``segment_cycles(usage[s:], t_v)`` with every boundary shifted
+        by ``s``, including exact per-cycle total usage.
+        """
+        s = min(s, usage.size)
+        shifted = segment_cycles(usage, t_v, start=s)
+        rebased = segment_cycles(usage[s:], t_v)
+        assert len(shifted) == len(rebased)
+        for a, b in zip(shifted, rebased):
+            assert a.start == b.start + s
+            assert a.end == b.end + s
+            assert a.completed == b.completed
+            assert a.total_usage == b.total_usage
+
+    @given(usage_arrays, budgets)
+    def test_l_monotone_non_increasing_within_cycle(self, usage, t_v):
+        """L_v never increases inside a cycle — exactly, not approximately.
+
+        L[t] = t_v - cumsum(usage), and subtracting a larger-or-equal
+        accumulated total can never round *up* past the previous value,
+        so strict ``diff <= 0`` holds bit-for-bit.
+        """
+        bundle = derive_series(usage, t_v)
+        ell = bundle.usage_left
+        for cycle in bundle.cycles:
+            within = ell[cycle.start : cycle.end + 1]
+            assert np.all(np.diff(within) <= 0.0)
 
 
 class TestRelationalDatasetProperties:

@@ -1,0 +1,267 @@
+"""Serial-equivalence suite for the batch fleet engine.
+
+The engine's correctness contract is that caching and parallelism are
+pure scheduling changes: for any fleet, batch/parallel/cached
+predictions must be *identical* (exact float equality, not approx) to
+the serial :class:`MaintenancePredictionService` path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cycles import derive_series
+from repro.serving.cycle_cache import CycleStateCache
+from repro.serving.engine import EngineConfig, FleetEngine
+from repro.serving.executor import FleetExecutor
+from repro.serving.service import MaintenancePredictionService
+
+T_V = 200_000.0
+
+
+def random_fleet(seed: int) -> dict[str, np.ndarray]:
+    """A mixed fleet: several old, some semi-new, some new vehicles."""
+    rng = np.random.default_rng(seed)
+    fleet: dict[str, np.ndarray] = {}
+    for i in range(int(rng.integers(2, 5))):
+        days = int(rng.integers(22, 45))
+        fleet[f"old{i}"] = rng.uniform(14_000, 26_000, size=days)
+    for i in range(int(rng.integers(1, 4))):
+        fleet[f"semi{i}"] = rng.uniform(17_000, 25_000, size=int(rng.integers(5, 9)))
+    for i in range(int(rng.integers(1, 3))):
+        fleet[f"new{i}"] = rng.uniform(5_000, 20_000, size=int(rng.integers(1, 4)))
+    return fleet
+
+
+def build_serial(usage_map, **kwargs) -> MaintenancePredictionService:
+    service = MaintenancePredictionService(t_v=T_V, **kwargs)
+    for vehicle_id in sorted(usage_map):
+        service.register_vehicle(vehicle_id)
+        service.ingest_series(vehicle_id, usage_map[vehicle_id])
+    return service
+
+
+def serial_forecasts(service):
+    return [
+        service.predict(vehicle_id)
+        for vehicle_id in service.vehicle_ids
+        if service.series(vehicle_id).n_days > service.window
+    ]
+
+
+def build_engine(usage_map, config, **kwargs) -> FleetEngine:
+    engine = FleetEngine(t_v=T_V, config=config, **kwargs)
+    engine.register_fleet(usage_map)
+    for vehicle_id in sorted(usage_map):
+        engine.ingest_history(vehicle_id, usage_map[vehicle_id])
+    return engine
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("max_workers", [1, 4])
+    def test_predict_all_identical_to_serial(self, seed, max_workers):
+        usage_map = random_fleet(seed)
+        reference = serial_forecasts(
+            build_serial(usage_map, window=0, algorithm="LR")
+        )
+        engine = build_engine(
+            usage_map,
+            EngineConfig(max_workers=max_workers),
+            window=0,
+            algorithm="LR",
+        )
+        assert engine.predict_all() == reference
+
+    @pytest.mark.parametrize("max_workers", [1, 4])
+    def test_multivariate_rf_identical_to_serial(self, max_workers):
+        usage_map = random_fleet(3)
+        reference = serial_forecasts(
+            build_serial(usage_map, window=3, algorithm="RF")
+        )
+        engine = build_engine(
+            usage_map,
+            EngineConfig(max_workers=max_workers),
+            window=3,
+            algorithm="RF",
+        )
+        assert engine.predict_all() == reference
+
+    def test_process_pool_training_identical_to_serial(self):
+        usage_map = random_fleet(4)
+        reference = serial_forecasts(
+            build_serial(usage_map, window=0, algorithm="RF")
+        )
+        engine = build_engine(
+            usage_map,
+            EngineConfig(max_workers=2, executor="process"),
+            window=0,
+            algorithm="RF",
+        )
+        assert engine.predict_all() == reference
+
+    def test_repeated_ingest_predict_cycles_stay_identical(self):
+        """Interleaved daily ingest + batch prediction matches serial."""
+        usage_map = random_fleet(5)
+        rng = np.random.default_rng(99)
+        extra = {v: rng.uniform(12_000, 24_000, size=6) for v in usage_map}
+        serial = build_serial(usage_map, window=0, algorithm="LR")
+        engine = build_engine(
+            usage_map, EngineConfig(max_workers=4), window=0, algorithm="LR"
+        )
+        for day in range(6):
+            today = {v: extra[v][day] for v in usage_map}
+            for vehicle_id in sorted(today):
+                serial.ingest(vehicle_id, float(today[vehicle_id]))
+            engine.ingest_day(today)
+            assert engine.predict_all() == serial_forecasts(serial)
+
+
+class TestEngineBehavior:
+    def test_forecasts_sorted_by_vehicle_id(self):
+        usage_map = random_fleet(6)
+        engine = build_engine(
+            usage_map, EngineConfig(max_workers=4), window=0, algorithm="LR"
+        )
+        forecasts = engine.predict_all()
+        ids = [f.vehicle_id for f in forecasts]
+        assert ids == sorted(ids)
+
+    def test_skip_unready_vehicles(self):
+        usage_map = {"v1": np.full(25, 20_000.0), "v2": np.zeros(0)}
+        engine = build_engine(
+            usage_map, EngineConfig(max_workers=2), window=0, algorithm="LR"
+        )
+        assert [f.vehicle_id for f in engine.predict_all()] == ["v1"]
+        with pytest.raises(ValueError):
+            engine.predict_all(skip_unready=False)
+
+    def test_refresh_models_counts_and_caches(self):
+        usage_map = random_fleet(7)
+        engine = build_engine(
+            usage_map, EngineConfig(max_workers=2), window=0, algorithm="LR"
+        )
+        n_old = sum(1 for v in usage_map if v.startswith("old"))
+        assert engine.refresh_models() == n_old
+        assert engine.refresh_models() == 0  # all warm now
+
+    def test_predict_many_subset(self):
+        usage_map = random_fleet(8)
+        serial = build_serial(usage_map, window=0, algorithm="LR")
+        old_ids = sorted(v for v in usage_map if v.startswith("old"))
+        reference = [serial.predict(v) for v in old_ids]
+        engine = build_engine(
+            usage_map, EngineConfig(max_workers=4), window=0, algorithm="LR"
+        )
+        assert engine.predict_many(old_ids) == reference
+
+    def test_cache_stats_exposed(self):
+        usage_map = random_fleet(9)
+        engine = build_engine(
+            usage_map, EngineConfig(max_workers=1), window=0, algorithm="LR"
+        )
+        engine.predict_all()
+        stats = engine.cache_stats
+        assert stats is not None and stats["hits"] > 0
+
+    def test_engine_without_cache(self):
+        usage_map = random_fleet(10)
+        reference = serial_forecasts(
+            build_serial(usage_map, window=0, algorithm="LR")
+        )
+        engine = build_engine(
+            usage_map,
+            EngineConfig(max_workers=2, use_cycle_cache=False),
+            window=0,
+            algorithm="LR",
+        )
+        assert engine.service.cycle_cache is None
+        assert engine.predict_all() == reference
+
+    def test_rejects_service_kwargs_with_service(self):
+        service = MaintenancePredictionService(t_v=T_V)
+        with pytest.raises(ValueError, match="service_kwargs"):
+            FleetEngine(service, window=3)
+
+
+class TestCycleStateCache:
+    def test_append_path_matches_full_derivation(self):
+        cache = CycleStateCache()
+        rng = np.random.default_rng(0)
+        usage = rng.uniform(0, 30_000, size=60)
+        for n in range(1, usage.size + 1):
+            bundle = cache.bundle("v", usage[:n], T_V)
+            full = derive_series(usage[:n], T_V)
+            assert bundle.cycles == full.cycles
+            assert np.array_equal(
+                bundle.usage_left, full.usage_left, equal_nan=True
+            )
+            assert np.array_equal(
+                bundle.days_to_maintenance,
+                full.days_to_maintenance,
+                equal_nan=True,
+            )
+        stats = cache.stats
+        assert stats.misses == 1 and stats.hits == usage.size - 1
+
+    def test_invalidation_on_truncation(self):
+        cache = CycleStateCache()
+        usage = np.full(30, 10_000.0)
+        cache.bundle("v", usage, T_V)
+        bundle = cache.bundle("v", usage[:10], T_V)  # history rewound
+        assert bundle.n_days == 10
+        assert cache.stats.invalidations == 1
+        assert np.array_equal(
+            bundle.usage_left,
+            derive_series(usage[:10], T_V).usage_left,
+            equal_nan=True,
+        )
+
+    def test_invalidation_on_last_day_rewrite(self):
+        cache = CycleStateCache()
+        usage = np.full(30, 10_000.0)
+        cache.bundle("v", usage, T_V)
+        rewritten = usage.copy()
+        rewritten[-1] = 25_000.0
+        bundle = cache.bundle("v", rewritten, T_V)
+        assert cache.stats.invalidations == 1
+        assert np.array_equal(
+            bundle.usage_left,
+            derive_series(rewritten, T_V).usage_left,
+            equal_nan=True,
+        )
+
+    def test_invalidation_on_budget_change(self):
+        cache = CycleStateCache()
+        usage = np.full(30, 10_000.0)
+        cache.bundle("v", usage, T_V)
+        bundle = cache.bundle("v", usage, T_V / 2)
+        assert cache.stats.invalidations == 1
+        assert bundle.t_v == T_V / 2
+
+    def test_explicit_invalidate(self):
+        cache = CycleStateCache()
+        usage = np.full(10, 10_000.0)
+        cache.bundle("v", usage, T_V)
+        cache.invalidate("v")
+        cache.bundle("v", usage, T_V)
+        assert cache.stats.misses == 2
+
+
+class TestFleetExecutor:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FleetExecutor(kind="fiber")
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            FleetExecutor(max_workers=0)
+
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_map_ordered_preserves_order(self, kind):
+        executor = FleetExecutor(max_workers=4, kind=kind)
+        items = list(range(20))
+        assert executor.map_ordered(_square, items) == [i * i for i in items]
+
+
+def _square(x):
+    return x * x

@@ -29,6 +29,53 @@ class TestPsi:
         with pytest.raises(ValueError):
             population_stability_index(rng.normal(size=5), rng.normal(size=5))
 
+    def test_rejects_single_bin(self, rng):
+        with pytest.raises(ValueError, match="n_bins"):
+            population_stability_index(
+                rng.normal(size=100), rng.normal(size=100), n_bins=1
+            )
+
+
+class TestPsiDegenerateReference:
+    """Regression: a constant/heavily-tied reference collapses every
+    decile edge to one value, and the half-open ``searchsorted`` bins
+    then put "equal to the edge" and "below the edge" in the same bin —
+    an upward live shift was flagged while the mirror-image downward
+    shift scored exactly 0.0.
+    """
+
+    def test_constant_reference_identical_live_is_stable(self):
+        reference = np.full(100, 5.0)
+        live = np.full(80, 5.0)
+        assert population_stability_index(reference, live) < 0.01
+
+    def test_constant_reference_downward_shift_flagged(self):
+        reference = np.full(100, 5.0)
+        live = np.full(80, 1.0)  # scored 0.0 before the fix
+        assert population_stability_index(reference, live) > 0.25
+
+    def test_constant_reference_upward_shift_flagged(self):
+        reference = np.full(100, 5.0)
+        live = np.full(80, 9.0)
+        assert population_stability_index(reference, live) > 0.25
+
+    def test_constant_reference_shift_is_symmetric(self):
+        reference = np.full(100, 5.0)
+        below = population_stability_index(reference, np.full(80, 1.0))
+        above = population_stability_index(reference, np.full(80, 9.0))
+        assert below == pytest.approx(above)
+
+    def test_tied_reference_with_shifted_live_flagged(self):
+        # >90 % ties: all interior deciles land on the tied value.
+        reference = np.concatenate([np.full(95, 5.0), [1.0] * 5])
+        live = np.full(80, 2.0)
+        assert population_stability_index(reference, live) > 0.25
+
+    def test_spread_reference_unaffected_by_fix(self, rng):
+        # Sanity: the non-degenerate path still behaves as before.
+        reference = rng.normal(0, 1, size=5000)
+        assert population_stability_index(reference, reference) < 1e-12
+
 
 class TestDriftMonitor:
     def test_no_alert_when_accurate(self):
