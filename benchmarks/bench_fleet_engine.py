@@ -31,9 +31,12 @@ import numpy as np
 from repro.core.cycles import derive_series
 from repro.serving.cycle_cache import CycleStateCache
 from repro.serving.engine import EngineConfig, FleetEngine
+from repro.serving.reliability import IngestionGuard
+from repro.serving.service import MaintenancePredictionService
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 SPEEDUP_FLOOR = 3.0
+GUARD_OVERHEAD_CEILING = 0.10  # guarded clean-path ingest, vs unguarded
 
 T_V = 200_000.0  # ~8-9 day cycles at the usage scale below
 
@@ -81,6 +84,51 @@ def bench_ingest(fleet: dict[str, np.ndarray], n_days: int) -> list[str]:
         raise SystemExit(
             f"cached ingest speedup {speedup:.2f}x below the "
             f"{SPEEDUP_FLOOR:.0f}x floor"
+        )
+    return lines
+
+
+def bench_guard(
+    fleet: dict[str, np.ndarray], *, enforce: bool
+) -> list[str]:
+    """Clean-path ingest cost of the ingestion guard.
+
+    The guard *replaces* the service's raw range validation rather than
+    duplicating it, so screening clean readings must cost about the
+    same; ``enforce`` additionally fails the run when the overhead
+    exceeds :data:`GUARD_OVERHEAD_CEILING`.
+    """
+
+    def run(guard: IngestionGuard | None) -> float:
+        service = MaintenancePredictionService(
+            t_v=T_V, window=0, algorithm="LR", guard=guard
+        )
+        for vehicle_id in fleet:
+            service.register_vehicle(vehicle_id)
+        start = perf_counter()
+        for vehicle_id, usage in fleet.items():
+            for day, value in enumerate(usage):
+                service.ingest(vehicle_id, float(value), day=day)
+        return perf_counter() - start
+
+    # Interleave repeats and keep the best of each to damp scheduler
+    # noise; a single warm-up pass stabilizes allocator state.
+    run(None), run(IngestionGuard())
+    plain = min(run(None) for _ in range(3))
+    guarded = min(run(IngestionGuard()) for _ in range(3))
+    overhead = guarded / plain - 1.0
+    n_readings = sum(u.size for u in fleet.values())
+    lines = [
+        f"ingestion guard, clean path ({n_readings} readings):",
+        f"  unguarded ingest : {plain:8.3f} s",
+        f"  guarded ingest   : {guarded:8.3f} s",
+        f"  overhead         : {overhead:+8.1%} "
+        f"(ceiling {GUARD_OVERHEAD_CEILING:.0%})",
+    ]
+    if enforce and overhead > GUARD_OVERHEAD_CEILING:
+        raise SystemExit(
+            f"guard clean-path overhead {overhead:+.1%} above the "
+            f"{GUARD_OVERHEAD_CEILING:.0%} ceiling"
         )
     return lines
 
@@ -137,6 +185,8 @@ def main(argv: list[str] | None = None) -> int:
 
     lines = ["Fleet engine benchmark", ""]
     lines += bench_ingest(fleet, n_days)
+    lines.append("")
+    lines += bench_guard(fleet, enforce=True)
     lines.append("")
     # Training/prediction scale is bounded separately: the ingest fleet's
     # long histories would make per-vehicle training dominate the run.

@@ -6,7 +6,9 @@ Operational entry points for the reproduction:
 * ``calibrate`` — print the fleet calibration report;
 * ``evaluate``  — regenerate a table/figure of the paper;
 * ``predict``   — train a model for one vehicle of a stored fleet and
-  forecast its next maintenance.
+  forecast its next maintenance;
+* ``chaos``     — replay a seeded fault-injection scenario against the
+  resilient serving stack and print the fleet health report.
 
 Usage: ``python -m repro <command> [options]`` (see ``--help`` per
 command).
@@ -155,6 +157,124 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Deterministic chaos run: dirty readings, failing trainers and
+    flaky storage against the resilient service; self-verifies that the
+    FleetHealth counters match the injected fault counts exactly."""
+    import tempfile
+
+    import numpy as np
+
+    from .serving import (
+        CircuitBreaker,
+        DriftMonitor,
+        EngineConfig,
+        FaultInjector,
+        FaultyStore,
+        FleetEngine,
+        IngestionGuard,
+        MaintenancePredictionService,
+        ModelStore,
+        RetryPolicy,
+        corrupt_readings,
+        faulty_predictor_factory,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    clean = {
+        f"v{i:02d}": rng.uniform(10_000, 28_000, size=args.days)
+        for i in range(args.vehicles)
+    }
+    injector = FaultInjector(
+        seed=args.seed,
+        rates={
+            "reading.non_finite": 0.03,
+            "reading.negative": 0.02,
+            "reading.too_large": 0.02,
+            "reading.duplicate": 0.02,
+            "reading.out_of_order": 0.02,
+            "train": 0.15,
+            "predict": 0.05,
+            "store.save": 0.20,
+            "store.corrupt": 0.10,
+        },
+    )
+    feeds = {
+        vehicle_id: list(corrupt_readings(injector, usage))
+        for vehicle_id, usage in sorted(clean.items())
+    }
+    retry = RetryPolicy(attempts=3, sleep=lambda _s: None, seed=args.seed)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = MaintenancePredictionService(
+            t_v=args.t_v,
+            window=0,
+            algorithm="LR",
+            store=FaultyStore(ModelStore(tmp), injector),
+            monitor=DriftMonitor(min_samples=1),
+            guard=IngestionGuard(),
+            breaker=CircuitBreaker(),
+            retry=retry,
+            predictor_factory=faulty_predictor_factory(injector),
+        )
+        engine = FleetEngine(
+            service, config=EngineConfig(max_workers=1, executor="serial")
+        )
+        engine.register_fleet(clean)
+
+        degraded = total_forecasts = 0
+        steps = max(len(feed) for feed in feeds.values())
+        for step in range(steps):
+            for vehicle_id in sorted(feeds):
+                feed = feeds[vehicle_id]
+                if step < len(feed):
+                    day, value = feed[step]
+                    service.ingest(vehicle_id, value, day=day)
+            if (step + 1) % 5 == 0 or step == steps - 1:
+                forecasts = engine.predict_all()
+                total_forecasts += len(forecasts)
+                degraded += sum(1 for f in forecasts if f.degraded)
+
+        health = engine.health()
+        print(health.render())
+        print()
+        print(f"forecasts served : {total_forecasts} ({degraded} degraded)")
+        print(f"injected         : {dict(injector.injected)}")
+
+        anomalies = health.total_anomalies()
+        checks = [
+            (
+                "reading faults quarantined/flagged",
+                anomalies.get("non-finite", 0)
+                == injector.injected["reading.non_finite"]
+                and anomalies.get("negative", 0)
+                == injector.injected["reading.negative"]
+                and anomalies.get("too-large", 0)
+                == injector.injected["reading.too_large"]
+                and anomalies.get("duplicate-day", 0)
+                == injector.injected["reading.duplicate"]
+                and anomalies.get("out-of-order", 0)
+                == injector.injected["reading.out_of_order"],
+            ),
+            (
+                "breaker failures == injected train+predict faults",
+                health.breaker_failures()
+                == injector.injected["train"] + injector.injected["predict"],
+            ),
+            (
+                "store faults == retried + persist failures",
+                injector.injected["store.save"]
+                == retry.retries + health.persist_failures,
+            ),
+        ]
+        print()
+        failed = 0
+        for label, ok in checks:
+            print(f"[{'ok' if ok else 'FAIL'}] {label}")
+            failed += not ok
+        return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,6 +348,19 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--algorithm", default="RF")
     predict.add_argument("--window", type=int, default=6)
     predict.set_defaults(func=_cmd_predict)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "replay a seeded fault-injection scenario and print the "
+            "fleet health report"
+        ),
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--vehicles", type=int, default=6)
+    chaos.add_argument("--days", type=int, default=60)
+    chaos.add_argument("--t-v", dest="t_v", type=float, default=200_000.0)
+    chaos.set_defaults(func=_cmd_chaos)
 
     return parser
 

@@ -3,15 +3,36 @@
 The paper closes with the system "currently under deployment, enabling
 further tests and tunings"; this package is that deployment surface —
 a stateful prediction service routing each vehicle through the Section-4
-methodology matrix, versioned model storage, and resolved-residual drift
-monitoring.
+methodology matrix, versioned model storage, resolved-residual drift
+monitoring, and a resilience layer (ingestion guard, strategy-ladder
+degraded serving, hardened persistence, deterministic fault injection)
+that keeps the service up on dirty telematics and flaky storage.
 """
 
 from .cycle_cache import CacheStats, CycleStateCache
 from .engine import EngineConfig, FleetEngine
 from .executor import FleetExecutor, default_max_workers
+from .faults import (
+    FaultInjector,
+    FaultyExecutor,
+    FaultyStore,
+    InjectedFault,
+    corrupt_readings,
+    faulty_predictor_factory,
+)
 from .monitoring import DriftAlert, DriftMonitor, population_stability_index
-from .persistence import ModelArtifact, ModelStore
+from .persistence import ArtifactCorruptError, ModelArtifact, ModelStore
+from .reliability import (
+    AnomalyKind,
+    AnomalyPolicy,
+    CircuitBreaker,
+    DeadLetterRecord,
+    FleetHealth,
+    GuardPolicies,
+    IngestionGuard,
+    RetryPolicy,
+    VehicleHealth,
+)
 from .service import Forecast, MaintenancePredictionService
 
 __all__ = [
@@ -24,8 +45,24 @@ __all__ = [
     "DriftAlert",
     "DriftMonitor",
     "population_stability_index",
+    "ArtifactCorruptError",
     "ModelArtifact",
     "ModelStore",
+    "AnomalyKind",
+    "AnomalyPolicy",
+    "CircuitBreaker",
+    "DeadLetterRecord",
+    "FleetHealth",
+    "GuardPolicies",
+    "IngestionGuard",
+    "RetryPolicy",
+    "VehicleHealth",
+    "FaultInjector",
+    "FaultyExecutor",
+    "FaultyStore",
+    "InjectedFault",
+    "corrupt_readings",
+    "faulty_predictor_factory",
     "Forecast",
     "MaintenancePredictionService",
 ]

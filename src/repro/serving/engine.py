@@ -36,6 +36,7 @@ from ..core.series import VehicleSeries
 from ..dataprep.transformation import build_relational_dataset
 from .cycle_cache import CycleStateCache
 from .executor import FleetExecutor
+from .reliability import FleetHealth
 from .service import Forecast, MaintenancePredictionService
 
 __all__ = ["EngineConfig", "FleetEngine"]
@@ -72,7 +73,12 @@ class EngineConfig:
 
 @dataclass(frozen=True)
 class _TrainingTask:
-    """Picklable per-vehicle training job (process-pool safe)."""
+    """Picklable per-vehicle training job (process-pool safe).
+
+    ``factory`` overrides :func:`make_predictor` (the fault-injection
+    harness hooks in here); it must itself pickle for process pools, so
+    it stays ``None`` unless the service carries a custom factory.
+    """
 
     vehicle_id: str
     usage: np.ndarray
@@ -80,6 +86,7 @@ class _TrainingTask:
     window: int
     algorithm: str
     n_cycles: int
+    factory: object | None = None
 
     def __call__(self):
         series = VehicleSeries(
@@ -90,13 +97,21 @@ class _TrainingTask:
             raise ValueError(
                 f"Vehicle {self.vehicle_id!r} has no labeled records yet."
             )
-        predictor = make_predictor(self.algorithm)
+        predictor = (self.factory or make_predictor)(self.algorithm)
         predictor.fit(dataset, usage=series.usage)
         return predictor
 
 
 def _run_training_task(task: _TrainingTask):
     return task()
+
+
+def _run_training_task_safe(task: _TrainingTask):
+    """Never-raising task runner: (predictor, None) or (None, exc)."""
+    try:
+        return task(), None
+    except Exception as exc:
+        return None, exc
 
 
 class FleetEngine:
@@ -110,6 +125,10 @@ class FleetEngine:
     config:
         :class:`EngineConfig`; defaults to threads sized to the host
         with the cycle cache enabled.
+    training_executor / prediction_executor:
+        Optional :class:`FleetExecutor` overrides (the fault-injection
+        harness substitutes a :class:`~repro.serving.faults.
+        FaultyExecutor` here); defaults are built from ``config``.
     """
 
     def __init__(
@@ -117,6 +136,8 @@ class FleetEngine:
         service: MaintenancePredictionService | None = None,
         *,
         config: EngineConfig | None = None,
+        training_executor: FleetExecutor | None = None,
+        prediction_executor: FleetExecutor | None = None,
         **service_kwargs,
     ):
         self.config = config or EngineConfig()
@@ -133,15 +154,21 @@ class FleetEngine:
         elif self.config.use_cycle_cache and service.cycle_cache is None:
             service.cycle_cache = CycleStateCache()
         self.service = service
+        self._training_executor_override = training_executor
+        self._prediction_executor_override = prediction_executor
 
     # -- executors ---------------------------------------------------------
 
     def _training_executor(self) -> FleetExecutor:
+        if self._training_executor_override is not None:
+            return self._training_executor_override
         return FleetExecutor(
             max_workers=self.config.max_workers, kind=self.config.executor
         )
 
     def _prediction_executor(self) -> FleetExecutor:
+        if self._prediction_executor_override is not None:
+            return self._prediction_executor_override
         # Prediction mutates live per-vehicle state (pending forecasts,
         # model caches), so it must stay in-process.
         kind = "serial" if self.config.executor == "serial" else "thread"
@@ -159,19 +186,30 @@ class FleetEngine:
         for vehicle_id in sorted(vehicle_ids):
             self.service.register_vehicle(vehicle_id)
 
-    def ingest_day(self, usage_by_vehicle: Mapping[str, float]) -> None:
+    def ingest_day(
+        self, usage_by_vehicle: Mapping[str, float], *, day: int | None = None
+    ) -> None:
         """Ingest one day of utilization for part or all of the fleet.
 
         Vehicles are processed in sorted id order so monitor resolution
-        and cache updates are deterministic.
+        and cache updates are deterministic.  When the service carries
+        an ingestion guard, one vehicle's dirty reading can no longer
+        kill the whole fleet batch — it is screened per policy and the
+        rest of the batch proceeds.
         """
         for vehicle_id in sorted(usage_by_vehicle):
             self.service.ingest(
-                vehicle_id, float(usage_by_vehicle[vehicle_id])
+                vehicle_id, float(usage_by_vehicle[vehicle_id]), day=day
             )
 
     def ingest_history(self, vehicle_id: str, usage) -> None:
         self.service.ingest_series(vehicle_id, usage)
+
+    # -- health ------------------------------------------------------------
+
+    def health(self) -> FleetHealth:
+        """The service's aggregated resilience report."""
+        return self.service.health()
 
     def invalidate(self, vehicle_id: str | None = None) -> None:
         """Invalidate cached cycle state after a history rewrite."""
@@ -199,11 +237,33 @@ class FleetEngine:
         ``_ensure_vehicle_model`` would use, so the installed models are
         identical; installation (and persistence) happens in the parent
         in sorted vehicle order.  Returns the number retrained.
+
+        When the service is resilient (has a circuit breaker), one
+        vehicle's training failure no longer aborts the whole batch: the
+        failure is recorded on that vehicle's ``per-vehicle`` breaker
+        key, its model stays stale, and prediction steps down the
+        ladder.  Without a breaker the first failure raises (the
+        historical contract).
         """
         service = self.service
         stale = self._stale_old_vehicles()
+        if service.breaker is not None:
+            # Don't hammer a tripped training path: leave those models
+            # stale until prediction's allow() half-opens the circuit.
+            stale = [
+                (vehicle_id, n_cycles)
+                for vehicle_id, n_cycles in stale
+                if not service.breaker.is_open(f"{vehicle_id}:per-vehicle")
+            ]
         if not stale:
             return 0
+        from ..core.registry import make_predictor as _default_factory
+
+        factory = (
+            None
+            if service._make_predictor is _default_factory
+            else service._make_predictor
+        )
         tasks = [
             _TrainingTask(
                 vehicle_id=vehicle_id,
@@ -214,23 +274,36 @@ class FleetEngine:
                 window=service.window,
                 algorithm=service.algorithm,
                 n_cycles=n_cycles,
+                factory=factory,
             )
             for vehicle_id, n_cycles in stale
         ]
-        predictors = self._training_executor().map_ordered(
-            _run_training_task, tasks
-        )
-        for task, predictor in zip(tasks, predictors):
+        resilient = service.breaker is not None
+        runner = _run_training_task_safe if resilient else _run_training_task
+        results = self._training_executor().map_ordered(runner, tasks)
+        installed = 0
+        for task, result in zip(tasks, results):
+            if resilient:
+                predictor, error = result
+                if error is not None:
+                    service.breaker.record_failure(
+                        f"{task.vehicle_id}:per-vehicle"
+                    )
+                    continue
+                service.breaker.record_success(f"{task.vehicle_id}:per-vehicle")
+            else:
+                predictor = result
             state = service._vehicles[task.vehicle_id]
             state.model = predictor
             state.model_trained_cycles = task.n_cycles
+            installed += 1
             service._persist(
                 f"{task.vehicle_id}.per-vehicle",
                 predictor,
                 strategy="per-vehicle",
                 trained_cycles=task.n_cycles,
             )
-        return len(stale)
+        return installed
 
     # -- prediction --------------------------------------------------------
 
@@ -254,13 +327,15 @@ class FleetEngine:
         service = self.service
         self.refresh_models()
         ids = self._ready_ids() if skip_unready else service.vehicle_ids
-        if any(
+        if service.breaker is None and any(
             service.category(vehicle_id) is VehicleCategory.NEW
             for vehicle_id in ids
         ):
             # Train Model_Uni once before the fan-out; the per-call
             # donor-set check then hits this cache read-only.  NEW
             # vehicles are never donors, so exclude-self is a no-op.
+            # Resilient services skip the pre-warm so every unified
+            # attempt (and failure) is accounted on a vehicle's breaker.
             service._ensure_unified_model()
         return self._prediction_executor().map_ordered(service.predict, ids)
 

@@ -1,0 +1,251 @@
+"""Deterministic fault-injection harness for chaos testing the service.
+
+Reliability code is only trustworthy if its failure paths are exercised,
+and failure paths are only testable if the failures replay exactly.
+This module injects seeded faults at the seams the resilience layer
+guards:
+
+* :class:`FaultInjector` — the seeded scheduler.  Each injection *site*
+  (a string like ``"store.save"`` or ``"train"``) gets its own
+  deterministic random stream derived from ``(seed, crc32(site))``, so
+  whether the N-th call at a site fires depends only on the seed and N —
+  not on interleaving with other sites.  Every decision is counted
+  (``injector.injected``), which lets chaos tests assert that
+  :class:`~repro.serving.reliability.FleetHealth` counters match the
+  injected fault counts *exactly*.
+* :class:`FaultyStore` — wraps a :class:`~repro.serving.persistence.
+  ModelStore` to raise transient ``OSError`` on save/load and to corrupt
+  saved payload bytes (checksum verification catches these on load).
+* :func:`faulty_predictor_factory` — wraps the algorithm registry so
+  ``fit``/``predict`` raise :exc:`InjectedFault` on schedule (plug into
+  ``MaintenancePredictionService(predictor_factory=...)``).
+* :class:`FaultyExecutor` — wraps task execution with injected delays
+  (scheduling chaos) and optional exceptions.
+* :func:`corrupt_readings` — turns a clean usage array into a dirty
+  telemetry feed (non-finite, negative, over-ceiling, duplicated and
+  out-of-order reports), with the injector recording exactly what was
+  corrupted.
+
+All sites default to rate 0.0 — an injector with no rates is a no-op,
+which is how the clean-path equivalence suite runs the full harness.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections import Counter
+from collections.abc import Iterator, Mapping
+
+import numpy as np
+
+from .executor import FleetExecutor
+
+__all__ = [
+    "InjectedFault",
+    "FaultInjector",
+    "FaultyStore",
+    "FaultyExecutor",
+    "faulty_predictor_factory",
+    "corrupt_readings",
+    "READING_SITES",
+]
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by the fault-injection harness."""
+
+
+#: Sites used by :func:`corrupt_readings`, mapping to the guard's
+#: anomaly classes.
+READING_SITES: tuple[str, ...] = (
+    "reading.non_finite",
+    "reading.negative",
+    "reading.too_large",
+    "reading.duplicate",
+    "reading.out_of_order",
+)
+
+
+class FaultInjector:
+    """Seeded, per-site deterministic fault scheduler.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; combined with a stable per-site hash so each site
+        has an independent, reproducible stream.
+    rates:
+        ``{site: probability}``; unlisted sites never fire.
+    """
+
+    def __init__(self, seed: int = 0, rates: Mapping[str, float] | None = None):
+        self.seed = int(seed)
+        self.rates = dict(rates or {})
+        for site, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"Rate for {site!r} must be in [0, 1], got {rate}.")
+        self.calls: Counter = Counter()
+        self.injected: Counter = Counter()
+        self._rngs: dict[str, np.random.Generator] = {}
+
+    def _rng(self, site: str) -> np.random.Generator:
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = np.random.default_rng(
+                (self.seed, zlib.crc32(site.encode("utf-8")))
+            )
+            self._rngs[site] = rng
+        return rng
+
+    def fires(self, site: str) -> bool:
+        """Whether this call at ``site`` injects a fault (and count it)."""
+        self.calls[site] += 1
+        rate = self.rates.get(site, 0.0)
+        if rate > 0.0 and float(self._rng(site).random()) < rate:
+            self.injected[site] += 1
+            return True
+        return False
+
+    def maybe_raise(self, site: str, exc_type=InjectedFault) -> None:
+        if self.fires(site):
+            raise exc_type(f"injected fault at {site!r} (seed {self.seed})")
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """``{site: {calls, injected}}`` for every site seen."""
+        return {
+            site: {
+                "calls": self.calls[site],
+                "injected": self.injected[site],
+            }
+            for site in sorted(self.calls)
+        }
+
+
+class FaultyStore:
+    """A :class:`ModelStore` wrapper with injected storage failures.
+
+    Sites:
+
+    * ``store.save`` — raise ``OSError`` before the underlying save
+      (transient from the caller's perspective: a retry re-rolls);
+    * ``store.corrupt`` — after a successful save, flip bytes in the
+      stored payload (detected by the checksum on load);
+    * ``store.load`` — raise ``OSError`` before the underlying load.
+    """
+
+    def __init__(self, store, injector: FaultInjector):
+        self.store = store
+        self.injector = injector
+
+    def save(self, key: str, predictor, metadata: dict | None = None) -> int:
+        self.injector.maybe_raise("store.save", OSError)
+        version = self.store.save(key, predictor, metadata)
+        if self.injector.fires("store.corrupt"):
+            pkl_path, _ = self.store._version_paths(key, version)
+            payload = bytearray(pkl_path.read_bytes())
+            # Truncate and flip the first byte: reliably unreadable and
+            # checksum-divergent even for tiny payloads.
+            payload = payload[: max(1, len(payload) // 2)]
+            payload[0] ^= 0xFF
+            pkl_path.write_bytes(bytes(payload))
+        return version
+
+    def load(self, key: str, version: int | None = None, **kwargs):
+        self.injector.maybe_raise("store.load", OSError)
+        return self.store.load(key, version, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self.store, name)
+
+
+def faulty_predictor_factory(injector: FaultInjector, base=None):
+    """A ``predictor_factory`` whose models fail on the injector's
+    schedule — ``fit`` at site ``"train"``, ``predict`` at ``"predict"``.
+    """
+    if base is None:
+        from ..core.registry import make_predictor as base
+
+    def factory(algorithm: str):
+        return _FaultyPredictor(base(algorithm), injector)
+
+    return factory
+
+
+class _FaultyPredictor:
+    """Delegating predictor wrapper with injected fit/predict faults."""
+
+    def __init__(self, predictor, injector: FaultInjector):
+        self._predictor = predictor
+        self._injector = injector
+
+    def fit(self, *args, **kwargs):
+        self._injector.maybe_raise("train")
+        self._predictor.fit(*args, **kwargs)
+        return self
+
+    def predict(self, *args, **kwargs):
+        self._injector.maybe_raise("predict")
+        return self._predictor.predict(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._predictor, name)
+
+
+class FaultyExecutor(FleetExecutor):
+    """A :class:`FleetExecutor` injecting scheduling chaos per task.
+
+    Sites: ``executor.delay`` sleeps ``delay`` seconds before the task
+    (perturbs parallel completion order without changing results);
+    ``executor.raise`` raises :exc:`InjectedFault` instead of running
+    the task.
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        *,
+        delay: float = 0.001,
+        max_workers: int | None = None,
+        kind: str = "thread",
+    ):
+        super().__init__(max_workers=max_workers, kind=kind)
+        self.injector = injector
+        self.delay = delay
+
+    def map_ordered(self, fn, items) -> list:
+        def wrapped(item):
+            if self.injector.fires("executor.delay"):
+                time.sleep(self.delay)
+            self.injector.maybe_raise("executor.raise")
+            return fn(item)
+
+        return super().map_ordered(wrapped, items)
+
+
+def corrupt_readings(
+    injector: FaultInjector, usage
+) -> Iterator[tuple[int, float]]:
+    """Yield ``(day, value)`` reports from a clean usage array, with
+    seeded corruption at the ``reading.*`` sites.
+
+    Value corruptions replace the reading in place; ``duplicate``
+    re-sends the current day after it, and ``out_of_order`` re-sends a
+    three-days-old report.  ``injector.injected`` counts each corruption
+    kind, matching the guard's anomaly counters one-to-one.
+    """
+    usage = np.asarray(usage, dtype=np.float64)
+    for day, value in enumerate(usage):
+        value = float(value)
+        if injector.fires("reading.non_finite"):
+            yield day, float("nan")
+        elif injector.fires("reading.negative"):
+            yield day, -abs(value) - 1.0
+        elif injector.fires("reading.too_large"):
+            yield day, 86_400.0 + abs(value) + 1.0
+        else:
+            yield day, value
+        if injector.fires("reading.duplicate"):
+            yield day, value
+        if day >= 3 and injector.fires("reading.out_of_order"):
+            yield day - 3, float(usage[day - 3])

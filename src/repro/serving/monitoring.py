@@ -119,12 +119,33 @@ class DriftMonitor:
         self._residuals: dict[str, deque] = defaultdict(
             lambda: deque(maxlen=self.window)
         )
+        self._strategy_counts: dict[str, dict[str, int]] = defaultdict(dict)
 
-    def record(self, vehicle_id: str, d_true: float, d_pred: float) -> None:
-        """Add one resolved (truth became known) prediction."""
+    def record(
+        self,
+        vehicle_id: str,
+        d_true: float,
+        d_pred: float,
+        *,
+        strategy: str | None = None,
+    ) -> None:
+        """Add one resolved (truth became known) prediction.
+
+        ``strategy`` tags which serving path produced the forecast
+        ("per-vehicle", "similarity", "unified", "baseline"), so
+        residuals from degraded baseline-fallback serving stay
+        attributable separately from the primary paths.
+        """
         if not np.isfinite(d_true) or not np.isfinite(d_pred):
             raise ValueError("Resolved residuals must be finite.")
         self._residuals[vehicle_id].append(float(d_true) - float(d_pred))
+        if strategy is not None:
+            counts = self._strategy_counts[vehicle_id]
+            counts[strategy] = counts.get(strategy, 0) + 1
+
+    def strategy_counts(self, vehicle_id: str) -> dict[str, int]:
+        """Resolved-residual counts per serving strategy for a vehicle."""
+        return dict(self._strategy_counts.get(vehicle_id, {}))
 
     def record_many(self, vehicle_id: str, d_true, d_pred) -> None:
         d_true = np.asarray(d_true, dtype=np.float64)

@@ -4,21 +4,52 @@ The deployed system retrains per-vehicle models as data accrues; this
 module stores fitted predictors as versioned artifacts (pickle payload +
 JSON metadata sidecar) so a prediction service can be restarted without
 retraining, and so every forecast is attributable to a model version.
+
+Hardening (flaky storage is a fact of fleet deployments):
+
+* payloads are written atomically (temp file + rename) and carry a
+  SHA-256 checksum in the metadata sidecar, verified on load;
+* a truncated/corrupt pickle, malformed metadata JSON or checksum
+  mismatch raises the typed :exc:`ArtifactCorruptError` instead of a
+  raw ``UnpicklingError``/``JSONDecodeError``;
+* loading the latest version falls back to the newest *readable* one,
+  moving corrupt artifacts into a ``quarantine/`` subdirectory for
+  inspection;
+* an optional :class:`~repro.serving.reliability.RetryPolicy` retries
+  transient I/O errors with jittered backoff.
 """
 
 from __future__ import annotations
 
 import datetime as dt
+import hashlib
 import json
+import os
 import pickle
 import re
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["ModelArtifact", "ModelStore"]
+__all__ = ["ArtifactCorruptError", "ModelArtifact", "ModelStore"]
 
 _SCHEMA_VERSION = 1
 _KEY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+_QUARANTINE_DIR = "quarantine"
+
+
+class ArtifactCorruptError(ValueError):
+    """A stored model artifact could not be read back.
+
+    Raised for truncated/corrupt pickle payloads, malformed metadata
+    JSON, missing sidecars and checksum mismatches.
+    """
+
+    def __init__(self, key: str, version: int | None, reason: str):
+        self.key = key
+        self.version = version
+        self.reason = reason
+        where = key if version is None else f"{key} v{version}"
+        super().__init__(f"Corrupt artifact {where}: {reason}")
 
 
 @dataclass(frozen=True)
@@ -46,10 +77,15 @@ class ModelStore:
     ----------
     root:
         Storage directory (created on first save).
+    retry:
+        Optional :class:`~repro.serving.reliability.RetryPolicy`;
+        transient ``OSError`` during save/load I/O is retried with
+        jittered backoff.
     """
 
-    def __init__(self, root):
+    def __init__(self, root, retry=None):
         self.root = Path(root)
+        self.retry = retry
 
     # -- helpers -----------------------------------------------------------
 
@@ -68,6 +104,12 @@ class ModelStore:
     def _version_paths(self, key: str, version: int) -> tuple[Path, Path]:
         stem = self._key_dir(key) / f"v{version:04d}"
         return stem.with_suffix(".pkl"), stem.with_suffix(".json")
+
+    def _io(self, fn):
+        """Run one I/O operation through the retry policy, if any."""
+        if self.retry is None:
+            return fn()
+        return self.retry.call(fn)
 
     # -- public API -----------------------------------------------------------
 
@@ -92,50 +134,154 @@ class ModelStore:
         )
 
     def save(self, key: str, predictor, metadata: dict | None = None) -> int:
-        """Persist a fitted predictor under ``key``; returns the version."""
+        """Persist a fitted predictor under ``key``; returns the version.
+
+        The payload is written to a temp file and renamed into place so
+        a crash mid-write never leaves a truncated ``.pkl`` behind, and
+        its SHA-256 goes into the metadata sidecar for load-time
+        verification.
+        """
         existing = self.versions(key)
         version = (existing[-1] + 1) if existing else 1
         pkl_path, json_path = self._version_paths(key, version)
-        pkl_path.parent.mkdir(parents=True, exist_ok=True)
 
+        payload = pickle.dumps(predictor)
         record = {
             "schema_version": _SCHEMA_VERSION,
             "key": key,
             "version": version,
             "created_at": dt.datetime.now(dt.timezone.utc).isoformat(),
             "predictor_type": type(predictor).__name__,
+            "sha256": hashlib.sha256(payload).hexdigest(),
         }
         record.update(metadata or {})
 
-        with pkl_path.open("wb") as handle:
-            pickle.dump(predictor, handle)
-        with json_path.open("w") as handle:
-            json.dump(record, handle, indent=2)
+        def _write() -> None:
+            pkl_path.parent.mkdir(parents=True, exist_ok=True)
+            for path, data in (
+                (pkl_path, payload),
+                (json_path, json.dumps(record, indent=2).encode()),
+            ):
+                tmp = path.with_suffix(path.suffix + ".tmp")
+                tmp.write_bytes(data)
+                os.replace(tmp, path)
+
+        self._io(_write)
         return version
 
-    def load(self, key: str, version: int | None = None) -> ModelArtifact:
-        """Load a stored model; latest version by default."""
+    def _load_version(self, key: str, version: int) -> ModelArtifact:
+        """Load one version, mapping every corruption mode to the typed
+        :exc:`ArtifactCorruptError`."""
+        pkl_path, json_path = self._version_paths(key, version)
+
+        def _read() -> tuple[bytes, bytes]:
+            return pkl_path.read_bytes(), json_path.read_bytes()
+
+        try:
+            payload, sidecar = self._io(_read)
+        except FileNotFoundError as exc:
+            raise ArtifactCorruptError(
+                key, version, f"missing file: {exc.filename}"
+            ) from exc
+        try:
+            metadata = json.loads(sidecar)
+        except json.JSONDecodeError as exc:
+            raise ArtifactCorruptError(
+                key, version, f"malformed metadata JSON ({exc})"
+            ) from exc
+        if not isinstance(metadata, dict):
+            raise ArtifactCorruptError(
+                key, version, "metadata JSON is not an object"
+            )
+        if metadata.get("schema_version") != _SCHEMA_VERSION:
+            raise ArtifactCorruptError(
+                key,
+                version,
+                f"schema {metadata.get('schema_version')!r}; "
+                f"expected {_SCHEMA_VERSION}",
+            )
+        expected = metadata.get("sha256")
+        if expected is not None:
+            digest = hashlib.sha256(payload).hexdigest()
+            if digest != expected:
+                raise ArtifactCorruptError(
+                    key,
+                    version,
+                    f"checksum mismatch (stored {expected[:12]}…, "
+                    f"payload {digest[:12]}…)",
+                )
+        try:
+            predictor = pickle.loads(payload)
+        except Exception as exc:  # UnpicklingError, EOFError, Attribute...
+            raise ArtifactCorruptError(
+                key, version, f"unreadable pickle ({type(exc).__name__}: {exc})"
+            ) from exc
+        return ModelArtifact(
+            key=key, version=version, predictor=predictor, metadata=metadata
+        )
+
+    def _quarantine(self, key: str, version: int) -> None:
+        """Move a corrupt version's files into ``<key>/quarantine/``."""
+        directory = self._key_dir(key) / _QUARANTINE_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        for path in self._version_paths(key, version):
+            if path.exists():
+                os.replace(path, directory / path.name)
+
+    def quarantined(self, key: str) -> list[int]:
+        """Version numbers previously quarantined for a key, ascending."""
+        directory = self._key_dir(key) / _QUARANTINE_DIR
+        if not directory.is_dir():
+            return []
+        found = []
+        for path in directory.glob("v*.pkl"):
+            try:
+                found.append(int(path.stem[1:]))
+            except ValueError:
+                continue
+        return sorted(found)
+
+    def load(
+        self,
+        key: str,
+        version: int | None = None,
+        *,
+        fallback: bool = True,
+        quarantine: bool = True,
+    ) -> ModelArtifact:
+        """Load a stored model; latest version by default.
+
+        When no ``version`` is pinned and the newest artifact is corrupt,
+        the load falls back to the newest *readable* version (corrupt
+        ones are moved to the key's ``quarantine/`` directory unless
+        ``quarantine=False``).  A pinned ``version``, or ``fallback=
+        False``, raises :exc:`ArtifactCorruptError` directly.
+        """
         available = self.versions(key)
         if not available:
             raise KeyError(f"No stored models under key {key!r}.")
-        if version is None:
-            version = available[-1]
-        if version not in available:
-            raise KeyError(
-                f"Version {version} of {key!r} not found; have {available}."
-            )
-        pkl_path, json_path = self._version_paths(key, version)
-        with json_path.open() as handle:
-            metadata = json.load(handle)
-        if metadata.get("schema_version") != _SCHEMA_VERSION:
-            raise ValueError(
-                f"Artifact {key!r} v{version} has schema "
-                f"{metadata.get('schema_version')}; expected {_SCHEMA_VERSION}."
-            )
-        with pkl_path.open("rb") as handle:
-            predictor = pickle.load(handle)
-        return ModelArtifact(
-            key=key, version=version, predictor=predictor, metadata=metadata
+        if version is not None:
+            if version not in available:
+                raise KeyError(
+                    f"Version {version} of {key!r} not found; have {available}."
+                )
+            return self._load_version(key, version)
+
+        last_error: ArtifactCorruptError | None = None
+        for candidate in reversed(available):
+            try:
+                return self._load_version(key, candidate)
+            except ArtifactCorruptError as exc:
+                last_error = exc
+                if quarantine:
+                    self._quarantine(key, candidate)
+                if not fallback:
+                    raise
+        raise ArtifactCorruptError(
+            key,
+            None,
+            f"no readable version among {available} "
+            f"(last: {last_error.reason})",
         )
 
     def delete(self, key: str, version: int) -> None:

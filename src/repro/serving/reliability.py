@@ -1,0 +1,593 @@
+"""Resilience layer for the deployed prediction service.
+
+Real CAN-bus telematics are dirty — dropped days, duplicated uploads,
+out-of-range counters, flaky storage (the Scania heavy-truck study in
+PAPERS.md makes exactly this point).  This module provides the building
+blocks that keep the serving layer up under that reality:
+
+* :class:`IngestionGuard` — classifies each incoming reading into one of
+  five anomaly classes (non-finite, negative, over the 86 400 s/day
+  ceiling, duplicate-day re-upload, stale/out-of-order report) and
+  applies a configurable policy per class: reject (drop + count), clamp
+  into the physical range, impute from the recent average, or quarantine
+  to an inspectable dead-letter record.  Per-vehicle counters make every
+  decision auditable.
+* :class:`CircuitBreaker` — deterministic, count-based breaker around
+  each (vehicle, strategy) training path so repeated failures step the
+  service down the Section-4 ladder instead of hammering a broken rung.
+* :class:`RetryPolicy` — bounded retry with seeded, jittered backoff for
+  transient persistence I/O errors.
+* :class:`FleetHealth` / :class:`VehicleHealth` — the aggregated
+  quarantine / fallback / breaker report surfaced by the engine and CLI.
+
+Everything here is deterministic given its seed: no wall-clock state,
+so chaos runs replay exactly (see :mod:`repro.serving.faults`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = [
+    "AnomalyKind",
+    "AnomalyPolicy",
+    "GuardPolicies",
+    "ReadingDecision",
+    "DeadLetterRecord",
+    "IngestionGuard",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "VehicleHealth",
+    "FleetHealth",
+]
+
+DAY_SECONDS = 86_400.0
+
+
+class AnomalyKind(str, Enum):
+    """The anomaly classes the ingestion guard recognizes."""
+
+    NON_FINITE = "non-finite"
+    NEGATIVE = "negative"
+    TOO_LARGE = "too-large"
+    DUPLICATE_DAY = "duplicate-day"
+    OUT_OF_ORDER = "out-of-order"
+
+    def __str__(self) -> str:  # counters render as plain labels
+        return self.value
+
+
+class AnomalyPolicy(str, Enum):
+    """What to do with a reading flagged by the guard.
+
+    * ``REJECT`` — drop the reading, count it, keep no payload;
+    * ``CLAMP`` — clip into ``[0, 86 400]`` and accept (range anomalies
+      only);
+    * ``IMPUTE`` — replace with the mean of the most recent accepted
+      readings and accept (value anomalies only);
+    * ``QUARANTINE`` — drop the reading but keep a full
+      :class:`DeadLetterRecord` for inspection.
+    """
+
+    REJECT = "reject"
+    CLAMP = "clamp"
+    IMPUTE = "impute"
+    QUARANTINE = "quarantine"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Policies that drop the reading instead of transforming it.
+_DROP_POLICIES = (AnomalyPolicy.REJECT, AnomalyPolicy.QUARANTINE)
+#: Ordering anomalies describe the *report*, not the value — the only
+#: sane handling is to drop (reject or quarantine) the report.
+_ORDERING_KINDS = (AnomalyKind.DUPLICATE_DAY, AnomalyKind.OUT_OF_ORDER)
+
+
+@dataclass(frozen=True)
+class GuardPolicies:
+    """Per-anomaly-class policy table for :class:`IngestionGuard`."""
+
+    non_finite: AnomalyPolicy = AnomalyPolicy.QUARANTINE
+    negative: AnomalyPolicy = AnomalyPolicy.CLAMP
+    too_large: AnomalyPolicy = AnomalyPolicy.CLAMP
+    duplicate_day: AnomalyPolicy = AnomalyPolicy.REJECT
+    out_of_order: AnomalyPolicy = AnomalyPolicy.QUARANTINE
+
+    def __post_init__(self) -> None:
+        if self.non_finite is AnomalyPolicy.CLAMP:
+            raise ValueError("A non-finite reading has no value to clamp.")
+        for name in ("duplicate_day", "out_of_order"):
+            if getattr(self, name) not in _DROP_POLICIES:
+                raise ValueError(
+                    f"{name} readings describe the report, not the value; "
+                    "policy must be 'reject' or 'quarantine'."
+                )
+
+    def for_kind(self, kind: AnomalyKind) -> AnomalyPolicy:
+        return {
+            AnomalyKind.NON_FINITE: self.non_finite,
+            AnomalyKind.NEGATIVE: self.negative,
+            AnomalyKind.TOO_LARGE: self.too_large,
+            AnomalyKind.DUPLICATE_DAY: self.duplicate_day,
+            AnomalyKind.OUT_OF_ORDER: self.out_of_order,
+        }[kind]
+
+
+@dataclass(frozen=True)
+class ReadingDecision:
+    """Outcome of screening one reading.
+
+    ``value`` is the (possibly transformed) value to append, or ``None``
+    when the reading was dropped.  ``anomaly``/``policy`` are ``None``
+    for clean readings.
+    """
+
+    value: float | None
+    anomaly: AnomalyKind | None = None
+    policy: AnomalyPolicy | None = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.value is not None
+
+
+@dataclass(frozen=True)
+class DeadLetterRecord:
+    """A quarantined reading, kept for inspection."""
+
+    vehicle_id: str
+    day: int | None
+    value: float
+    anomaly: AnomalyKind
+
+    def __str__(self) -> str:
+        day = "?" if self.day is None else self.day
+        return (
+            f"[dead-letter] {self.vehicle_id} day {day}: "
+            f"{self.value!r} ({self.anomaly})"
+        )
+
+
+class IngestionGuard:
+    """Screens incoming readings against the anomaly policy table.
+
+    Parameters
+    ----------
+    policies:
+        Per-anomaly-class policy table (:class:`GuardPolicies`).
+    impute_window:
+        How many of the most recent accepted readings the ``IMPUTE``
+        policy averages over (0 usage history imputes 0.0).
+    max_dead_letters:
+        Cap on retained :class:`DeadLetterRecord` payloads (counters
+        keep counting past the cap).
+    """
+
+    def __init__(
+        self,
+        policies: GuardPolicies | None = None,
+        *,
+        impute_window: int = 7,
+        max_dead_letters: int = 1000,
+    ):
+        if impute_window < 1:
+            raise ValueError(f"impute_window must be >= 1, got {impute_window}.")
+        self.policies = policies or GuardPolicies()
+        self.impute_window = impute_window
+        self.max_dead_letters = max_dead_letters
+        self._anomalies: dict[str, Counter] = {}
+        self._applied: dict[str, Counter] = {}
+        self._accepted: Counter = Counter()
+        self._last_day: dict[str, int] = {}
+        self._dead_letters: list[DeadLetterRecord] = []
+
+    # -- classification ----------------------------------------------------
+
+    def classify(
+        self, vehicle_id: str, value: float, day: int | None
+    ) -> AnomalyKind | None:
+        """Anomaly class of one reading, or ``None`` when clean.
+
+        ``day`` is the report's day index; ordering anomalies can only
+        be detected when the feed provides it.
+        """
+        if not math.isfinite(value):
+            return AnomalyKind.NON_FINITE
+        if day is not None:
+            last = self._last_day.get(vehicle_id)
+            if last is not None:
+                if day == last:
+                    return AnomalyKind.DUPLICATE_DAY
+                if day < last:
+                    return AnomalyKind.OUT_OF_ORDER
+        if value < 0:
+            return AnomalyKind.NEGATIVE
+        if value > DAY_SECONDS:
+            return AnomalyKind.TOO_LARGE
+        return None
+
+    # -- screening ---------------------------------------------------------
+
+    def _admit_clean(
+        self, vehicle_id: str, value: float, day: int | None
+    ) -> bool:
+        """Accept-and-count a clean reading; ``False`` means anomalous
+        (caller must run the full policy path).  Allocation-free so the
+        guard's clean path costs no more than the raw range check it
+        replaces."""
+        if not 0.0 <= value <= DAY_SECONDS:
+            return False
+        if day is None:
+            self._accepted[vehicle_id] += 1
+            return True
+        last = self._last_day.get(vehicle_id)
+        if last is None or day > last:
+            self._last_day[vehicle_id] = day
+            self._accepted[vehicle_id] += 1
+            return True
+        return False
+
+    def admit(
+        self,
+        vehicle_id: str,
+        value: float,
+        *,
+        day: int | None = None,
+        recent=(),
+    ) -> float | None:
+        """Hot-path :meth:`screen`: the value to append, or ``None``.
+
+        Identical accounting to :meth:`screen`, but clean readings skip
+        the :class:`ReadingDecision` allocation (the serving loop calls
+        this once per reading per vehicle).
+        """
+        value = float(value)
+        if self._admit_clean(vehicle_id, value, day):
+            return value
+        return self.screen(vehicle_id, value, day=day, recent=recent).value
+
+    def screen(
+        self,
+        vehicle_id: str,
+        value: float,
+        *,
+        day: int | None = None,
+        recent=(),
+    ) -> ReadingDecision:
+        """Screen (and account for) one reading.
+
+        ``recent`` is the vehicle's accepted usage history, used by the
+        ``IMPUTE`` policy.  Updates per-vehicle counters and the
+        dead-letter list; returns the :class:`ReadingDecision`.
+        """
+        value = float(value)
+        # Fast path: in-range (hence finite) value with a monotone day
+        # index — the overwhelmingly common case.  NaN fails the range
+        # test and falls through to classification.
+        if self._admit_clean(vehicle_id, value, day):
+            return ReadingDecision(value=value)
+        kind = self.classify(vehicle_id, value, day)
+        if day is not None and kind not in _ORDERING_KINDS:
+            # Ordering anomalies leave the high-water mark untouched.
+            last = self._last_day.get(vehicle_id)
+            self._last_day[vehicle_id] = day if last is None else max(last, day)
+        if kind is None:
+            self._accepted[vehicle_id] += 1
+            return ReadingDecision(value=value)
+
+        policy = self.policies.for_kind(kind)
+        self._anomalies.setdefault(vehicle_id, Counter())[kind.value] += 1
+        self._applied.setdefault(vehicle_id, Counter())[policy.value] += 1
+        if policy is AnomalyPolicy.CLAMP:
+            return ReadingDecision(
+                value=min(max(value, 0.0), DAY_SECONDS),
+                anomaly=kind,
+                policy=policy,
+            )
+        if policy is AnomalyPolicy.IMPUTE:
+            recent = np.asarray(recent, dtype=np.float64)
+            tail = recent[-self.impute_window:]
+            imputed = float(tail.mean()) if tail.size else 0.0
+            return ReadingDecision(value=imputed, anomaly=kind, policy=policy)
+        if policy is AnomalyPolicy.QUARANTINE:
+            if len(self._dead_letters) < self.max_dead_letters:
+                self._dead_letters.append(
+                    DeadLetterRecord(
+                        vehicle_id=vehicle_id, day=day, value=value, anomaly=kind
+                    )
+                )
+        return ReadingDecision(value=None, anomaly=kind, policy=policy)
+
+    # -- inspection --------------------------------------------------------
+
+    def anomaly_counts(self, vehicle_id: str | None = None) -> dict[str, int]:
+        """Counts per anomaly class, for one vehicle or fleet-wide."""
+        if vehicle_id is not None:
+            return dict(self._anomalies.get(vehicle_id, Counter()))
+        total: Counter = Counter()
+        for counts in self._anomalies.values():
+            total.update(counts)
+        return dict(total)
+
+    def policy_counts(self, vehicle_id: str | None = None) -> dict[str, int]:
+        """Counts per applied policy, for one vehicle or fleet-wide."""
+        if vehicle_id is not None:
+            return dict(self._applied.get(vehicle_id, Counter()))
+        total: Counter = Counter()
+        for counts in self._applied.values():
+            total.update(counts)
+        return dict(total)
+
+    def accepted_count(self, vehicle_id: str) -> int:
+        return self._accepted[vehicle_id]
+
+    def dead_letters(
+        self, vehicle_id: str | None = None
+    ) -> list[DeadLetterRecord]:
+        if vehicle_id is None:
+            return list(self._dead_letters)
+        return [r for r in self._dead_letters if r.vehicle_id == vehicle_id]
+
+    @property
+    def vehicle_ids(self) -> list[str]:
+        return sorted(set(self._anomalies) | set(self._accepted))
+
+
+class BreakerOpenError(RuntimeError):
+    """Raised by :meth:`CircuitBreaker.call` when the circuit is open."""
+
+
+@dataclass
+class _BreakerState:
+    consecutive_failures: int = 0
+    skips_remaining: int = 0
+    failures: int = 0
+    skips: int = 0
+
+    @property
+    def open(self) -> bool:
+        return self.skips_remaining > 0
+
+
+class CircuitBreaker:
+    """Deterministic count-based circuit breaker.
+
+    After ``failure_threshold`` *consecutive* failures a key opens: the
+    next ``cooldown`` calls are skipped without attempting, then one
+    half-open trial is allowed.  Success closes the circuit.  Counting
+    calls instead of wall-clock time keeps chaos runs reproducible.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 5):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}."
+            )
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown}.")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._states: dict[str, _BreakerState] = {}
+
+    def _state(self, key: str) -> _BreakerState:
+        return self._states.setdefault(key, _BreakerState())
+
+    def allow(self, key: str) -> bool:
+        """Whether an attempt may proceed; consumes one skip when open."""
+        state = self._state(key)
+        if state.skips_remaining > 0:
+            state.skips_remaining -= 1
+            state.skips += 1
+            return False
+        return True
+
+    def record_success(self, key: str) -> None:
+        state = self._state(key)
+        state.consecutive_failures = 0
+        state.skips_remaining = 0
+
+    def record_failure(self, key: str) -> None:
+        state = self._state(key)
+        state.failures += 1
+        state.consecutive_failures += 1
+        if state.consecutive_failures >= self.failure_threshold:
+            state.skips_remaining = self.cooldown
+            state.consecutive_failures = 0
+
+    def is_open(self, key: str) -> bool:
+        return self._state(key).open
+
+    def failure_count(self, key: str | None = None) -> int:
+        if key is not None:
+            return self._state(key).failures
+        return sum(s.failures for s in self._states.values())
+
+    def skip_count(self, key: str | None = None) -> int:
+        if key is not None:
+            return self._state(key).skips
+        return sum(s.skips for s in self._states.values())
+
+    def snapshot(self) -> dict[str, dict[str, int | bool]]:
+        """Per-key ``{failures, skips, open}`` view (sorted keys)."""
+        return {
+            key: {
+                "failures": state.failures,
+                "skips": state.skips,
+                "open": state.open,
+            }
+            for key, state in sorted(self._states.items())
+        }
+
+
+class RetryPolicy:
+    """Bounded retry with seeded jittered exponential backoff.
+
+    Parameters
+    ----------
+    attempts:
+        Total attempts (1 = no retry).
+    base_delay / max_delay:
+        Backoff bounds in seconds; attempt ``k`` sleeps
+        ``min(base_delay * 2**k, max_delay)`` scaled by a jitter factor
+        drawn uniformly from ``[0.5, 1.0)``.
+    seed:
+        Seeds the jitter stream (deterministic schedules for tests).
+    sleep:
+        Injectable sleep function (tests pass a no-op).
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        *,
+        base_delay: float = 0.05,
+        max_delay: float = 1.0,
+        seed: int = 0,
+        sleep=None,
+    ):
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}.")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("Delays must be non-negative.")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._rng = np.random.default_rng(seed)
+        if sleep is None:
+            import time
+
+            sleep = time.sleep
+        self._sleep = sleep
+        self.calls = 0
+        self.retries = 0
+        self.slept: list[float] = []
+
+    def call(self, fn, *, retry_on: tuple = (OSError,)):
+        """Run ``fn`` with retries on ``retry_on``; re-raise when exhausted."""
+        self.calls += 1
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except retry_on:
+                if attempt == self.attempts - 1:
+                    raise
+                self.retries += 1
+                delay = min(self.base_delay * 2**attempt, self.max_delay)
+                delay *= 0.5 + 0.5 * float(self._rng.random())
+                self.slept.append(delay)
+                self._sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+# -- health reporting ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VehicleHealth:
+    """Resilience counters for one vehicle."""
+
+    vehicle_id: str
+    accepted: int = 0
+    anomalies: dict = field(default_factory=dict)  # anomaly class -> count
+    policies: dict = field(default_factory=dict)  # applied policy -> count
+    quarantined: int = 0  # dead-letter records held
+    fallbacks: dict = field(default_factory=dict)  # served strategy -> count
+    breaker: dict = field(default_factory=dict)  # strategy -> state dict
+
+    @property
+    def dropped(self) -> int:
+        return self.policies.get("reject", 0) + self.policies.get(
+            "quarantine", 0
+        )
+
+    @property
+    def degraded_serves(self) -> int:
+        return sum(self.fallbacks.values())
+
+
+@dataclass(frozen=True)
+class FleetHealth:
+    """Aggregated resilience report for the whole fleet."""
+
+    vehicles: dict  # vehicle_id -> VehicleHealth
+    persist_failures: int = 0
+
+    def total_anomalies(self) -> dict[str, int]:
+        total: Counter = Counter()
+        for health in self.vehicles.values():
+            total.update(health.anomalies)
+        return dict(total)
+
+    def total_fallbacks(self) -> int:
+        return sum(h.degraded_serves for h in self.vehicles.values())
+
+    def total_quarantined(self) -> int:
+        return sum(h.quarantined for h in self.vehicles.values())
+
+    def breaker_failures(self) -> int:
+        return sum(
+            state["failures"]
+            for health in self.vehicles.values()
+            for state in health.breaker.values()
+        )
+
+    def render(self) -> str:
+        """Human-readable fleet health table."""
+        lines = ["Fleet health", ""]
+        anomalies = self.total_anomalies()
+        lines.append(
+            f"readings flagged : {sum(anomalies.values())} "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(anomalies.items())) or 'none'})"
+        )
+        lines.append(f"quarantined      : {self.total_quarantined()}")
+        lines.append(f"degraded serves  : {self.total_fallbacks()}")
+        lines.append(f"breaker failures : {self.breaker_failures()}")
+        lines.append(f"persist failures : {self.persist_failures}")
+        flagged = [
+            h
+            for h in self.vehicles.values()
+            if h.anomalies
+            or h.fallbacks
+            or any(
+                s.get("failures") or s.get("open")
+                for s in h.breaker.values()
+            )
+        ]
+        if flagged:
+            lines.append("")
+            lines.append("per-vehicle:")
+            for health in sorted(flagged, key=lambda h: h.vehicle_id):
+                parts = []
+                if health.anomalies:
+                    parts.append(
+                        "anomalies "
+                        + ",".join(
+                            f"{k}={v}"
+                            for k, v in sorted(health.anomalies.items())
+                        )
+                    )
+                if health.fallbacks:
+                    parts.append(
+                        "fallbacks "
+                        + ",".join(
+                            f"{k}={v}"
+                            for k, v in sorted(health.fallbacks.items())
+                        )
+                    )
+                open_keys = [
+                    strategy
+                    for strategy, state in sorted(health.breaker.items())
+                    if state.get("open")
+                ]
+                if open_keys:
+                    parts.append("breaker-open " + ",".join(open_keys))
+                lines.append(f"  {health.vehicle_id}: {'; '.join(parts)}")
+        return "\n".join(lines)

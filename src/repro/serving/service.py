@@ -19,6 +19,7 @@ and the ground truth becomes known.
 from __future__ import annotations
 
 import threading
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,13 +37,35 @@ from ..similarity.measures import most_similar
 from .cycle_cache import CycleStateCache
 from .monitoring import DriftMonitor
 from .persistence import ModelStore
+from .reliability import (
+    CircuitBreaker,
+    FleetHealth,
+    IngestionGuard,
+    RetryPolicy,
+    VehicleHealth,
+)
 
 __all__ = ["Forecast", "MaintenancePredictionService"]
+
+#: Section-4 strategy ladder per category: on repeated failures the
+#: resilient service steps down rung by rung, ending at the Eq. 5-6
+#: baseline (which needs only the vehicle's own usage history).
+_STRATEGY_LADDER: dict[VehicleCategory, tuple[str, ...]] = {
+    VehicleCategory.OLD: ("per-vehicle", "similarity", "unified"),
+    VehicleCategory.SEMI_NEW: ("similarity", "unified"),
+    VehicleCategory.NEW: ("unified",),
+}
 
 
 @dataclass(frozen=True)
 class Forecast:
-    """A served prediction."""
+    """A served prediction.
+
+    ``degraded`` is ``True`` when the served strategy is not the one the
+    Section-4 routing would normally pick — a training/prediction rung
+    failed or its circuit breaker was open — and ``fallback_reason``
+    then records why, rung by rung.
+    """
 
     vehicle_id: str
     category: VehicleCategory
@@ -51,6 +74,8 @@ class Forecast:
     usage_left: float
     as_of_day: int
     donor_id: str | None = None
+    degraded: bool = False
+    fallback_reason: str | None = None
 
 
 @dataclass
@@ -58,7 +83,9 @@ class _VehicleState:
     usage: list = field(default_factory=list)
     model: object | None = None
     model_trained_cycles: int = -1
-    pending: list = field(default_factory=list)  # (day, predicted)
+    sim_model: object | None = None
+    sim_key: tuple | None = None  # (donor id, donor cycle count)
+    pending: list = field(default_factory=list)  # (day, predicted, strategy)
     resolved_through_cycle: int = 0
 
 
@@ -88,6 +115,24 @@ class MaintenancePredictionService:
         day updates ``C``/``L``/``D`` in O(1) instead of re-deriving the
         full history.  Derived series are bit-identical to the default
         from-scratch path (the equivalence suite pins this).
+    guard:
+        Optional :class:`IngestionGuard`; when set, :meth:`ingest` never
+        raises on a dirty reading — each anomaly is rejected, clamped,
+        imputed or quarantined per the guard's policy table.  When
+        ``None`` (default) invalid readings raise as before.
+    breaker:
+        Optional :class:`CircuitBreaker` (``True`` for defaults).  When
+        set, :meth:`predict` becomes degraded-mode tolerant: a failing
+        training/prediction rung steps down the Section-4 ladder to the
+        Eq. 5-6 baseline instead of raising, and persistence errors are
+        swallowed and counted.  On clean data every forecast stays
+        bit-identical to the non-resilient path.
+    retry:
+        Optional :class:`RetryPolicy` applied around model persistence
+        (transient save I/O errors are retried with jittered backoff).
+    predictor_factory:
+        Override for :func:`~repro.core.registry.make_predictor`
+        (the fault-injection harness hooks in here).
     """
 
     def __init__(
@@ -99,6 +144,10 @@ class MaintenancePredictionService:
         monitor: DriftMonitor | None = None,
         similarity_measure="average_usage",
         cycle_cache: CycleStateCache | bool | None = None,
+        guard: IngestionGuard | None = None,
+        breaker: CircuitBreaker | bool | None = None,
+        retry: RetryPolicy | None = None,
+        predictor_factory=None,
     ):
         if t_v <= 0:
             raise ValueError(f"t_v must be positive, got {t_v}.")
@@ -115,10 +164,20 @@ class MaintenancePredictionService:
         elif cycle_cache is False:
             cycle_cache = None
         self.cycle_cache: CycleStateCache | None = cycle_cache
+        self.guard = guard
+        if breaker is True:
+            breaker = CircuitBreaker()
+        elif breaker is False:
+            breaker = None
+        self.breaker: CircuitBreaker | None = breaker
+        self.retry = retry
+        self._make_predictor = predictor_factory or make_predictor
         self._vehicles: dict[str, _VehicleState] = {}
         self._unified_model = None
         self._unified_trained_on: frozenset[str] = frozenset()
         self._persist_lock = threading.Lock()
+        self._fallback_counts: dict[str, Counter] = {}
+        self._persist_failures = 0
 
     # -- ingestion -----------------------------------------------------------
 
@@ -139,19 +198,60 @@ class MaintenancePredictionService:
                 f"Unknown vehicle {vehicle_id!r}; register it first."
             ) from None
 
-    def ingest(self, vehicle_id: str, daily_seconds: float) -> None:
-        """Append one day of utilization for a vehicle."""
-        if not np.isfinite(daily_seconds) or not 0 <= daily_seconds <= 86_400:
-            raise ValueError(
-                f"daily_seconds must be in [0, 86400], got {daily_seconds}."
-            )
-        state = self._state(vehicle_id)
-        state.usage.append(float(daily_seconds))
-        self._resolve_forecasts(vehicle_id)
+    def ingest(
+        self, vehicle_id: str, daily_seconds: float, *, day: int | None = None
+    ) -> None:
+        """Append one day of utilization for a vehicle.
 
-    def ingest_series(self, vehicle_id: str, usage) -> None:
-        for seconds in np.asarray(usage, dtype=np.float64):
-            self.ingest(vehicle_id, float(seconds))
+        Without a :attr:`guard`, an out-of-range or non-finite reading
+        raises ``ValueError`` (the historical contract).  With a guard,
+        the reading is screened instead — rejected, clamped, imputed or
+        quarantined per policy — and this method never raises on dirty
+        data.  ``day`` is the report's day index; providing it enables
+        duplicate-day and out-of-order detection.
+        """
+        if self.guard is None:
+            if not np.isfinite(daily_seconds) or not 0 <= daily_seconds <= 86_400:
+                raise ValueError(
+                    f"daily_seconds must be in [0, 86400], got {daily_seconds}."
+                )
+            state = self._state(vehicle_id)
+            state.usage.append(float(daily_seconds))
+            self._resolve_forecasts(vehicle_id)
+            return
+        state = self._state(vehicle_id)
+        value = self.guard.admit(
+            vehicle_id, daily_seconds, day=day, recent=state.usage
+        )
+        if value is not None:
+            state.usage.append(value)
+            self._resolve_forecasts(vehicle_id)
+
+    def ingest_series(
+        self, vehicle_id: str, usage, *, start_day: int | None = None
+    ) -> None:
+        """Append many days atomically: validate all, then commit.
+
+        Without a guard, any invalid reading raises *before* a single
+        day is appended — a bad element mid-array no longer leaves the
+        earlier days behind.  With a guard, every reading is screened
+        individually (the guard never raises).  ``start_day`` gives the
+        day index of ``usage[0]`` for the guard's ordering checks.
+        """
+        values = np.asarray(usage, dtype=np.float64)
+        self._state(vehicle_id)  # unknown-vehicle check before any mutation
+        if self.guard is None and values.size:
+            valid = np.isfinite(values) & (values >= 0) & (values <= 86_400)
+            if not valid.all():
+                index = int(np.argmax(~valid))
+                raise ValueError(
+                    f"ingest_series for {vehicle_id!r} rejected: element "
+                    f"{index} ({values[index]}) outside [0, 86400]; "
+                    "no days were ingested."
+                )
+        for offset, seconds in enumerate(values):
+            day = None if start_day is None else start_day + offset
+            self.ingest(vehicle_id, float(seconds), day=day)
 
     # -- vehicle views ---------------------------------------------------------
 
@@ -189,7 +289,13 @@ class MaintenancePredictionService:
     # -- model management --------------------------------------------------------
 
     def _persist(self, key: str, predictor, **metadata) -> None:
-        if self.store is not None:
+        """Best-effort persistence: retried, and in resilient mode a
+        persistent failure is swallowed and counted (a prediction should
+        never fail because the model could not be *saved*)."""
+        if self.store is None:
+            return
+
+        def _save() -> None:
             with self._persist_lock:
                 self.store.save(
                     key,
@@ -200,6 +306,16 @@ class MaintenancePredictionService:
                         **metadata,
                     },
                 )
+
+        try:
+            if self.retry is not None:
+                self.retry.call(_save)
+            else:
+                _save()
+        except Exception:
+            if self.breaker is None:
+                raise
+            self._persist_failures += 1
 
     def _ensure_vehicle_model(self, vehicle_id: str):
         """Per-vehicle model, retrained when a new cycle has completed."""
@@ -213,7 +329,7 @@ class MaintenancePredictionService:
             raise ValueError(
                 f"Vehicle {vehicle_id!r} has no labeled records yet."
             )
-        predictor = make_predictor(self.algorithm)
+        predictor = self._make_predictor(self.algorithm)
         predictor.fit(dataset, usage=series.usage)
         state.model = predictor
         state.model_trained_cycles = n_cycles
@@ -237,7 +353,7 @@ class MaintenancePredictionService:
         merged = RelationalDataset.concatenate(
             [first_cycle_dataset(s, self.window) for s in donors]
         )
-        predictor = make_predictor(self.algorithm)
+        predictor = self._make_predictor(self.algorithm)
         predictor.fit(merged)
         self._unified_model = predictor
         self._unified_trained_on = donor_ids
@@ -250,7 +366,14 @@ class MaintenancePredictionService:
         return predictor
 
     def _similarity_model(self, vehicle_id: str):
-        """``Model_Sim`` for one semi-new vehicle; None without donors."""
+        """``Model_Sim`` for one semi-new vehicle; None without donors.
+
+        The fitted donor model is cached on the vehicle's state keyed on
+        (donor id, donor cycle count) — like the per-vehicle and unified
+        paths — so repeated predictions between donor changes do not
+        re-fit (the donor's *first* cycle, the training data, is frozen
+        once completed).
+        """
         donors = [
             s
             for s in self._old_vehicles(exclude=vehicle_id)
@@ -264,11 +387,17 @@ class MaintenancePredictionService:
             target, candidates, measure=self.similarity_measure
         )
         donor = next(s for s in donors if s.vehicle_id == donor_id)
-        predictor = make_predictor(self.algorithm)
+        state = self._state(vehicle_id)
+        cache_key = (donor_id, len(donor.completed_cycles))
+        if state.sim_model is not None and state.sim_key == cache_key:
+            return state.sim_model, donor_id
+        predictor = self._make_predictor(self.algorithm)
         predictor.fit(
             first_cycle_dataset(donor, self.window),
             usage=donor.usage[: donor.first_cycle().end + 1],
         )
+        state.sim_model = predictor
+        state.sim_key = cache_key
         self._persist(
             f"{vehicle_id}.similarity",
             predictor,
@@ -305,34 +434,92 @@ class MaintenancePredictionService:
             row[0, lag] = series.usage[today - lag]
         return row, float(usage_left), today
 
+    def _attempt_strategy(self, strategy: str, vehicle_id: str):
+        """(model, donor_id) for one ladder rung; model None = no donors."""
+        if strategy == "per-vehicle":
+            return self._ensure_vehicle_model(vehicle_id), None
+        if strategy == "similarity":
+            return self._similarity_model(vehicle_id)
+        return self._ensure_unified_model(exclude=vehicle_id), None
+
+    def _count_fallback(self, vehicle_id: str, strategy: str) -> None:
+        self._fallback_counts.setdefault(vehicle_id, Counter())[strategy] += 1
+
+    def _predict_resilient(
+        self, vehicle_id: str, category: VehicleCategory, row: np.ndarray
+    ) -> tuple[float, str, str | None, str | None]:
+        """Walk the Section-4 ladder under the circuit breaker.
+
+        Returns ``(prediction, strategy, donor_id, fallback_reason)``;
+        the reason is ``None`` when the primary routing succeeded (a
+        donor-less baseline is normal routing, not degradation).
+        """
+        reasons: list[str] = []
+        for strategy in _STRATEGY_LADDER[category]:
+            key = f"{vehicle_id}:{strategy}"
+            if not self.breaker.allow(key):
+                reasons.append(f"{strategy}: circuit open")
+                continue
+            try:
+                model, donor_id = self._attempt_strategy(strategy, vehicle_id)
+                if model is None:
+                    continue  # no donors available: normal routing
+                prediction = float(max(model.predict(row)[0], 0.0))
+            except Exception as exc:
+                self.breaker.record_failure(key)
+                reasons.append(f"{strategy}: {type(exc).__name__}: {exc}")
+                continue
+            self.breaker.record_success(key)
+            if reasons:
+                self._count_fallback(vehicle_id, strategy)
+            return prediction, strategy, donor_id, "; ".join(reasons) or None
+        baseline = self._baseline_model(vehicle_id)
+        prediction = float(max(baseline.predict(row)[0], 0.0))
+        reason = "; ".join(reasons) or None
+        if reason is not None:
+            self._count_fallback(vehicle_id, "baseline")
+        return prediction, "baseline", None, reason
+
     def predict(self, vehicle_id: str) -> Forecast:
-        """Forecast days to next maintenance from the latest ingested day."""
+        """Forecast days to next maintenance from the latest ingested day.
+
+        With a :attr:`breaker`, any failing rung of the Section-4 ladder
+        steps down to the next one (ending at the Eq. 5-6 baseline) and
+        the forecast is flagged ``degraded`` with the reason; without
+        one, a rung failure raises as before.
+        """
         series = self.series(vehicle_id)
         if series.n_days == 0:
             raise ValueError(f"Vehicle {vehicle_id!r} has no data yet.")
         category = self.category(vehicle_id)
         row, usage_left, today = self._feature_row(series)
 
-        donor_id = None
-        if category is VehicleCategory.OLD:
-            model = self._ensure_vehicle_model(vehicle_id)
-            strategy = "per-vehicle"
-        elif category is VehicleCategory.SEMI_NEW:
-            model, donor_id = self._similarity_model(vehicle_id)
-            strategy = "similarity"
-            if model is None:
-                model = self._baseline_model(vehicle_id)
-                strategy = "baseline"
-        else:  # NEW
-            model = self._ensure_unified_model(exclude=vehicle_id)
-            strategy = "unified"
-            if model is None:
-                model = self._baseline_model(vehicle_id)
-                strategy = "baseline"
+        if self.breaker is not None:
+            prediction, strategy, donor_id, reason = self._predict_resilient(
+                vehicle_id, category, row
+            )
+        else:
+            donor_id = None
+            if category is VehicleCategory.OLD:
+                model = self._ensure_vehicle_model(vehicle_id)
+                strategy = "per-vehicle"
+            elif category is VehicleCategory.SEMI_NEW:
+                model, donor_id = self._similarity_model(vehicle_id)
+                strategy = "similarity"
+                if model is None:
+                    model = self._baseline_model(vehicle_id)
+                    strategy = "baseline"
+            else:  # NEW
+                model = self._ensure_unified_model(exclude=vehicle_id)
+                strategy = "unified"
+                if model is None:
+                    model = self._baseline_model(vehicle_id)
+                    strategy = "baseline"
+            prediction = float(max(model.predict(row)[0], 0.0))
+            reason = None
 
-        prediction = float(max(model.predict(row)[0], 0.0))
         state = self._state(vehicle_id)
-        state.pending.append((today, prediction))
+        state.pending.append((today, prediction, strategy))
         return Forecast(
             vehicle_id=vehicle_id,
             category=category,
@@ -341,6 +528,38 @@ class MaintenancePredictionService:
             usage_left=usage_left,
             as_of_day=today,
             donor_id=donor_id,
+            degraded=reason is not None,
+            fallback_reason=reason,
+        )
+
+    # -- health ----------------------------------------------------------------
+
+    def health(self) -> FleetHealth:
+        """Aggregated resilience report: guard, fallback and breaker
+        counters per vehicle, plus persistence failures."""
+        ids = set(self._vehicles)
+        if self.guard is not None:
+            ids.update(self.guard.vehicle_ids)
+        breaker_by_vehicle: dict[str, dict] = {}
+        if self.breaker is not None:
+            for key, state in self.breaker.snapshot().items():
+                vid, _, strategy = key.rpartition(":")
+                breaker_by_vehicle.setdefault(vid, {})[strategy] = state
+        guard = self.guard
+        vehicles = {
+            vid: VehicleHealth(
+                vehicle_id=vid,
+                accepted=guard.accepted_count(vid) if guard else 0,
+                anomalies=guard.anomaly_counts(vid) if guard else {},
+                policies=guard.policy_counts(vid) if guard else {},
+                quarantined=len(guard.dead_letters(vid)) if guard else 0,
+                fallbacks=dict(self._fallback_counts.get(vid, {})),
+                breaker=breaker_by_vehicle.get(vid, {}),
+            )
+            for vid in sorted(ids)
+        }
+        return FleetHealth(
+            vehicles=vehicles, persist_failures=self._persist_failures
         )
 
     # -- feedback loop -----------------------------------------------------------
@@ -358,11 +577,13 @@ class MaintenancePredictionService:
             return
         d_true = series.days_to_maintenance
         still_pending = []
-        for day, predicted in state.pending:
+        for day, predicted, strategy in state.pending:
             truth = d_true[day] if day < d_true.size else np.nan
             if np.isfinite(truth):
-                self.monitor.record(vehicle_id, float(truth), predicted)
+                self.monitor.record(
+                    vehicle_id, float(truth), predicted, strategy=strategy
+                )
             else:
-                still_pending.append((day, predicted))
+                still_pending.append((day, predicted, strategy))
         state.pending = still_pending
         state.resolved_through_cycle = len(completed)

@@ -116,6 +116,74 @@ class TestSerialEquivalence:
             assert engine.predict_all() == serial_forecasts(serial)
 
 
+class TestResilientCleanPathEquivalence:
+    """The reliability layer's core contract: on clean data with no
+    injected faults, a fully armed resilient stack (guard + breaker +
+    retry + zero-rate injector) produces bit-identical forecasts to the
+    plain serial service."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("max_workers", [1, 4])
+    def test_full_reliability_stack_is_invisible_on_clean_data(
+        self, seed, max_workers
+    ):
+        from repro.serving.faults import (
+            FaultInjector,
+            faulty_predictor_factory,
+        )
+        from repro.serving.reliability import (
+            CircuitBreaker,
+            IngestionGuard,
+            RetryPolicy,
+        )
+
+        usage_map = random_fleet(seed)
+        reference = serial_forecasts(
+            build_serial(usage_map, window=0, algorithm="LR")
+        )
+        injector = FaultInjector(seed=seed)  # no rates: never fires
+        engine = build_engine(
+            usage_map,
+            EngineConfig(max_workers=max_workers),
+            window=0,
+            algorithm="LR",
+            guard=IngestionGuard(),
+            breaker=CircuitBreaker(),
+            retry=RetryPolicy(attempts=3, sleep=lambda _s: None),
+            predictor_factory=faulty_predictor_factory(injector),
+        )
+        forecasts = engine.predict_all()
+        assert forecasts == reference
+        assert not any(f.degraded for f in forecasts)
+        health = engine.health()
+        assert health.total_anomalies() == {}
+        assert health.breaker_failures() == 0
+        assert health.persist_failures == 0
+        assert sum(injector.injected.values()) == 0
+
+    def test_resilient_interleaved_ingest_predict_stays_identical(self):
+        from repro.serving.reliability import CircuitBreaker, IngestionGuard
+
+        usage_map = random_fleet(5)
+        rng = np.random.default_rng(99)
+        extra = {v: rng.uniform(12_000, 24_000, size=6) for v in usage_map}
+        serial = build_serial(usage_map, window=0, algorithm="LR")
+        engine = build_engine(
+            usage_map,
+            EngineConfig(max_workers=4),
+            window=0,
+            algorithm="LR",
+            guard=IngestionGuard(),
+            breaker=CircuitBreaker(),
+        )
+        for day in range(6):
+            today = {v: extra[v][day] for v in usage_map}
+            for vehicle_id in sorted(today):
+                serial.ingest(vehicle_id, float(today[vehicle_id]))
+            engine.ingest_day(today)
+            assert engine.predict_all() == serial_forecasts(serial)
+
+
 class TestEngineBehavior:
     def test_forecasts_sorted_by_vehicle_id(self):
         usage_map = random_fleet(6)

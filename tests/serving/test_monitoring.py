@@ -149,3 +149,69 @@ class TestDriftMonitor:
     def test_invalid_config(self, kwargs):
         with pytest.raises(ValueError):
             DriftMonitor(**kwargs)
+
+
+class TestStrategyAttribution:
+    """Degraded serving must stay observable: resolved residuals carry
+    the strategy that produced the forecast, so a drifting MAE can be
+    attributed to (say) baseline fallbacks rather than the real model."""
+
+    def test_record_tags_strategy(self):
+        monitor = DriftMonitor(min_samples=1)
+        monitor.record("v01", 10.0, 9.0, strategy="per-vehicle")
+        monitor.record("v01", 10.0, 2.0, strategy="baseline")
+        monitor.record("v01", 10.0, 3.0, strategy="baseline")
+        assert monitor.strategy_counts("v01") == {
+            "per-vehicle": 1,
+            "baseline": 2,
+        }
+
+    def test_untagged_records_still_work(self):
+        monitor = DriftMonitor(min_samples=1)
+        monitor.record("v01", 10.0, 9.0)
+        assert monitor.strategy_counts("v01") == {}
+        assert monitor.summary()["v01"]["n"] == 1
+
+    def test_unknown_vehicle_empty(self):
+        assert DriftMonitor().strategy_counts("ghost") == {}
+
+    def test_fallback_residuals_resolved_through_service(self):
+        """End to end: with every trainer failing, served forecasts are
+        baseline fallbacks — and once their cycles complete, the monitor
+        attributes every resolved residual to the baseline strategy."""
+        from repro.serving.faults import (
+            FaultInjector,
+            faulty_predictor_factory,
+        )
+        from repro.serving.reliability import CircuitBreaker
+        from repro.serving.service import MaintenancePredictionService
+
+        injector = FaultInjector(seed=0, rates={"train": 1.0})
+        monitor = DriftMonitor(min_samples=1)
+        service = MaintenancePredictionService(
+            t_v=200_000.0,
+            window=0,
+            algorithm="LR",
+            monitor=monitor,
+            breaker=CircuitBreaker(),
+            predictor_factory=faulty_predictor_factory(injector),
+        )
+        service.register_vehicle("v01")
+        service.ingest_series("v01", [20_000.0] * 25)
+        assert service.predict("v01").strategy == "baseline"
+        service.ingest_series("v01", [20_000.0] * 10)  # resolves the cycle
+        counts = monitor.strategy_counts("v01")
+        assert set(counts) == {"baseline"}
+        assert counts["baseline"] == 1
+        assert monitor.summary()["v01"]["n"] == 1
+
+    def test_psi_well_defined_on_fallback_only_forecasts(self):
+        """Baseline forecasts for a steady vehicle are near-constant;
+        the degenerate-reference PSI path must still yield a finite
+        score rather than NaN/inf."""
+        reference = np.full(40, 5.0)  # all-baseline reference window
+        stable = np.full(40, 5.0)
+        shifted = np.full(40, 11.0)
+        assert np.isfinite(population_stability_index(reference, stable))
+        score = population_stability_index(reference, shifted)
+        assert np.isfinite(score) and score > 0.25

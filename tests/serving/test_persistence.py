@@ -1,10 +1,13 @@
 """Unit tests for repro.serving.persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.learn.linear import LinearRegression
-from repro.serving.persistence import ModelStore
+from repro.serving.persistence import ArtifactCorruptError, ModelStore
+from repro.serving.reliability import RetryPolicy
 
 
 @pytest.fixture
@@ -89,3 +92,142 @@ class TestSaveLoad:
         store = ModelStore(tmp_path / "nowhere")
         assert store.keys() == []
         assert store.versions("m") == []
+
+
+class TestCorruptionHandling:
+    def corrupt_pickle(self, store, key, version):
+        pkl_path, _ = store._version_paths(key, version)
+        payload = pkl_path.read_bytes()
+        pkl_path.write_bytes(payload[: len(payload) // 2])
+
+    def test_checksum_written_to_sidecar(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        _, json_path = store._version_paths("m", 1)
+        metadata = json.loads(json_path.read_text())
+        assert len(metadata["sha256"]) == 64
+
+    def test_truncated_pickle_raises_typed_error(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        self.corrupt_pickle(store, "m", 1)
+        with pytest.raises(ArtifactCorruptError, match="checksum mismatch"):
+            store.load("m", version=1)
+
+    def test_malformed_metadata_raises_typed_error(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        _, json_path = store._version_paths("m", 1)
+        json_path.write_text("{not json")
+        with pytest.raises(ArtifactCorruptError, match="malformed metadata"):
+            store.load("m", version=1)
+
+    def test_missing_sidecar_raises_typed_error(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        _, json_path = store._version_paths("m", 1)
+        json_path.unlink()
+        with pytest.raises(ArtifactCorruptError, match="missing file"):
+            store.load("m", version=1)
+
+    def test_error_carries_key_and_version(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        self.corrupt_pickle(store, "m", 1)
+        with pytest.raises(ArtifactCorruptError) as excinfo:
+            store.load("m", version=1)
+        assert excinfo.value.key == "m"
+        assert excinfo.value.version == 1
+        assert isinstance(excinfo.value, ValueError)  # old handlers still work
+
+    def test_fallback_to_newest_readable_version(self, tmp_path, rng):
+        store = ModelStore(tmp_path)
+        X = rng.normal(size=(20, 1))
+        store.save("m", LinearRegression().fit(X, 2 * X[:, 0]))
+        store.save("m", LinearRegression().fit(X, 5 * X[:, 0]))
+        store.save("m", LinearRegression().fit(X, 9 * X[:, 0]))
+        self.corrupt_pickle(store, "m", 3)
+        artifact = store.load("m")
+        assert artifact.version == 2
+        assert artifact.predictor.coef_[0] == pytest.approx(5.0)
+
+    def test_corrupt_versions_are_quarantined(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        store.save("m", fitted_model)
+        self.corrupt_pickle(store, "m", 2)
+        store.load("m")
+        assert store.versions("m") == [1]  # corrupt one moved out
+        assert store.quarantined("m") == [2]
+        quarantine_dir = store._key_dir("m") / "quarantine"
+        assert (quarantine_dir / "v0002.pkl").exists()
+        assert (quarantine_dir / "v0002.json").exists()
+
+    def test_quarantine_opt_out(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        store.save("m", fitted_model)
+        self.corrupt_pickle(store, "m", 2)
+        artifact = store.load("m", quarantine=False)
+        assert artifact.version == 1
+        assert store.versions("m") == [1, 2]  # left in place
+
+    def test_no_fallback_raises_on_newest(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        store.save("m", fitted_model)
+        self.corrupt_pickle(store, "m", 2)
+        with pytest.raises(ArtifactCorruptError):
+            store.load("m", fallback=False)
+
+    def test_all_versions_corrupt(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        self.corrupt_pickle(store, "m", 1)
+        with pytest.raises(ArtifactCorruptError, match="no readable version"):
+            store.load("m")
+
+    def test_legacy_artifact_without_checksum_loads(self, tmp_path, fitted_model):
+        """Pre-hardening sidecars have no sha256 — still loadable."""
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        _, json_path = store._version_paths("m", 1)
+        metadata = json.loads(json_path.read_text())
+        del metadata["sha256"]
+        json_path.write_text(json.dumps(metadata))
+        assert store.load("m").version == 1
+
+
+class TestStoreRetry:
+    def test_transient_write_errors_are_retried(self, tmp_path, fitted_model, monkeypatch):
+        import os as os_module
+
+        real_replace = os_module.replace
+        failures = {"n": 2}
+
+        def flaky_replace(src, dst):
+            if failures["n"] > 0:
+                failures["n"] -= 1
+                raise OSError("disk hiccup")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(
+            "repro.serving.persistence.os.replace", flaky_replace
+        )
+        retry = RetryPolicy(attempts=3, sleep=lambda _s: None)
+        store = ModelStore(tmp_path, retry=retry)
+        assert store.save("m", fitted_model) == 1
+        assert retry.retries == 2
+        monkeypatch.undo()
+        assert store.load("m").version == 1
+
+    def test_exhausted_retries_reraise(self, tmp_path, fitted_model, monkeypatch):
+        monkeypatch.setattr(
+            "repro.serving.persistence.os.replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("dead disk")),
+        )
+        retry = RetryPolicy(attempts=2, sleep=lambda _s: None)
+        store = ModelStore(tmp_path, retry=retry)
+        with pytest.raises(OSError, match="dead disk"):
+            store.save("m", fitted_model)
+        assert retry.retries == 1

@@ -1,0 +1,277 @@
+"""Unit tests for the resilience layer (repro.serving.reliability)."""
+
+import numpy as np
+import pytest
+
+from repro.serving.reliability import (
+    AnomalyKind,
+    AnomalyPolicy,
+    CircuitBreaker,
+    GuardPolicies,
+    IngestionGuard,
+    RetryPolicy,
+)
+from repro.serving.service import MaintenancePredictionService
+
+T_V = 200_000.0
+
+
+class TestGuardClassification:
+    def make(self, **kwargs):
+        return IngestionGuard(GuardPolicies(**kwargs))
+
+    def test_clean_reading_passes_untouched(self):
+        guard = IngestionGuard()
+        decision = guard.screen("v", 20_000.0, day=0)
+        assert decision.accepted and decision.value == 20_000.0
+        assert decision.anomaly is None
+        assert guard.accepted_count("v") == 1
+        assert guard.anomaly_counts("v") == {}
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_non_finite(self, bad):
+        guard = IngestionGuard()
+        assert guard.classify("v", bad, day=None) is AnomalyKind.NON_FINITE
+
+    def test_negative_and_too_large(self):
+        guard = IngestionGuard()
+        assert guard.classify("v", -5.0, day=None) is AnomalyKind.NEGATIVE
+        assert guard.classify("v", 90_000.0, day=None) is AnomalyKind.TOO_LARGE
+        assert guard.classify("v", 86_400.0, day=None) is None
+        assert guard.classify("v", 0.0, day=None) is None
+
+    def test_duplicate_and_out_of_order_need_day_index(self):
+        guard = IngestionGuard()
+        assert guard.screen("v", 100.0, day=0).accepted
+        assert guard.screen("v", 100.0, day=1).accepted
+        dup = guard.screen("v", 100.0, day=1)
+        assert dup.anomaly is AnomalyKind.DUPLICATE_DAY
+        stale = guard.screen("v", 100.0, day=0)
+        assert stale.anomaly is AnomalyKind.OUT_OF_ORDER
+        # Without day metadata, ordering anomalies are undetectable.
+        assert guard.screen("v", 100.0).accepted
+
+    def test_ordering_anomalies_leave_high_water_mark(self):
+        guard = IngestionGuard()
+        guard.screen("v", 100.0, day=5)
+        guard.screen("v", 100.0, day=2)  # out-of-order, dropped
+        assert guard.screen("v", 100.0, day=6).accepted  # 6 > 5 still clean
+
+    def test_gap_in_days_is_not_an_anomaly(self):
+        guard = IngestionGuard()
+        guard.screen("v", 100.0, day=0)
+        assert guard.screen("v", 100.0, day=7).accepted  # dropped days happen
+
+
+class TestGuardPolicies:
+    def test_clamp(self):
+        guard = IngestionGuard(
+            GuardPolicies(
+                negative=AnomalyPolicy.CLAMP, too_large=AnomalyPolicy.CLAMP
+            )
+        )
+        assert guard.screen("v", -10.0).value == 0.0
+        assert guard.screen("v", 100_000.0).value == 86_400.0
+
+    def test_impute_from_recent_average(self):
+        guard = IngestionGuard(
+            GuardPolicies(non_finite=AnomalyPolicy.IMPUTE), impute_window=3
+        )
+        recent = [10_000.0, 20_000.0, 30_000.0, 40_000.0]
+        decision = guard.screen("v", float("nan"), recent=recent)
+        assert decision.value == pytest.approx(30_000.0)  # mean of last 3
+
+    def test_impute_without_history_is_zero(self):
+        guard = IngestionGuard(GuardPolicies(non_finite=AnomalyPolicy.IMPUTE))
+        assert guard.screen("v", float("nan"), recent=[]).value == 0.0
+
+    def test_reject_drops_without_dead_letter(self):
+        guard = IngestionGuard(GuardPolicies(negative=AnomalyPolicy.REJECT))
+        decision = guard.screen("v", -1.0)
+        assert not decision.accepted
+        assert guard.dead_letters() == []
+        assert guard.anomaly_counts("v") == {"negative": 1}
+        assert guard.policy_counts("v") == {"reject": 1}
+
+    def test_quarantine_keeps_dead_letter(self):
+        guard = IngestionGuard()
+        guard.screen("v", float("nan"), day=4)
+        (record,) = guard.dead_letters("v")
+        assert record.day == 4 and np.isnan(record.value)
+        assert record.anomaly is AnomalyKind.NON_FINITE
+        assert "dead-letter" in str(record)
+
+    def test_dead_letter_cap(self):
+        guard = IngestionGuard(max_dead_letters=2)
+        for _ in range(5):
+            guard.screen("v", float("nan"))
+        assert len(guard.dead_letters()) == 2
+        assert guard.anomaly_counts("v") == {"non-finite": 5}  # still counted
+
+    def test_clamp_invalid_for_non_finite(self):
+        with pytest.raises(ValueError, match="clamp"):
+            GuardPolicies(non_finite=AnomalyPolicy.CLAMP)
+
+    def test_ordering_anomalies_must_drop(self):
+        with pytest.raises(ValueError, match="duplicate_day"):
+            GuardPolicies(duplicate_day=AnomalyPolicy.IMPUTE)
+        with pytest.raises(ValueError, match="out_of_order"):
+            GuardPolicies(out_of_order=AnomalyPolicy.CLAMP)
+
+    def test_fleet_wide_counters(self):
+        guard = IngestionGuard()
+        guard.screen("a", float("nan"))
+        guard.screen("b", -1.0)
+        guard.screen("b", 99_999.0)
+        assert guard.anomaly_counts() == {
+            "non-finite": 1,
+            "negative": 1,
+            "too-large": 1,
+        }
+        assert sorted(guard.vehicle_ids) == ["a", "b"]
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=3)
+        assert breaker.allow("k")
+        breaker.record_failure("k")
+        assert breaker.allow("k")  # not open yet
+        breaker.record_failure("k")
+        assert breaker.is_open("k")
+        assert not breaker.allow("k")
+
+    def test_half_open_after_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2)
+        breaker.record_failure("k")
+        assert not breaker.allow("k")
+        assert not breaker.allow("k")
+        assert breaker.allow("k")  # half-open trial
+        breaker.record_success("k")
+        assert not breaker.is_open("k")
+        assert breaker.allow("k")
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=5)
+        breaker.record_failure("k")
+        breaker.record_success("k")
+        breaker.record_failure("k")
+        assert not breaker.is_open("k")  # never 2 consecutive
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5)
+        breaker.record_failure("a")
+        assert not breaker.allow("a")
+        assert breaker.allow("b")
+
+    def test_counters_and_snapshot(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2)
+        breaker.record_failure("k")
+        breaker.allow("k")
+        snapshot = breaker.snapshot()
+        assert snapshot["k"] == {"failures": 1, "skips": 1, "open": True}
+        assert breaker.failure_count() == 1
+        assert breaker.skip_count() == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0)
+
+
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        retry = RetryPolicy(attempts=3, sleep=lambda _s: None)
+        assert retry.call(flaky) == "ok"
+        assert retry.retries == 2
+
+    def test_exhausted_retries_reraise(self):
+        retry = RetryPolicy(attempts=2, sleep=lambda _s: None)
+
+        def always():
+            raise OSError("down")
+
+        with pytest.raises(OSError, match="down"):
+            retry.call(always)
+        assert retry.retries == 1
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        retry = RetryPolicy(attempts=3, sleep=lambda _s: None)
+        calls = {"n": 0}
+
+        def boom():
+            calls["n"] += 1
+            raise KeyError("not io")
+
+        with pytest.raises(KeyError):
+            retry.call(boom)
+        assert calls["n"] == 1
+
+    def test_backoff_is_jittered_bounded_and_seeded(self):
+        def run(seed):
+            retry = RetryPolicy(
+                attempts=4, base_delay=0.1, max_delay=0.15, seed=seed,
+                sleep=lambda _s: None,
+            )
+            with pytest.raises(OSError):
+                retry.call(lambda: (_ for _ in ()).throw(OSError()))
+            return retry.slept
+
+        first, second = run(1), run(1)
+        assert first == second  # deterministic schedule
+        assert len(first) == 3
+        for idx, delay in enumerate(first):
+            cap = min(0.1 * 2**idx, 0.15)
+            assert 0.5 * cap <= delay < cap or delay == pytest.approx(cap)
+
+    def test_rejects_bad_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+
+class TestFleetHealthReport:
+    def build_service(self):
+        service = MaintenancePredictionService(
+            t_v=T_V,
+            window=0,
+            algorithm="LR",
+            guard=IngestionGuard(),
+            breaker=CircuitBreaker(),
+        )
+        service.register_vehicle("v01")
+        return service
+
+    def test_counters_roll_up(self):
+        service = self.build_service()
+        service.ingest_series("v01", [20_000.0] * 10)
+        service.ingest("v01", float("nan"))  # quarantined
+        service.ingest("v01", -5.0)  # clamped
+        health = service.health()
+        vehicle = health.vehicles["v01"]
+        assert vehicle.anomalies == {"non-finite": 1, "negative": 1}
+        assert vehicle.quarantined == 1
+        assert vehicle.dropped == 1
+        assert health.total_anomalies() == {"non-finite": 1, "negative": 1}
+        assert health.total_quarantined() == 1
+        assert health.persist_failures == 0
+
+    def test_render_mentions_flagged_vehicles(self):
+        service = self.build_service()
+        service.ingest("v01", float("inf"))
+        text = service.health().render()
+        assert "v01" in text and "non-finite=1" in text
+
+    def test_healthy_fleet_renders_cleanly(self):
+        service = self.build_service()
+        service.ingest_series("v01", [20_000.0] * 5)
+        text = service.health().render()
+        assert "readings flagged : 0" in text

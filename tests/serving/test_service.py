@@ -175,6 +175,101 @@ class TestFeedbackLoop:
         assert monitor.alerts() == []
 
 
+class TestIngestSeriesAtomicity:
+    def test_bad_element_mid_array_ingests_nothing(self):
+        """Regression: a bad reading at index 2 used to leave elements
+        0–1 behind; now the whole batch is validated before any commit."""
+        service = steady_service()
+        service.register_vehicle("v01")
+        with pytest.raises(ValueError, match="element 2"):
+            service.ingest_series(
+                "v01", [20_000.0, 21_000.0, float("nan"), 22_000.0]
+            )
+        assert service.series("v01").n_days == 0
+        # The rejected batch can be fixed and re-sent cleanly.
+        service.ingest_series("v01", [20_000.0, 21_000.0, 22_000.0])
+        assert service.series("v01").n_days == 3
+
+    def test_unknown_vehicle_checked_before_validation(self):
+        service = steady_service()
+        with pytest.raises(KeyError, match="register"):
+            service.ingest_series("ghost", [float("nan")])
+
+    def test_empty_series_is_a_no_op(self):
+        service = steady_service()
+        service.register_vehicle("v01")
+        service.ingest_series("v01", [])
+        assert service.series("v01").n_days == 0
+
+
+class CountingFactory:
+    """make_predictor stand-in that counts fit() calls per predictor."""
+
+    def __init__(self):
+        self.fits = 0
+
+    def __call__(self, algorithm):
+        from repro.core.registry import make_predictor
+
+        factory = self
+
+        class _Counting:
+            def __init__(self):
+                self._inner = make_predictor(algorithm)
+
+            def fit(self, dataset, **kwargs):
+                factory.fits += 1
+                self._inner.fit(dataset, **kwargs)
+                return self
+
+            def predict(self, X):
+                return self._inner.predict(X)
+
+        return _Counting()
+
+
+class TestSimilarityModelCache:
+    def build(self):
+        factory = CountingFactory()
+        service = steady_service(predictor_factory=factory)
+        for i in range(3):
+            service.register_vehicle(f"old{i}")
+            service.ingest_series(f"old{i}", [18_000.0 + 2_000.0 * i] * 25)
+        service.register_vehicle("young")
+        service.ingest_series("young", [20_000.0] * 6)
+        return service, factory
+
+    def test_repeated_predictions_do_not_refit(self):
+        service, factory = self.build()
+        first = service.predict("young")
+        assert first.strategy == "similarity"
+        fits_after_first = factory.fits
+        for _ in range(5):
+            again = service.predict("young")
+            assert again.strategy == "similarity"
+            assert again.donor_id == first.donor_id
+        assert factory.fits == fits_after_first
+
+    def test_donor_change_invalidates_cache(self):
+        service, factory = self.build()
+        service.predict("young")
+        fits = factory.fits
+        # Pull the target's average usage toward old2's rate (staying
+        # under T_v, so still semi-new): the most similar donor changes,
+        # so Model_Sim must be refit.
+        service.ingest_series("young", [26_000.0] * 2)
+        changed = service.predict("young")
+        assert changed.strategy == "similarity"
+        assert changed.donor_id == "old2"
+        assert factory.fits == fits + 1
+
+    def test_cached_model_produces_identical_forecasts(self):
+        service, _ = self.build()
+        first = service.predict("young")
+        second = service.predict("young")
+        assert second.days_to_maintenance == first.days_to_maintenance
+
+
 class TestServiceOnSimulatedFleet:
     def test_realistic_replay(self, small_fleet):
         """Replay a simulated vehicle day by day through the service."""

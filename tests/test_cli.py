@@ -92,6 +92,25 @@ class TestPredict:
         assert "Unknown vehicle" in capsys.readouterr().err
 
 
+class TestChaos:
+    def test_chaos_run_self_verifies(self, capsys):
+        code = main(
+            ["chaos", "--seed", "7", "--vehicles", "3", "--days", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fleet health" in out or "readings flagged" in out
+        assert "[ok]" in out
+        assert "FAIL" not in out
+
+    def test_chaos_is_deterministic(self, capsys):
+        argv = ["chaos", "--seed", "11", "--vehicles", "2", "--days", "25"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -102,5 +121,5 @@ class TestParser:
             main(["--help"])
         assert exc.value.code == 0
         out = capsys.readouterr().out
-        for command in ("generate", "calibrate", "evaluate", "predict"):
+        for command in ("generate", "calibrate", "evaluate", "predict", "chaos"):
             assert command in out
