@@ -1,0 +1,306 @@
+"""Gateway load benchmark: micro-batching throughput vs tail latency.
+
+Closed-loop load generator against a real listening
+:class:`~repro.serving.gateway.FleetGateway`: ``--clients`` concurrent
+HTTP clients (keep-alive connections) each fire ``GET
+/v1/predict/{vehicle_id}`` back-to-back for ``--seconds``, cycling over
+the fleet.  The run is repeated per micro-batch window, including the
+window = 0 reference (every request dispatched alone).
+
+Three claims are enforced, not just reported:
+
+* **zero 5xx** responses under full load (plus zero 429/504 at this
+  sizing — the queue and deadlines are provisioned for the client
+  count);
+* every forecast body is **bit-identical** to a sequential
+  ``MaintenancePredictionService.predict`` on the same history
+  (exact ``Forecast`` equality after the JSON round-trip);
+* unless ``--no-enforce``, micro-batching (window > 0) reaches
+  **strictly higher throughput** than window = 0, and ``/v1/metrics``
+  is non-empty at the end of every run.
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py [--smoke]
+
+``--smoke`` is the ~10 s CI sizing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.serving import FleetEngine, MaintenancePredictionService
+from repro.serving.gateway import FleetGateway, GatewayConfig
+from repro.serving.service import Forecast
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+T_V = 200_000.0
+WINDOW = 0
+ALGORITHM = "LR"
+N_DAYS = 40
+
+
+def synthetic_fleet(n_vehicles: int) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(0)
+    return {
+        f"v{i:03d}": rng.uniform(12_000, 26_000, size=N_DAYS)
+        for i in range(n_vehicles)
+    }
+
+
+def build_engine(usage: dict[str, np.ndarray]) -> FleetEngine:
+    engine = FleetEngine(t_v=T_V, window=WINDOW, algorithm=ALGORITHM)
+    engine.register_fleet(usage)
+    for vehicle_id, series in usage.items():
+        engine.ingest_history(vehicle_id, series)
+    return engine
+
+
+def serial_reference(usage: dict[str, np.ndarray]) -> dict[str, Forecast]:
+    service = MaintenancePredictionService(
+        t_v=T_V, window=WINDOW, algorithm=ALGORITHM
+    )
+    for vehicle_id in sorted(usage):
+        service.register_vehicle(vehicle_id)
+        service.ingest_series(vehicle_id, usage[vehicle_id])
+    return {
+        vehicle_id: service.predict(vehicle_id) for vehicle_id in sorted(usage)
+    }
+
+
+class RunStats:
+    def __init__(self):
+        self.statuses: dict[int, int] = {}
+        self.latencies: list[float] = []
+        self.mismatches = 0
+
+    def record(self, status: int, seconds: float) -> None:
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        self.latencies.append(seconds)
+
+    @property
+    def total(self) -> int:
+        return sum(self.statuses.values())
+
+    def errors_5xx(self) -> int:
+        return sum(n for code, n in self.statuses.items() if code >= 500)
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.quantile(np.asarray(self.latencies), q))
+
+
+async def _http_get(reader, writer, path: str):
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode())
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value)
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def _client(
+    host: str,
+    port: int,
+    vehicle_ids: list[str],
+    offset: int,
+    stop_at: float,
+    stats: RunStats,
+    reference: dict[str, Forecast],
+) -> None:
+    loop = asyncio.get_running_loop()
+    reader, writer = await asyncio.open_connection(host, port)
+    index = offset
+    try:
+        while loop.time() < stop_at:
+            vehicle_id = vehicle_ids[index % len(vehicle_ids)]
+            index += 1
+            started = loop.time()
+            status, body = await _http_get(
+                reader, writer, f"/v1/predict/{vehicle_id}"
+            )
+            stats.record(status, loop.time() - started)
+            if status == 200:
+                served = Forecast.from_dict(json.loads(body))
+                if served != reference[vehicle_id]:
+                    stats.mismatches += 1
+    finally:
+        writer.close()
+
+
+async def run_load(
+    usage: dict[str, np.ndarray],
+    reference: dict[str, Forecast],
+    *,
+    batch_window_s: float,
+    clients: int,
+    seconds: float,
+) -> tuple[RunStats, dict, float]:
+    engine = build_engine(usage)
+    gateway = FleetGateway(
+        engine,
+        GatewayConfig(
+            port=0,
+            batch_window_s=batch_window_s,
+            max_batch_size=max(64, clients),
+            max_queue=max(256, 4 * clients),
+            default_deadline_s=30.0,
+        ),
+    )
+    host, port = await gateway.serve()
+    loop = asyncio.get_running_loop()
+    vehicle_ids = sorted(usage)
+    stats = RunStats()
+    started = loop.time()
+    stop_at = started + seconds
+    await asyncio.gather(
+        *(
+            _client(host, port, vehicle_ids, i, stop_at, stats, reference)
+            for i in range(clients)
+        )
+    )
+    elapsed = loop.time() - started
+    _status, metrics_body = await _http_get(
+        *(await asyncio.open_connection(host, port)), "/v1/metrics"
+    )
+    metrics = json.loads(metrics_body)
+    await gateway.shutdown()
+    return stats, metrics, elapsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vehicles", type=int, default=24)
+    parser.add_argument("--clients", type=int, default=64)
+    parser.add_argument(
+        "--seconds", type=float, default=6.0, help="closed-loop duration per window"
+    )
+    parser.add_argument(
+        "--windows-ms",
+        type=float,
+        nargs="+",
+        default=[0.0, 2.0, 5.0],
+        help="micro-batch windows to sweep (0 = no batching reference)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI sizing: ~10 s total, two windows",
+    )
+    parser.add_argument(
+        "--no-enforce",
+        action="store_true",
+        help="report only; skip the throughput/5xx/identity assertions",
+    )
+    args = parser.parse_args(argv)
+
+    windows_ms = args.windows_ms
+    seconds = args.seconds
+    if args.smoke:
+        windows_ms = [0.0, 5.0]
+        seconds = 4.0
+    if 0.0 not in windows_ms:
+        windows_ms = [0.0, *windows_ms]
+
+    usage = synthetic_fleet(args.vehicles)
+    reference = serial_reference(usage)
+
+    lines = [
+        "Gateway load benchmark",
+        "",
+        f"{args.vehicles} vehicles x {N_DAYS} days, algorithm {ALGORITHM}, "
+        f"window {WINDOW}; {args.clients} closed-loop clients, "
+        f"{seconds:.1f} s per run",
+        "",
+    ]
+    throughput: dict[float, float] = {}
+    failures: list[str] = []
+    for window_ms in windows_ms:
+        stats, metrics, elapsed = asyncio.run(
+            run_load(
+                usage,
+                reference,
+                batch_window_s=window_ms / 1000.0,
+                clients=args.clients,
+                seconds=seconds,
+            )
+        )
+        rate = stats.total / elapsed
+        throughput[window_ms] = rate
+        batch_summary = metrics["batch"]["sizes"]
+        lines += [
+            f"batch window {window_ms:4.1f} ms:",
+            f"  requests   : {stats.total} in {elapsed:.2f} s "
+            f"({rate:8.0f} req/s)",
+            f"  status     : "
+            + ", ".join(
+                f"{code}={n}" for code, n in sorted(stats.statuses.items())
+            ),
+            f"  latency    : p50 {stats.percentile(0.50) * 1e3:7.2f} ms   "
+            f"p95 {stats.percentile(0.95) * 1e3:7.2f} ms   "
+            f"p99 {stats.percentile(0.99) * 1e3:7.2f} ms",
+            f"  batch size : mean {batch_summary.get('mean', 0):.1f}, "
+            f"max {batch_summary.get('max', 0):.0f} "
+            f"({batch_summary.get('count', 0)} predict_many calls)",
+            f"  queue      : high-water {metrics['queue_high_water']}, "
+            f"429s {metrics['queue_rejections']}, "
+            f"504s {metrics['deadline_expirations']}",
+        ]
+        if stats.errors_5xx():
+            failures.append(
+                f"window {window_ms} ms served {stats.errors_5xx()} 5xx responses"
+            )
+        if stats.mismatches:
+            failures.append(
+                f"window {window_ms} ms served {stats.mismatches} forecasts "
+                "that diverged from the serial service"
+            )
+        if not metrics.get("requests"):
+            failures.append(f"window {window_ms} ms: /v1/metrics came back empty")
+        lines.append("")
+
+    reference_rate = throughput[0.0]
+    batched = {w: r for w, r in throughput.items() if w > 0}
+    best_window, best_rate = max(batched.items(), key=lambda kv: kv[1])
+    lines += [
+        f"no batching     : {reference_rate:8.0f} req/s",
+        f"best batched    : {best_rate:8.0f} req/s "
+        f"(window {best_window:.1f} ms, {best_rate / reference_rate:.2f}x)",
+    ]
+    if all(rate <= reference_rate for rate in batched.values()):
+        failures.append(
+            "micro-batching did not beat the window=0 reference "
+            f"({max(batched.values()):.0f} vs {reference_rate:.0f} req/s)"
+        )
+
+    text = "\n".join(lines)
+    print(text)
+    if not args.smoke:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "gateway.txt").write_text(text + "\n")
+        print(f"wrote {RESULTS_DIR / 'gateway.txt'}")
+    if failures and not args.no_enforce:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

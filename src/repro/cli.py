@@ -8,7 +8,10 @@ Operational entry points for the reproduction:
 * ``predict``   — train a model for one vehicle of a stored fleet and
   forecast its next maintenance;
 * ``chaos``     — replay a seeded fault-injection scenario against the
-  resilient serving stack and print the fleet health report.
+  resilient serving stack and print the fleet health report;
+* ``serve``     — run the asyncio HTTP gateway (micro-batching,
+  admission control, deadline-aware backpressure) in front of a fleet
+  engine.
 
 Usage: ``python -m repro <command> [options]`` (see ``--help`` per
 command).
@@ -20,6 +23,24 @@ import argparse
 import sys
 
 __all__ = ["build_parser", "main"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for worker/size knobs: an integer >= 1.
+
+    ``--max-workers 0`` (or a negative count) used to slip through to
+    the executor and fail deep inside ``concurrent.futures``; rejecting
+    it at the parser gives a clear, immediate error instead.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _cmd_generate(args) -> int:
@@ -223,6 +244,7 @@ def _cmd_chaos(args) -> int:
         engine.register_fleet(clean)
 
         degraded = total_forecasts = 0
+        last_forecasts = []
         steps = max(len(feed) for feed in feeds.values())
         for step in range(steps):
             for vehicle_id in sorted(feeds):
@@ -234,12 +256,16 @@ def _cmd_chaos(args) -> int:
                 forecasts = engine.predict_all()
                 total_forecasts += len(forecasts)
                 degraded += sum(1 for f in forecasts if f.degraded)
+                last_forecasts = forecasts
 
         health = engine.health()
-        print(health.render())
-        print()
-        print(f"forecasts served : {total_forecasts} ({degraded} degraded)")
-        print(f"injected         : {dict(injector.injected)}")
+        if not args.json:
+            print(health.render())
+            print()
+            print(
+                f"forecasts served : {total_forecasts} ({degraded} degraded)"
+            )
+            print(f"injected         : {dict(injector.injected)}")
 
         anomalies = health.total_anomalies()
         checks = [
@@ -267,12 +293,96 @@ def _cmd_chaos(args) -> int:
                 == retry.retries + health.persist_failures,
             ),
         ]
-        print()
-        failed = 0
-        for label, ok in checks:
-            print(f"[{'ok' if ok else 'FAIL'}] {label}")
-            failed += not ok
+        failed = sum(not ok for _label, ok in checks)
+        if args.json:
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "health": health.as_dict(),
+                        "forecasts": [f.to_dict() for f in last_forecasts],
+                        "forecasts_served": total_forecasts,
+                        "degraded_serves": degraded,
+                        "injected": dict(injector.injected),
+                        "checks": {label: ok for label, ok in checks},
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print()
+            for label, ok in checks:
+                print(f"[{'ok' if ok else 'FAIL'}] {label}")
         return 1 if failed else 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serving import EngineConfig, FleetEngine
+    from .serving.gateway import FleetGateway, GatewayConfig
+
+    gateway_config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        max_batch_size=args.max_batch,
+        max_queue=args.max_queue,
+        default_deadline_s=args.deadline_ms / 1000.0,
+    )
+    service_kwargs = {}
+    if args.resilient:
+        from .serving import CircuitBreaker, IngestionGuard, RetryPolicy
+
+        service_kwargs = dict(
+            guard=IngestionGuard(),
+            breaker=CircuitBreaker(),
+            retry=RetryPolicy(),
+        )
+
+    fleet = None
+    if args.input:
+        from .fleet import load_fleet
+
+        fleet = load_fleet(args.input, stem=args.stem)
+    t_v = args.t_v if args.t_v is not None else (
+        fleet.t_v if fleet is not None else 2_000_000.0
+    )
+    engine = FleetEngine(
+        t_v=t_v,
+        window=args.window,
+        algorithm=args.algorithm,
+        config=EngineConfig(max_workers=args.max_workers),
+        **service_kwargs,
+    )
+    if fleet is not None:
+        for vehicle in fleet.vehicles:
+            engine.service.register_vehicle(vehicle.vehicle_id)
+            engine.ingest_history(vehicle.vehicle_id, vehicle.usage)
+        print(f"preloaded {len(fleet.vehicles)} vehicles from {args.input}")
+
+    gateway = FleetGateway(engine, gateway_config)
+
+    async def _run() -> None:
+        await gateway.serve()
+        host, port = gateway.address
+        print(f"repro gateway listening on http://{host}:{port}")
+        print(
+            "endpoints: POST /v1/ingest  GET /v1/predict/{id}  "
+            "POST /v1/predict:batch  GET /v1/health  GET /v1/metrics"
+        )
+        await gateway.run_until_closed()
+
+    # SIGINT lands differently by version: 3.11+ cancels the main task
+    # (run_until_closed absorbs it and drains, asyncio.run returns),
+    # 3.10 re-raises KeyboardInterrupt after the same drain.
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    print("gateway drained")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -327,7 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument(
         "--max-workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help="fan per-vehicle runs out over N workers (default: serial)",
     )
@@ -360,7 +470,73 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--vehicles", type=int, default=6)
     chaos.add_argument("--days", type=int, default=60)
     chaos.add_argument("--t-v", dest="t_v", type=float, default=200_000.0)
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the health report, forecasts and checks as JSON",
+    )
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the asyncio HTTP gateway (micro-batching, admission "
+            "control, deadlines) in front of a fleet engine"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--input", default=None, help="saved fleet directory to preload"
+    )
+    serve.add_argument("--stem", default="fleet")
+    serve.add_argument(
+        "--t-v",
+        dest="t_v",
+        type=float,
+        default=None,
+        help="usage budget per cycle (default: preloaded fleet's, else 2e6)",
+    )
+    serve.add_argument("--window", type=int, default=6)
+    serve.add_argument("--algorithm", default="RF")
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="micro-batch coalescing window (0 disables batching)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=64,
+        help="max predict requests per coalesced batch",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=256,
+        help="bounded request queue depth (429 beyond it)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=5000.0,
+        help="default per-request deadline (504 once passed)",
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=_positive_int,
+        default=None,
+        help="engine worker bound for training/prediction fan-out",
+    )
+    serve.add_argument(
+        "--resilient",
+        action="store_true",
+        help="attach IngestionGuard + CircuitBreaker + RetryPolicy",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

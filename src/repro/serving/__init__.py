@@ -20,6 +20,12 @@ from .faults import (
     corrupt_readings,
     faulty_predictor_factory,
 )
+from .gateway import (
+    FleetGateway,
+    GatewayConfig,
+    GatewayMetrics,
+    GatewayResponse,
+)
 from .monitoring import DriftAlert, DriftMonitor, population_stability_index
 from .persistence import ArtifactCorruptError, ModelArtifact, ModelStore
 from .reliability import (
@@ -41,6 +47,10 @@ __all__ = [
     "EngineConfig",
     "FleetEngine",
     "FleetExecutor",
+    "FleetGateway",
+    "GatewayConfig",
+    "GatewayMetrics",
+    "GatewayResponse",
     "default_max_workers",
     "DriftAlert",
     "DriftMonitor",

@@ -25,7 +25,9 @@ this with exact equality.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -156,6 +158,20 @@ class FleetEngine:
         self.service = service
         self._training_executor_override = training_executor
         self._prediction_executor_override = prediction_executor
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+
+    @contextmanager
+    def _track_inflight(self):
+        """Count a batch operation for :meth:`drain`."""
+        with self._inflight_cond:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
 
     # -- executors ---------------------------------------------------------
 
@@ -245,6 +261,10 @@ class FleetEngine:
         ladder.  Without a breaker the first failure raises (the
         historical contract).
         """
+        with self._track_inflight():
+            return self._refresh_models()
+
+    def _refresh_models(self) -> int:
         service = self.service
         stale = self._stale_old_vehicles()
         if service.breaker is not None:
@@ -324,24 +344,61 @@ class FleetEngine:
         with fewer than ``window + 1`` observed days are skipped when
         ``skip_unready`` (else the underlying ``ValueError`` surfaces).
         """
-        service = self.service
-        self.refresh_models()
-        ids = self._ready_ids() if skip_unready else service.vehicle_ids
-        if service.breaker is None and any(
-            service.category(vehicle_id) is VehicleCategory.NEW
-            for vehicle_id in ids
-        ):
-            # Train Model_Uni once before the fan-out; the per-call
-            # donor-set check then hits this cache read-only.  NEW
-            # vehicles are never donors, so exclude-self is a no-op.
-            # Resilient services skip the pre-warm so every unified
-            # attempt (and failure) is accounted on a vehicle's breaker.
-            service._ensure_unified_model()
-        return self._prediction_executor().map_ordered(service.predict, ids)
+        with self._track_inflight():
+            service = self.service
+            self._refresh_models()
+            ids = self._ready_ids() if skip_unready else service.vehicle_ids
+            if service.breaker is None and any(
+                service.category(vehicle_id) is VehicleCategory.NEW
+                for vehicle_id in ids
+            ):
+                # Train Model_Uni once before the fan-out; the per-call
+                # donor-set check then hits this cache read-only.  NEW
+                # vehicles are never donors, so exclude-self is a no-op.
+                # Resilient services skip the pre-warm so every unified
+                # attempt (and failure) is accounted on a vehicle's breaker.
+                service._ensure_unified_model()
+            return self._prediction_executor().map_ordered(service.predict, ids)
 
     def predict_many(self, vehicle_ids: Iterable[str]) -> list[Forecast]:
         """Batch-forecast a subset, in sorted vehicle order."""
-        self.refresh_models()
-        return self._prediction_executor().map_ordered(
-            self.service.predict, sorted(vehicle_ids)
+        with self._track_inflight():
+            self._refresh_models()
+            return self._prediction_executor().map_ordered(
+                self.service.predict, sorted(vehicle_ids)
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def readiness(self) -> dict:
+        """Liveness/readiness snapshot for the serving layer.
+
+        ``ready`` counts vehicles with enough observed days
+        (``> window``) to serve a forecast right now; ``cache`` is the
+        cycle-cache hit/miss breakdown (``None`` without a cache).
+        """
+        service = self.service
+        ready = sum(
+            1
+            for vehicle_id in service.vehicle_ids
+            if service.n_days(vehicle_id) > service.window
         )
+        return {
+            "vehicles": len(service.vehicle_ids),
+            "ready": ready,
+            "inflight": self._inflight,
+            "cache": self.cache_stats,
+        }
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no batch operation is in flight.
+
+        The gateway calls this during graceful shutdown after it has
+        stopped feeding the engine; direct users can call it before
+        snapshotting or persisting state.  Returns ``False`` when the
+        timeout expires with work still running.
+        """
+        with self._inflight_cond:
+            return self._inflight_cond.wait_for(
+                lambda: self._inflight == 0, timeout
+            )

@@ -1,0 +1,838 @@
+"""Async HTTP gateway: the network entry point of the fleet service.
+
+The paper's deployment serves per-vehicle ``D̂_v(t)`` forecasts to
+operators every day; until now the reproduction could only do that
+in-process.  :class:`FleetGateway` puts a stdlib-only asyncio
+JSON-over-HTTP front end on :class:`~repro.serving.engine.FleetEngine`:
+
+``POST /v1/ingest``
+    One day of utilization, single reading or batch.
+``GET /v1/predict/{vehicle_id}``
+    Forecast for one vehicle (``?deadline_ms=`` overrides the default
+    per-request deadline).
+``POST /v1/predict:batch``
+    Forecasts for many vehicles in one request.
+``GET /v1/health``
+    The engine's :class:`~repro.serving.reliability.FleetHealth`
+    report with the gateway's own counters attached.
+``GET /v1/metrics``
+    Request/error counters, queue and batch statistics, latency
+    percentiles.
+
+Three serving-layer mechanisms make it production-shaped:
+
+* **Micro-batching** — concurrent predict requests arriving within
+  ``batch_window_s`` coalesce into a single
+  :meth:`~repro.serving.engine.FleetEngine.predict_many` call.  A
+  single dispatcher drains the queue, so forecasts stay bit-identical
+  to serial :meth:`~repro.serving.service.MaintenancePredictionService.
+  predict` calls (the gateway test suite pins this with exact
+  equality); batching only amortizes the per-request dispatch cost.
+* **Admission control** — the request queue is bounded: when full, the
+  gateway answers ``429`` with ``Retry-After`` instead of queueing
+  unboundedly.  Every predict request carries a deadline; a request
+  whose deadline passed while queued is answered ``504`` at dispatch
+  time and never occupies a batch slot.
+* **Graceful drain** — shutdown stops accepting work (``503``),
+  flushes queued and in-flight batches, then waits for
+  :meth:`FleetEngine.drain`.
+
+All engine state mutations (ingest and predict batches) run on one
+dedicated worker thread, so HTTP concurrency can never interleave with
+the engine's single-threaded correctness contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import Counter, deque
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import suppress
+from dataclasses import dataclass, field, replace
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from .engine import FleetEngine
+from .service import Forecast
+
+__all__ = [
+    "GatewayConfig",
+    "GatewayMetrics",
+    "GatewayResponse",
+    "FleetGateway",
+]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Header flagging a degraded (ladder-fallback) forecast in the body.
+DEGRADED_HEADER = "X-Repro-Degraded"
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Serving knobs of the gateway.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address for :meth:`FleetGateway.serve` (port 0 picks a
+        free one).
+    batch_window_s:
+        Micro-batch coalescing window.  ``0`` dispatches each predict
+        request alone (the no-batching reference schedule).
+    max_batch_size:
+        Hard cap on requests per ``predict_many`` call.
+    max_queue:
+        Bound on queued predict requests; beyond it the gateway
+        answers ``429``.
+    default_deadline_s:
+        Per-request deadline when the client sends none.
+    auto_register:
+        Register unknown vehicles on first ingest instead of ``404``.
+    drain_timeout_s:
+        How long :meth:`FleetGateway.shutdown` waits for queued and
+        in-flight work before failing the remainder with ``503``.
+    max_body_bytes:
+        Request body cap (``413`` beyond it).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    batch_window_s: float = 0.005
+    max_batch_size: int = 64
+    max_queue: int = 256
+    default_deadline_s: float = 5.0
+    auto_register: bool = True
+    drain_timeout_s: float = 5.0
+    max_body_bytes: int = 1_048_576
+
+    def __post_init__(self) -> None:
+        if self.batch_window_s < 0:
+            raise ValueError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}."
+            )
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}."
+            )
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}.")
+        if self.default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be > 0, got {self.default_deadline_s}."
+            )
+        if self.drain_timeout_s < 0:
+            raise ValueError(
+                f"drain_timeout_s must be >= 0, got {self.drain_timeout_s}."
+            )
+        if self.max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}."
+            )
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    index = max(0, min(len(ordered) - 1, int(round(q * len(ordered) + 0.5)) - 1))
+    return ordered[index]
+
+
+class _Histogram:
+    """Streaming summary: exact count/mean/max, percentile estimates
+    from a bounded reservoir of the most recent samples."""
+
+    __slots__ = ("count", "total", "peak", "_samples")
+
+    def __init__(self, sample_cap: int = 8192):
+        self.count = 0
+        self.total = 0.0
+        self.peak = 0.0
+        self._samples: deque[float] = deque(maxlen=sample_cap)
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value > self.peak:
+            self.peak = value
+        self._samples.append(value)
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0}
+        ordered = sorted(self._samples)
+        return {
+            "count": self.count,
+            "mean": self.total / self.count,
+            "max": self.peak,
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+            "p99": _percentile(ordered, 0.99),
+        }
+
+
+class GatewayMetrics:
+    """The gateway's own operational counters.
+
+    Everything is recorded on the event-loop thread, so plain counters
+    suffice; :meth:`snapshot` is what ``/v1/metrics`` serves and what
+    :class:`~repro.serving.reliability.FleetHealth` carries as its
+    ``gateway`` field.
+    """
+
+    def __init__(self):
+        self.requests: Counter = Counter()  # endpoint -> count
+        self.errors: Counter = Counter()  # endpoint -> 4xx/5xx count
+        self.responses: dict[str, Counter] = {}  # endpoint -> status -> n
+        self.latency: dict[str, _Histogram] = {}  # endpoint -> seconds
+        self.batch_sizes = _Histogram()
+        self.batch_exec = _Histogram()
+        self.queue_high_water = 0
+        self.queue_rejections = 0
+        self.deadline_expirations = 0
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        self.requests[endpoint] += 1
+        if status >= 400:
+            self.errors[endpoint] += 1
+        self.responses.setdefault(endpoint, Counter())[status] += 1
+        self.latency.setdefault(endpoint, _Histogram()).record(seconds)
+
+    def observe_batch(self, size: int, seconds: float) -> None:
+        self.batch_sizes.record(size)
+        self.batch_exec.record(seconds)
+
+    def note_queue_depth(self, depth: int) -> None:
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": dict(self.requests),
+            "errors": dict(self.errors),
+            "responses": {
+                endpoint: {str(status): n for status, n in sorted(codes.items())}
+                for endpoint, codes in sorted(self.responses.items())
+            },
+            "latency_s": {
+                endpoint: hist.summary()
+                for endpoint, hist in sorted(self.latency.items())
+            },
+            "batch": {
+                "sizes": self.batch_sizes.summary(),
+                "exec_s": self.batch_exec.summary(),
+            },
+            "queue_high_water": self.queue_high_water,
+            "queue_rejections": self.queue_rejections,
+            "deadline_expirations": self.deadline_expirations,
+        }
+
+
+@dataclass
+class GatewayResponse:
+    """One JSON response: status, payload, extra headers."""
+
+    status: int
+    payload: dict
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def body(self) -> bytes:
+        return json.dumps(self.payload).encode("utf-8")
+
+    def encode(self, *, keep_alive: bool = True) -> bytes:
+        body = self.body()
+        reason = _REASONS.get(self.status, "Unknown")
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(body)),
+            "Connection": "keep-alive" if keep_alive else "close",
+            **self.headers,
+        }
+        head = f"HTTP/1.1 {self.status} {reason}\r\n"
+        head += "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+        return (head + "\r\n").encode("latin-1") + body
+
+
+class _RequestError(Exception):
+    """An HTTP error outcome raised inside a handler."""
+
+    def __init__(self, status: int, message: str, headers: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+    def response(self) -> GatewayResponse:
+        return GatewayResponse(
+            self.status, {"error": self.message}, dict(self.headers)
+        )
+
+
+@dataclass
+class _PendingPredict:
+    """A queued predict request awaiting its micro-batch."""
+
+    vehicle_id: str
+    future: asyncio.Future
+    deadline: float  # loop.time() value
+
+
+def _endpoint_label(method: str, path: str) -> str:
+    if path.startswith("/v1/predict/"):
+        return "predict"
+    if path == "/v1/predict:batch":
+        return "predict:batch"
+    if path == "/v1/ingest":
+        return "ingest"
+    if path == "/v1/health":
+        return "health"
+    if path == "/v1/metrics":
+        return "metrics"
+    return "other"
+
+
+class FleetGateway:
+    """Asyncio JSON-over-HTTP gateway in front of a :class:`FleetEngine`.
+
+    Use :meth:`handle_request` directly (no sockets needed — the test
+    suite and embedding applications drive it this way), or
+    :meth:`serve` to bind a real listening socket.  Either way call
+    :meth:`start` first and :meth:`shutdown` when done.
+    """
+
+    def __init__(
+        self, engine: FleetEngine, config: GatewayConfig | None = None
+    ):
+        self.engine = engine
+        self.config = config or GatewayConfig()
+        self.metrics = GatewayMetrics()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._engine_pool: ThreadPoolExecutor | None = None
+        self._inflight: list[_PendingPredict] = []
+        self._draining = False
+        self._started = False
+        self.address: tuple[str, int] | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, *, dispatch: bool = True) -> None:
+        """Create the queue and worker; optionally start dispatching.
+
+        ``dispatch=False`` leaves the micro-batch dispatcher stopped
+        (requests queue up but are not executed) — the admission /
+        deadline tests rely on this; call :meth:`start_dispatcher` to
+        begin draining.
+        """
+        if self._started:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._engine_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="gateway-engine"
+        )
+        self._draining = False
+        self._started = True
+        if dispatch:
+            self.start_dispatcher()
+
+    def start_dispatcher(self) -> None:
+        if not self._started:
+            raise RuntimeError("start() the gateway first.")
+        if self._dispatcher is None or self._dispatcher.done():
+            self._dispatcher = self._loop.create_task(self._dispatch_loop())
+
+    async def serve(
+        self, *, host: str | None = None, port: int | None = None
+    ) -> tuple[str, int]:
+        """Bind the listening socket; returns the bound (host, port)."""
+        await self.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host if host is not None else self.config.host,
+            self.config.port if port is None else port,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def run(self) -> None:
+        """Serve until cancelled, then drain gracefully (CLI entry)."""
+        await self.serve()
+        await self.run_until_closed()
+
+    async def run_until_closed(self) -> None:
+        """Block on the already-bound socket until cancelled, then drain."""
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.shutdown()
+
+    async def shutdown(self, *, drain: bool = True) -> None:
+        """Stop accepting, optionally flush queued + in-flight work.
+
+        After the drain timeout (or with ``drain=False``) any still
+        unanswered predict request fails with ``503``.
+        """
+        if not self._started:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            with suppress(Exception):
+                await self._server.wait_closed()
+            self._server = None
+        if drain:
+            deadline = self._loop.time() + self.config.drain_timeout_s
+            while (
+                (not self._queue.empty() or self._inflight)
+                and self._loop.time() < deadline
+            ):
+                await asyncio.sleep(0.002)
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._dispatcher
+            self._dispatcher = None
+        leftovers = list(self._inflight)
+        while not self._queue.empty():
+            leftovers.append(self._queue.get_nowait())
+        for request in leftovers:
+            if not request.future.done():
+                request.future.set_exception(
+                    _RequestError(503, "gateway shut down")
+                )
+        self._inflight = []
+        await self._loop.run_in_executor(self._engine_pool, self.engine.drain)
+        self._engine_pool.shutdown(wait=True)
+        self._engine_pool = None
+        self._started = False
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def _engine_call(self, fn, *args):
+        """Run an engine/service call on the single worker thread.
+
+        Serializing *every* state-touching call through one thread is
+        what keeps HTTP concurrency equivalent to a serial schedule.
+        """
+        return await self._loop.run_in_executor(self._engine_pool, fn, *args)
+
+    # -- micro-batching dispatcher ----------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            request = await self._queue.get()
+            # Track the batch from the instant it leaves the queue so a
+            # concurrent drain waits for it (and a cancellation mid-
+            # collection can still answer every popped request).
+            self._inflight = batch = [request]
+            try:
+                window = self.config.batch_window_s
+                if window > 0:
+                    horizon = self._loop.time() + window
+                    while len(batch) < self.config.max_batch_size:
+                        remaining = horizon - self._loop.time()
+                        if remaining <= 0:
+                            break
+                        try:
+                            batch.append(
+                                await asyncio.wait_for(
+                                    self._queue.get(), remaining
+                                )
+                            )
+                        except asyncio.TimeoutError:
+                            break
+                await self._execute_batch(batch)
+            except asyncio.CancelledError:
+                for queued in batch:
+                    if not queued.future.done():
+                        queued.future.set_exception(
+                            _RequestError(503, "gateway shut down mid-batch")
+                        )
+                raise
+            finally:
+                self._inflight = []
+
+    async def _execute_batch(self, batch: list[_PendingPredict]) -> None:
+        now = self._loop.time()
+        live: list[_PendingPredict] = []
+        for request in batch:
+            if request.future.done():
+                continue  # client went away
+            if request.deadline <= now:
+                # Expired while queued: answer 504 without ever
+                # occupying a slot in the predict_many call.
+                self.metrics.deadline_expirations += 1
+                request.future.set_exception(
+                    _RequestError(504, "deadline exceeded while queued")
+                )
+                continue
+            live.append(request)
+        if not live:
+            return
+        # predict_many serves sorted(vehicle_ids); sorting the requests
+        # the same way (stably) aligns results with their futures even
+        # when one vehicle appears several times in a batch.
+        live.sort(key=lambda r: r.vehicle_id)
+        ids = [r.vehicle_id for r in live]
+        started = self._loop.time()
+        try:
+            forecasts = await self._loop.run_in_executor(
+                self._engine_pool, self.engine.predict_many, ids
+            )
+        except asyncio.CancelledError:
+            raise  # the dispatch loop answers the batch with 503
+        except Exception as exc:
+            for request in live:
+                if not request.future.done():
+                    request.future.set_exception(
+                        _RequestError(
+                            500, f"batch failed: {type(exc).__name__}: {exc}"
+                        )
+                    )
+        else:
+            self.metrics.observe_batch(len(live), self._loop.time() - started)
+            for request, forecast in zip(live, forecasts):
+                if not request.future.done():
+                    request.future.set_result(forecast)
+
+    async def _enqueue_predict(
+        self, vehicle_id: str, deadline_s: float
+    ) -> Forecast:
+        if self._draining:
+            raise _RequestError(
+                503, "gateway is draining", {"Retry-After": "1"}
+            )
+        service = self.engine.service
+        if not service.has_vehicle(vehicle_id):
+            raise _RequestError(404, f"unknown vehicle {vehicle_id!r}")
+        n_days = service.n_days(vehicle_id)
+        if n_days <= service.window:
+            raise _RequestError(
+                422,
+                f"vehicle {vehicle_id!r} has {n_days} observed days; "
+                f"window={service.window} needs at least "
+                f"{service.window + 1}.",
+            )
+        future = self._loop.create_future()
+        request = _PendingPredict(
+            vehicle_id=vehicle_id,
+            future=future,
+            deadline=self._loop.time() + deadline_s,
+        )
+        try:
+            self._queue.put_nowait(request)
+        except asyncio.QueueFull:
+            self.metrics.queue_rejections += 1
+            raise _RequestError(
+                429, "request queue full", {"Retry-After": "1"}
+            ) from None
+        self.metrics.note_queue_depth(self._queue.qsize())
+        return await future
+
+    # -- routing -----------------------------------------------------------
+
+    async def handle_request(
+        self, method: str, target: str, body: bytes | None = None
+    ) -> GatewayResponse:
+        """Route one request; the socket layer and tests both call this."""
+        if not self._started:
+            raise RuntimeError("start() the gateway before handling requests.")
+        method = method.upper()
+        parts = urlsplit(target)
+        endpoint = _endpoint_label(method, parts.path)
+        started = self._loop.time()
+        try:
+            response = await self._route(
+                method, parts.path, parse_qs(parts.query), body or b""
+            )
+        except _RequestError as exc:
+            response = exc.response()
+        except Exception as exc:  # a handler bug must not kill the server
+            response = GatewayResponse(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        self.metrics.observe(
+            endpoint, response.status, self._loop.time() - started
+        )
+        return response
+
+    async def _route(
+        self, method: str, path: str, query: dict, body: bytes
+    ) -> GatewayResponse:
+        if path == "/v1/health":
+            self._require_method(method, "GET")
+            return await self._handle_health()
+        if path == "/v1/metrics":
+            self._require_method(method, "GET")
+            return GatewayResponse(200, self.metrics.snapshot())
+        if path == "/v1/ingest":
+            self._require_method(method, "POST")
+            return await self._handle_ingest(body)
+        if path == "/v1/predict:batch":
+            self._require_method(method, "POST")
+            return await self._handle_predict_batch(body)
+        if path.startswith("/v1/predict/"):
+            self._require_method(method, "GET")
+            return await self._handle_predict(path, query)
+        raise _RequestError(404, f"no route for {path}")
+
+    @staticmethod
+    def _require_method(method: str, expected: str) -> None:
+        if method != expected:
+            raise _RequestError(
+                405, f"method {method} not allowed; use {expected}",
+                {"Allow": expected},
+            )
+
+    @staticmethod
+    def _parse_json(body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _RequestError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "JSON body must be an object")
+        return payload
+
+    def _deadline_s(self, raw: str | None) -> float:
+        if raw is None:
+            return self.config.default_deadline_s
+        try:
+            deadline_ms = float(raw)
+        except ValueError:
+            raise _RequestError(
+                400, f"deadline_ms must be a number, got {raw!r}"
+            ) from None
+        if deadline_ms <= 0:
+            raise _RequestError(400, "deadline_ms must be > 0")
+        return deadline_ms / 1000.0
+
+    # -- endpoint handlers -------------------------------------------------
+
+    async def _handle_health(self) -> GatewayResponse:
+        health, readiness = await self._engine_call(self._health_snapshot)
+        health = replace(health, gateway=self.metrics.snapshot())
+        payload = {
+            "status": "draining" if self._draining else "ok",
+            "readiness": readiness,
+            **health.as_dict(),
+        }
+        return GatewayResponse(200, payload)
+
+    def _health_snapshot(self):
+        return self.engine.health(), self.engine.readiness()
+
+    async def _handle_predict(
+        self, path: str, query: dict
+    ) -> GatewayResponse:
+        vehicle_id = unquote(path[len("/v1/predict/"):])
+        if not vehicle_id or "/" in vehicle_id:
+            raise _RequestError(404, f"bad vehicle path {path!r}")
+        deadline_s = self._deadline_s(
+            query.get("deadline_ms", [None])[0]
+        )
+        forecast = await self._enqueue_predict(vehicle_id, deadline_s)
+        headers = {DEGRADED_HEADER: "true"} if forecast.degraded else {}
+        return GatewayResponse(200, forecast.to_dict(), headers)
+
+    async def _handle_predict_batch(self, body: bytes) -> GatewayResponse:
+        payload = self._parse_json(body)
+        vehicle_ids = payload.get("vehicle_ids")
+        if not isinstance(vehicle_ids, list) or not all(
+            isinstance(v, str) for v in vehicle_ids
+        ):
+            raise _RequestError(
+                400, "body must carry 'vehicle_ids': [str, ...]"
+            )
+        if not vehicle_ids:
+            raise _RequestError(400, "'vehicle_ids' must not be empty")
+        deadline_raw = payload.get("deadline_ms")
+        deadline_s = self._deadline_s(
+            None if deadline_raw is None else str(deadline_raw)
+        )
+        outcomes = await asyncio.gather(
+            *(
+                self._enqueue_predict(vehicle_id, deadline_s)
+                for vehicle_id in vehicle_ids
+            ),
+            return_exceptions=True,
+        )
+        forecasts: list[dict] = []
+        errors = 0
+        any_degraded = False
+        for vehicle_id, outcome in zip(vehicle_ids, outcomes):
+            if isinstance(outcome, Forecast):
+                forecasts.append(outcome.to_dict())
+                any_degraded = any_degraded or outcome.degraded
+            elif isinstance(outcome, _RequestError):
+                errors += 1
+                forecasts.append(
+                    {
+                        "vehicle_id": vehicle_id,
+                        "error": outcome.message,
+                        "status": outcome.status,
+                    }
+                )
+            else:
+                raise outcome
+        headers = {DEGRADED_HEADER: "true"} if any_degraded else {}
+        return GatewayResponse(
+            200, {"forecasts": forecasts, "errors": errors}, headers
+        )
+
+    async def _handle_ingest(self, body: bytes) -> GatewayResponse:
+        if self._draining:
+            raise _RequestError(
+                503, "gateway is draining", {"Retry-After": "1"}
+            )
+        payload = self._parse_json(body)
+        if "readings" in payload:
+            raw_records = payload["readings"]
+            if not isinstance(raw_records, list) or not raw_records:
+                raise _RequestError(
+                    400, "'readings' must be a non-empty list"
+                )
+        else:
+            raw_records = [payload]
+        records = [self._parse_reading(record) for record in raw_records]
+        ingested, error = await self._engine_call(self._do_ingest, records)
+        if error is not None:
+            return GatewayResponse(
+                422, {"error": error, "ingested": ingested}
+            )
+        return GatewayResponse(200, {"ingested": ingested})
+
+    @staticmethod
+    def _parse_reading(record) -> tuple[str, float, int | None]:
+        if not isinstance(record, dict):
+            raise _RequestError(400, "each reading must be an object")
+        vehicle_id = record.get("vehicle_id")
+        if not isinstance(vehicle_id, str) or not vehicle_id:
+            raise _RequestError(
+                400, "each reading needs a non-empty 'vehicle_id'"
+            )
+        seconds = record.get("seconds")
+        if not isinstance(seconds, (int, float)) or isinstance(seconds, bool):
+            raise _RequestError(
+                400, f"reading for {vehicle_id!r} needs numeric 'seconds'"
+            )
+        day = record.get("day")
+        if day is not None and not isinstance(day, int):
+            raise _RequestError(
+                400, f"reading for {vehicle_id!r}: 'day' must be an integer"
+            )
+        return vehicle_id, float(seconds), day
+
+    def _do_ingest(
+        self, records: list[tuple[str, float, int | None]]
+    ) -> tuple[int, str | None]:
+        """Runs on the engine thread; returns (ingested, error)."""
+        service = self.engine.service
+        ingested = 0
+        for vehicle_id, seconds, day in records:
+            if not service.has_vehicle(vehicle_id):
+                if not self.config.auto_register:
+                    return ingested, f"unknown vehicle {vehicle_id!r}"
+                service.register_vehicle(vehicle_id)
+            try:
+                service.ingest(vehicle_id, seconds, day=day)
+            except ValueError as exc:
+                return ingested, str(exc)
+            ingested += 1
+        return ingested, None
+
+    # -- HTTP socket layer -------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await self._read_http_request(reader)
+                except _RequestError as exc:
+                    writer.write(exc.response().encode(keep_alive=False))
+                    await writer.drain()
+                    break
+                if parsed is None:
+                    break
+                method, target, headers, body = parsed
+                response = await self.handle_request(method, target, body)
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                )
+                writer.write(response.encode(keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            writer.close()
+            with suppress(Exception):
+                await writer.wait_closed()
+
+    async def _read_http_request(self, reader):
+        """Parse one HTTP/1.1 request; None on clean EOF."""
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise _RequestError(400, "request line too long") from None
+        if not line:
+            return None
+        fields = line.decode("latin-1").strip().split(" ")
+        if len(fields) != 3:
+            raise _RequestError(400, "malformed request line")
+        method, target, _version = fields
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                raw = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                raise _RequestError(400, "header line too long") from None
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_raw = headers.get("content-length", "0") or "0"
+        try:
+            length = int(length_raw)
+        except ValueError:
+            raise _RequestError(
+                400, f"bad Content-Length {length_raw!r}"
+            ) from None
+        if length < 0:
+            raise _RequestError(400, f"bad Content-Length {length_raw!r}")
+        if length > self.config.max_body_bytes:
+            raise _RequestError(
+                413,
+                f"body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte cap",
+            )
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return None
+        return method, target, headers, body

@@ -512,13 +512,32 @@ class VehicleHealth:
     def degraded_serves(self) -> int:
         return sum(self.fallbacks.values())
 
+    def as_dict(self) -> dict:
+        """JSON-ready view of the per-vehicle counters."""
+        return {
+            "vehicle_id": self.vehicle_id,
+            "accepted": self.accepted,
+            "anomalies": dict(self.anomalies),
+            "policies": dict(self.policies),
+            "quarantined": self.quarantined,
+            "fallbacks": dict(self.fallbacks),
+            "breaker": {k: dict(v) for k, v in self.breaker.items()},
+        }
+
 
 @dataclass(frozen=True)
 class FleetHealth:
-    """Aggregated resilience report for the whole fleet."""
+    """Aggregated resilience report for the whole fleet.
+
+    ``gateway`` carries the HTTP gateway's own counters (request /
+    error counts, queue and batch statistics) when the report is
+    served through :class:`~repro.serving.gateway.FleetGateway`;
+    it stays ``None`` for in-process engines.
+    """
 
     vehicles: dict  # vehicle_id -> VehicleHealth
     persist_failures: int = 0
+    gateway: dict | None = None
 
     def total_anomalies(self) -> dict[str, int]:
         total: Counter = Counter()
@@ -539,6 +558,17 @@ class FleetHealth:
             for state in health.breaker.values()
         )
 
+    def as_dict(self) -> dict:
+        """JSON-ready view of the whole report (gateway included)."""
+        return {
+            "vehicles": {
+                vid: health.as_dict()
+                for vid, health in sorted(self.vehicles.items())
+            },
+            "persist_failures": self.persist_failures,
+            "gateway": self.gateway,
+        }
+
     def render(self) -> str:
         """Human-readable fleet health table."""
         lines = ["Fleet health", ""]
@@ -551,6 +581,14 @@ class FleetHealth:
         lines.append(f"degraded serves  : {self.total_fallbacks()}")
         lines.append(f"breaker failures : {self.breaker_failures()}")
         lines.append(f"persist failures : {self.persist_failures}")
+        if self.gateway is not None:
+            requests = self.gateway.get("requests", {})
+            errors = self.gateway.get("errors", {})
+            lines.append(
+                f"gateway requests : {sum(requests.values())} "
+                f"({sum(errors.values())} errored, "
+                f"queue high-water {self.gateway.get('queue_high_water', 0)})"
+            )
         flagged = [
             h
             for h in self.vehicles.values()

@@ -77,6 +77,40 @@ class Forecast:
     degraded: bool = False
     fallback_reason: str | None = None
 
+    def to_dict(self) -> dict:
+        """JSON-ready view; :meth:`from_dict` round-trips it exactly.
+
+        ``category`` is serialized as the :class:`VehicleCategory`
+        member *name* (``"SEMI_NEW"``), not its value, so the pair
+        survives any future value renames.
+        """
+        return {
+            "vehicle_id": self.vehicle_id,
+            "category": self.category.name,
+            "strategy": self.strategy,
+            "days_to_maintenance": self.days_to_maintenance,
+            "usage_left": self.usage_left,
+            "as_of_day": self.as_of_day,
+            "donor_id": self.donor_id,
+            "degraded": self.degraded,
+            "fallback_reason": self.fallback_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Forecast":
+        """Rebuild a forecast serialized by :meth:`to_dict`."""
+        return cls(
+            vehicle_id=data["vehicle_id"],
+            category=VehicleCategory[data["category"]],
+            strategy=data["strategy"],
+            days_to_maintenance=float(data["days_to_maintenance"]),
+            usage_left=float(data["usage_left"]),
+            as_of_day=int(data["as_of_day"]),
+            donor_id=data.get("donor_id"),
+            degraded=bool(data.get("degraded", False)),
+            fallback_reason=data.get("fallback_reason"),
+        )
+
 
 @dataclass
 class _VehicleState:
@@ -189,6 +223,19 @@ class MaintenancePredictionService:
     @property
     def vehicle_ids(self) -> list[str]:
         return sorted(self._vehicles)
+
+    def has_vehicle(self, vehicle_id: str) -> bool:
+        """Whether the vehicle is registered (O(1), no state mutation)."""
+        return vehicle_id in self._vehicles
+
+    def n_days(self, vehicle_id: str) -> int:
+        """Observed days for one vehicle without deriving its series.
+
+        The gateway's admission check calls this per request; unlike
+        :meth:`series` it never touches the cycle cache, so it is safe
+        from any thread.
+        """
+        return len(self._state(vehicle_id).usage)
 
     def _state(self, vehicle_id: str) -> _VehicleState:
         try:

@@ -291,3 +291,67 @@ class TestServiceOnSimulatedFleet:
             service.ingest(vehicle.vehicle_id, float(vehicle.usage[day]))
         # Some forecasts resolved as cycles completed.
         assert monitor.summary().get(vehicle.vehicle_id, {}).get("n", 0) >= 1
+
+
+class TestForecastSerialization:
+    def _forecast(self, **overrides):
+        from repro.serving.service import Forecast
+
+        fields = dict(
+            vehicle_id="v07",
+            category=VehicleCategory.SEMI_NEW,
+            strategy="similarity",
+            days_to_maintenance=12.3456789012345678,
+            usage_left=123_456.789,
+            as_of_day=41,
+            donor_id="v02",
+            degraded=True,
+            fallback_reason="per-vehicle: RuntimeError: boom",
+        )
+        fields.update(overrides)
+        return Forecast(**fields)
+
+    def test_round_trip_is_exact(self):
+        from repro.serving.service import Forecast
+
+        forecast = self._forecast()
+        assert Forecast.from_dict(forecast.to_dict()) == forecast
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        from repro.serving.service import Forecast
+
+        forecast = self._forecast()
+        rebuilt = Forecast.from_dict(json.loads(json.dumps(forecast.to_dict())))
+        assert rebuilt == forecast
+        # Bit-identical floats, not approximately equal.
+        assert rebuilt.days_to_maintenance == forecast.days_to_maintenance
+        assert rebuilt.usage_left == forecast.usage_left
+
+    def test_category_serialized_as_member_name(self):
+        payload = self._forecast().to_dict()
+        assert payload["category"] == "SEMI_NEW"
+
+    def test_defaults_round_trip(self):
+        from repro.serving.service import Forecast
+
+        forecast = self._forecast(
+            category=VehicleCategory.OLD,
+            strategy="per-vehicle",
+            donor_id=None,
+            degraded=False,
+            fallback_reason=None,
+        )
+        rebuilt = Forecast.from_dict(forecast.to_dict())
+        assert rebuilt == forecast
+        assert rebuilt.donor_id is None and rebuilt.fallback_reason is None
+
+    def test_served_forecast_round_trips(self):
+        from repro.serving.service import Forecast
+
+        service = steady_service()
+        service.register_vehicle("v01")
+        service.ingest_series("v01", [20_000.0] * 25)
+        forecast = service.predict("v01")
+        assert Forecast.from_dict(forecast.to_dict()) == forecast

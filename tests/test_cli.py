@@ -111,6 +111,56 @@ class TestChaos:
         assert capsys.readouterr().out == first
 
 
+    def test_chaos_json_output(self, capsys):
+        import json
+
+        code = main(
+            [
+                "chaos",
+                "--seed",
+                "7",
+                "--vehicles",
+                "3",
+                "--days",
+                "30",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(payload["checks"].values())
+        assert payload["forecasts"], "last round of forecasts serialized"
+        for forecast in payload["forecasts"]:
+            assert {"vehicle_id", "category", "strategy", "degraded"} <= set(
+                forecast
+            )
+        assert "vehicles" in payload["health"]
+
+
+class TestMaxWorkersValidation:
+    @pytest.mark.parametrize("bad", ["0", "-2"])
+    def test_evaluate_rejects_non_positive(self, bad, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["evaluate", "table1", "--max-workers", bad])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_evaluate_rejects_non_integer(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["evaluate", "table1", "--max-workers", "two"])
+        assert exc.value.code == 2
+        assert "expected an integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flag", ["--max-workers", "--max-queue", "--max-batch"]
+    )
+    def test_serve_rejects_non_positive(self, flag, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", flag, "0"])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -121,5 +171,12 @@ class TestParser:
             main(["--help"])
         assert exc.value.code == 0
         out = capsys.readouterr().out
-        for command in ("generate", "calibrate", "evaluate", "predict", "chaos"):
+        for command in (
+            "generate",
+            "calibrate",
+            "evaluate",
+            "predict",
+            "chaos",
+            "serve",
+        ):
             assert command in out
