@@ -17,7 +17,18 @@ Three claims are enforced, not just reported:
   (exact ``Forecast`` equality after the JSON round-trip);
 * unless ``--no-enforce``, micro-batching (window > 0) reaches
   **strictly higher throughput** than window = 0, and ``/v1/metrics``
-  is non-empty at the end of every run.
+  is non-empty at the end of every run;
+* request tracing at the gateway's default configuration (anonymous
+  traffic head-sampled 1-in-``trace_sample_every``; client-identified
+  requests always traced) costs **< 5% throughput**: one long-lived
+  gateway serves alternating tracing-on / tracing-off measurement
+  windows (same engine, same connections-per-window, same process),
+  and the regression is judged on the *best* window of each mode — on
+  shared hardware individual windows dip 10–20% under co-tenancy and
+  frequency scaling, noise that dwarfs the overhead itself, while the
+  best of K windows converges on the machine's true capability in
+  each mode.  Per-pair ratios are still printed for diagnostics.
+  Forecasts stay bit-identical in both modes.
 
 Run directly (not via pytest)::
 
@@ -151,6 +162,7 @@ async def run_load(
     batch_window_s: float,
     clients: int,
     seconds: float,
+    tracing: bool = True,
 ) -> tuple[RunStats, dict, float]:
     engine = build_engine(usage)
     gateway = FleetGateway(
@@ -161,6 +173,7 @@ async def run_load(
             max_batch_size=max(64, clients),
             max_queue=max(256, 4 * clients),
             default_deadline_s=30.0,
+            tracing=tracing,
         ),
     )
     host, port = await gateway.serve()
@@ -182,6 +195,82 @@ async def run_load(
     metrics = json.loads(metrics_body)
     await gateway.shutdown()
     return stats, metrics, elapsed
+
+
+async def run_overhead(
+    usage: dict[str, np.ndarray],
+    reference: dict[str, Forecast],
+    *,
+    batch_window_s: float,
+    clients: int,
+    window_seconds: float,
+    pairs: int,
+) -> tuple[list[float], list[float], list[str]]:
+    """Tracing throughput overhead via paired interleaved windows.
+
+    One engine, one gateway, one process: tracing is toggled on the
+    live tracer between back-to-back measurement windows, so each
+    on/off pair shares engine state, warmed caches and (approximately)
+    the machine's thermal/frequency state of the moment.  The gateway
+    runs its default trace sampling — the load clients are anonymous,
+    so tracing-on windows record 1-in-``trace_sample_every`` requests,
+    which is exactly the configuration the <5% claim is about (full
+    per-request tracing is a debugging posture, forced per request by
+    supplying an id; see EXPERIMENTS.md for its measured cost).
+    Returns the per-window rates plus any correctness failures.
+    """
+    engine = build_engine(usage)
+    gateway = FleetGateway(
+        engine,
+        GatewayConfig(
+            port=0,
+            batch_window_s=batch_window_s,
+            max_batch_size=max(64, clients),
+            max_queue=max(256, 4 * clients),
+            default_deadline_s=30.0,
+            tracing=True,
+        ),
+    )
+    host, port = await gateway.serve()
+    loop = asyncio.get_running_loop()
+    vehicle_ids = sorted(usage)
+    failures: list[str] = []
+    rates: dict[bool, list[float]] = {True: [], False: []}
+
+    async def window(traced: bool, record: bool) -> None:
+        gateway.obs.tracer.enabled = traced
+        stats = RunStats()
+        started = loop.time()
+        stop_at = started + window_seconds
+        await asyncio.gather(
+            *(
+                _client(
+                    host, port, vehicle_ids, i, stop_at, stats, reference
+                )
+                for i in range(clients)
+            )
+        )
+        elapsed = loop.time() - started
+        if not record:
+            return
+        rates[traced].append(stats.total / elapsed)
+        label = "on" if traced else "off"
+        if stats.errors_5xx():
+            failures.append(
+                f"tracing {label} window served {stats.errors_5xx()} 5xx"
+            )
+        if stats.mismatches:
+            failures.append(
+                f"tracing {label} window served {stats.mismatches} "
+                "forecasts that diverged from the serial service"
+            )
+
+    await window(True, record=False)  # warm-up: training, caches, turbo
+    for _ in range(pairs):
+        await window(True, record=True)
+        await window(False, record=True)
+    await gateway.shutdown()
+    return rates[True], rates[False], failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -243,7 +332,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         rate = stats.total / elapsed
         throughput[window_ms] = rate
-        batch_summary = metrics["batch"]["sizes"]
+        gateway_metrics = metrics["gateway"]
+        batch_summary = gateway_metrics["batch"]["sizes"]
         lines += [
             f"batch window {window_ms:4.1f} ms:",
             f"  requests   : {stats.total} in {elapsed:.2f} s "
@@ -258,9 +348,11 @@ def main(argv: list[str] | None = None) -> int:
             f"  batch size : mean {batch_summary.get('mean', 0):.1f}, "
             f"max {batch_summary.get('max', 0):.0f} "
             f"({batch_summary.get('count', 0)} predict_many calls)",
-            f"  queue      : high-water {metrics['queue_high_water']}, "
-            f"429s {metrics['queue_rejections']}, "
-            f"504s {metrics['deadline_expirations']}",
+            f"  queue      : high-water {gateway_metrics['queue_high_water']}, "
+            f"429s {gateway_metrics['queue_rejections']}, "
+            f"504s {gateway_metrics['deadline_expirations']}",
+            f"  tracing    : {metrics['tracing']['traces_started']} traces, "
+            f"{metrics['tracing']['spans_recorded']} spans",
         ]
         if stats.errors_5xx():
             failures.append(
@@ -271,7 +363,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"window {window_ms} ms served {stats.mismatches} forecasts "
                 "that diverged from the serial service"
             )
-        if not metrics.get("requests"):
+        if not gateway_metrics.get("requests"):
             failures.append(f"window {window_ms} ms: /v1/metrics came back empty")
         lines.append("")
 
@@ -287,6 +379,41 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             "micro-batching did not beat the window=0 reference "
             f"({max(batched.values()):.0f} vs {reference_rate:.0f} req/s)"
+        )
+
+    # -- tracing overhead: paired interleaved windows, one gateway --------
+    pairs = 6 if args.smoke else 8
+    window_seconds = 2.5 if args.smoke else 4.0
+    on_rates, off_rates, overhead_failures = asyncio.run(
+        run_overhead(
+            usage,
+            reference,
+            batch_window_s=best_window / 1000.0,
+            clients=args.clients,
+            window_seconds=window_seconds,
+            pairs=pairs,
+        )
+    )
+    failures += overhead_failures
+    ratios = sorted(on / off for on, off in zip(on_rates, off_rates))
+    # Best-of-K per mode: single windows dip 10-20% under co-tenancy,
+    # so the max is the only statistic stable enough to gate on.
+    regression = 1.0 - max(on_rates) / max(off_rates)
+    lines += [
+        "",
+        f"tracing overhead (window {best_window:.1f} ms, {pairs} paired "
+        f"{window_seconds:.1f} s windows, one shared gateway, "
+        f"1-in-{GatewayConfig.trace_sample_every} anonymous sampling):",
+        f"  tracing off : {max(off_rates):8.0f} req/s (best window)",
+        f"  tracing on  : {max(on_rates):8.0f} req/s (best window)",
+        f"  per-pair on/off ratios: "
+        + ", ".join(f"{r:.3f}" for r in ratios),
+        f"  best-window regression: {regression * 100:+.1f}%",
+    ]
+    if regression >= 0.05:
+        failures.append(
+            f"tracing costs {regression * 100:.1f}% throughput "
+            "(the budget is < 5%)"
         )
 
     text = "\n".join(lines)

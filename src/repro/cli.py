@@ -11,7 +11,10 @@ Operational entry points for the reproduction:
   resilient serving stack and print the fleet health report;
 * ``serve``     — run the asyncio HTTP gateway (micro-batching,
   admission control, deadline-aware backpressure) in front of a fleet
-  engine.
+  engine;
+* ``obs``       — profile the serving pipeline stages (ingest /
+  feature-build / train / predict) over a deterministic scenario and
+  dump the event log as JSON lines.
 
 Usage: ``python -m repro <command> [options]`` (see ``--help`` per
 command).
@@ -317,6 +320,71 @@ def _cmd_chaos(args) -> int:
         return 1 if failed else 0
 
 
+def _cmd_obs(args) -> int:
+    """Profile the pipeline stages over a deterministic scenario.
+
+    Attaches an :class:`~repro.obs.Observability` to an in-process
+    engine, replays a seeded fleet (or a saved one), and prints the
+    ring-buffer event log as JSON lines — ``--summary`` prints the
+    per-stage duration summary and consolidated metrics snapshot
+    instead.
+    """
+    import json
+
+    import numpy as np
+
+    from .obs import EventLog, Observability
+    from .serving import DriftMonitor, EngineConfig, FleetEngine
+
+    fleet = None
+    if args.input:
+        from .fleet import load_fleet
+
+        fleet = load_fleet(args.input, stem=args.stem)
+    t_v = args.t_v if args.t_v is not None else (
+        fleet.t_v if fleet is not None else 200_000.0
+    )
+    engine = FleetEngine(
+        t_v=t_v,
+        window=args.window,
+        algorithm=args.algorithm,
+        monitor=DriftMonitor(min_samples=1),
+        config=EngineConfig(max_workers=1, executor="serial"),
+    )
+    obs = Observability(events=EventLog(capacity=args.capacity))
+    engine.attach_observability(obs)
+
+    if fleet is not None:
+        for vehicle in fleet.vehicles:
+            engine.service.register_vehicle(vehicle.vehicle_id)
+            engine.ingest_history(vehicle.vehicle_id, vehicle.usage)
+    else:
+        rng = np.random.default_rng(args.seed)
+        for i in range(args.vehicles):
+            vehicle_id = f"v{i:02d}"
+            engine.service.register_vehicle(vehicle_id)
+            engine.ingest_history(
+                vehicle_id, rng.uniform(10_000, 28_000, size=args.days)
+            )
+    forecasts = engine.predict_all()
+
+    if args.summary:
+        print(
+            json.dumps(
+                {
+                    "forecasts": len(forecasts),
+                    "stages": obs.stage_summaries(),
+                    "metrics": obs.registry.snapshot(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(obs.events.to_jsonl(args.tail))
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -330,6 +398,7 @@ def _cmd_serve(args) -> int:
         max_batch_size=args.max_batch,
         max_queue=args.max_queue,
         default_deadline_s=args.deadline_ms / 1000.0,
+        tracing=not args.no_tracing,
     )
     service_kwargs = {}
     if args.resilient:
@@ -370,7 +439,8 @@ def _cmd_serve(args) -> int:
         print(f"repro gateway listening on http://{host}:{port}")
         print(
             "endpoints: POST /v1/ingest  GET /v1/predict/{id}  "
-            "POST /v1/predict:batch  GET /v1/health  GET /v1/metrics"
+            "POST /v1/predict:batch  GET /v1/health  GET /v1/metrics  "
+            "GET /v1/trace/{request_id}"
         )
         await gateway.run_until_closed()
 
@@ -536,7 +606,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach IngestionGuard + CircuitBreaker + RetryPolicy",
     )
+    serve.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable per-request trace recording (/v1/trace/{id})",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    obs = sub.add_parser(
+        "obs",
+        help=(
+            "profile the pipeline stages over a deterministic scenario "
+            "and dump the event log as JSON lines"
+        ),
+    )
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument("--vehicles", type=int, default=6)
+    obs.add_argument("--days", type=int, default=60)
+    obs.add_argument(
+        "--t-v",
+        dest="t_v",
+        type=float,
+        default=None,
+        help="usage budget per cycle (default: preloaded fleet's, else 2e5)",
+    )
+    obs.add_argument("--window", type=int, default=0)
+    obs.add_argument("--algorithm", default="LR")
+    obs.add_argument(
+        "--input", default=None, help="saved fleet directory to replay"
+    )
+    obs.add_argument("--stem", default="fleet")
+    obs.add_argument(
+        "--capacity",
+        type=_positive_int,
+        default=4096,
+        help="event-log ring capacity",
+    )
+    obs.add_argument(
+        "--tail",
+        type=_positive_int,
+        default=None,
+        help="emit only the most recent N event records",
+    )
+    obs.add_argument(
+        "--summary",
+        action="store_true",
+        help="print per-stage summaries + metrics snapshot instead of lines",
+    )
+    obs.set_defaults(func=_cmd_obs)
 
     return parser
 

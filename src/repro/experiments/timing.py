@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from ..core.old_vehicles import OldVehicleConfig, OldVehicleExperiment
 from ..core.registry import PAPER_ALGORITHM_ORDER
+from ..obs import NULL_STAGE, Observability
 from .config import ExperimentSetup
 from .reporting import format_mapping_series, format_table
 
@@ -64,8 +65,16 @@ def run_timing(
     setup: ExperimentSetup | None = None,
     algorithms: tuple[str, ...] = PAPER_ALGORITHM_ORDER,
     windows: tuple[int, ...] = (0, 6, 12),
+    *,
+    obs: Observability | None = None,
 ) -> TimingResult:
-    """Measure mean per-vehicle training time per algorithm and window."""
+    """Measure mean per-vehicle training time per algorithm and window.
+
+    With an :class:`~repro.obs.Observability` attached, each
+    (algorithm, window) sweep lands in the ``train`` stage histogram
+    and one ``stage`` record per sweep in the event log, so the same
+    profiling surface serves experiments and the live stack.
+    """
     setup = setup or ExperimentSetup()
     series = setup.old_series
 
@@ -81,7 +90,12 @@ def run_timing(
                     grid=setup.grid,
                 )
             )
-            result = experiment.run_fleet(series, algorithm)
+            with (
+                obs.stage("train", algorithm=algorithm, window=window)
+                if obs is not None
+                else NULL_STAGE
+            ):
+                result = experiment.run_fleet(series, algorithm)
             curve[window] = result.mean_fit_seconds
         timings[algorithm] = curve
     return TimingResult(fit_seconds=timings, setup=setup)

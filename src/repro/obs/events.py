@@ -1,0 +1,93 @@
+"""Ring-buffer event log with a JSON-lines export.
+
+Per-stage profiling hooks (ingest / feature-build / train / predict)
+and other operational breadcrumbs land here as structured records.  The
+buffer is bounded — a long-running service never grows it past
+``capacity`` records; the sequence number keeps counting, so consumers
+can tell exactly how many records were dropped.
+
+Each record renders as one JSON line (``{"seq": ..., "ts": ...,
+"kind": ..., ...fields}``) — the format the ``repro obs`` CLI
+subcommand emits and the golden-schema suite pins, so downstream
+dashboards can tail it without a parser of their own.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """Thread-safe bounded log of structured events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained (oldest dropped first).
+    clock:
+        Injectable wall-clock (tests pass a deterministic one); the
+        default is :func:`time.time`.
+    """
+
+    def __init__(self, capacity: int = 4096, *, clock=time.time):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}.")
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._records: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Append one record; returns it (with ``seq``/``ts`` filled in).
+
+        ``seq`` and ``ts`` always lead the record, then ``kind``, then
+        the caller's fields in keyword order — JSON object order is
+        insertion order, so every line starts ``{"seq": ...``.
+        """
+        with self._lock:
+            self._seq += 1
+            record = {
+                "seq": self._seq,
+                "ts": round(float(self._clock()), 6),
+                "kind": kind,
+                **fields,
+            }
+            self._records.append(record)
+        return record
+
+    def tail(self, n: int | None = None) -> list[dict]:
+        """The most recent ``n`` records (all when ``None``), oldest first."""
+        with self._lock:
+            records = list(self._records)
+        if n is None or n >= len(records):
+            return records
+        if n <= 0:
+            return []
+        return records[-n:]
+
+    def to_jsonl(self, n: int | None = None) -> str:
+        """The retained records as JSON lines (one compact object each)."""
+        return "\n".join(
+            json.dumps(record, separators=(",", ":"))
+            for record in self.tail(n)
+        )
+
+    def stats(self) -> dict:
+        with self._lock:
+            held = len(self._records)
+            return {
+                "capacity": self.capacity,
+                "emitted": self._seq,
+                "held": held,
+                "dropped": self._seq - held,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

@@ -26,6 +26,7 @@ this with exact equality.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterable, Mapping
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -36,6 +37,7 @@ from ..core.categorize import VehicleCategory
 from ..core.registry import make_predictor
 from ..core.series import VehicleSeries
 from ..dataprep.transformation import build_relational_dataset
+from ..obs import NULL_STAGE, Observability, tracing
 from .cycle_cache import CycleStateCache
 from .executor import FleetExecutor
 from .reliability import FleetHealth
@@ -160,6 +162,36 @@ class FleetEngine:
         self._prediction_executor_override = prediction_executor
         self._inflight = 0
         self._inflight_cond = threading.Condition()
+        self.obs: Observability | None = None
+
+    def attach_observability(self, obs: Observability) -> None:
+        """Share one :class:`~repro.obs.Observability` across the stack.
+
+        The service underneath gets the same instance (stage profiling,
+        ladder span events), and the engine contributes the ``fleet``,
+        ``drift`` and ``cache`` sections of the consolidated metrics
+        snapshot via registry collectors.  Idempotent; the gateway calls
+        this on construction, in-process users may call it directly.
+        """
+        self.obs = obs
+        self.service.obs = obs
+        obs.registry.register_collector(
+            "fleet",
+            lambda: self.service.health().summary_counters(),
+            replace=True,
+        )
+        obs.registry.register_collector(
+            "drift",
+            lambda: (
+                {}
+                if self.service.monitor is None
+                else self.service.monitor.counters()
+            ),
+            replace=True,
+        )
+        obs.registry.register_collector(
+            "cache", lambda: self.cache_stats or {}, replace=True
+        )
 
     @contextmanager
     def _track_inflight(self):
@@ -300,7 +332,13 @@ class FleetEngine:
         ]
         resilient = service.breaker is not None
         runner = _run_training_task_safe if resilient else _run_training_task
-        results = self._training_executor().map_ordered(runner, tasks)
+        obs = self.obs
+        with (
+            obs.stage("train", scope="fleet-refresh", tasks=len(tasks))
+            if obs is not None
+            else NULL_STAGE
+        ):
+            results = self._training_executor().map_ordered(runner, tasks)
         installed = 0
         for task, result in zip(tasks, results):
             if resilient:
@@ -360,13 +398,78 @@ class FleetEngine:
                 service._ensure_unified_model()
             return self._prediction_executor().map_ordered(service.predict, ids)
 
-    def predict_many(self, vehicle_ids: Iterable[str]) -> list[Forecast]:
-        """Batch-forecast a subset, in sorted vehicle order."""
+    def predict_many(
+        self,
+        vehicle_ids: Iterable[str],
+        *,
+        spans: list | None = None,
+    ) -> list[Forecast]:
+        """Batch-forecast a subset, in sorted vehicle order.
+
+        ``spans`` aligns one trace span (or ``None``) per id *in the
+        given order*: a micro-batch serves several requests with
+        different traces, so the gateway passes each request's root
+        span explicitly and each vehicle's ``service.predict`` call is
+        recorded as an ``engine.predict`` child of its own root.
+        Sorting is stable, so spans stay attached to their ids.
+        Tracing only records — forecasts are bit-identical with spans
+        on or off.
+
+        Worker threads never touch the span objects on the plain hot
+        path: they capture raw ``perf_counter`` pairs and the
+        dispatching thread materialises the child spans afterwards
+        (cross-thread traffic on shared spans costs ~10x the span
+        machinery itself under load).  Services with a circuit breaker
+        instead activate the span *inside* the worker so the Section-4
+        ladder's breaker/fallback events land on the trace.
+        """
         with self._track_inflight():
             self._refresh_models()
-            return self._prediction_executor().map_ordered(
-                self.service.predict, sorted(vehicle_ids)
+            ids = list(vehicle_ids)
+            if spans is None or not any(s is not None for s in spans):
+                return self._prediction_executor().map_ordered(
+                    self.service.predict, sorted(ids)
+                )
+            if len(spans) != len(ids):
+                raise ValueError(
+                    f"spans must align with vehicle_ids: "
+                    f"{len(spans)} != {len(ids)}."
+                )
+            order = sorted(range(len(ids)), key=ids.__getitem__)
+            jobs = [(ids[i], spans[i]) for i in order]
+            if self.service.breaker is not None:
+                return self._prediction_executor().map_ordered(
+                    self._predict_traced, jobs
+                )
+            predict = self.service.predict
+            timings: list[tuple[float, float] | None] = [None] * len(jobs)
+
+            def timed(index: int) -> Forecast:
+                t0 = time.perf_counter()
+                forecast = predict(jobs[index][0])
+                timings[index] = (t0, time.perf_counter())
+                return forecast
+
+            forecasts = self._prediction_executor().map_ordered(
+                timed, range(len(jobs))
             )
+            for (vehicle_id, span), timing in zip(jobs, timings):
+                if span is not None and timing is not None:
+                    span.tracer.record_span(
+                        "engine.predict",
+                        span,
+                        timing[0],
+                        timing[1],
+                        vehicle_id=vehicle_id,
+                    )
+            return forecasts
+
+    def _predict_traced(self, job: tuple) -> Forecast:
+        # Resilient path only: the active child span lets the strategy
+        # ladder attach breaker-open / rung-failed / fallback events.
+        vehicle_id, span = job
+        with tracing.child_span(span, "engine.predict", vehicle_id=vehicle_id):
+            return self.service.predict(vehicle_id)
 
     # -- lifecycle ---------------------------------------------------------
 

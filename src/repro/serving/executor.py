@@ -16,6 +16,7 @@ drop-in replacement for the serial loop — same outputs, same order.
 
 from __future__ import annotations
 
+import contextvars
 import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -73,10 +74,16 @@ class FleetExecutor:
         workers = min(self.max_workers, len(items))
         if self.kind == "serial" or workers <= 1:
             return [fn(item) for item in items]
-        pool_cls = (
-            ThreadPoolExecutor if self.kind == "thread" else ProcessPoolExecutor
-        )
-        with pool_cls(max_workers=workers) as pool:
+        if self.kind == "thread":
+            # Carry the caller's contextvars (the active trace span)
+            # into the pool.  One Context object cannot be entered by
+            # two threads at once, so each item gets its own copy.
+            contexts = [contextvars.copy_context() for _ in items]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(lambda ctx, item: ctx.run(fn, item), contexts, items)
+                )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
 
     @classmethod

@@ -16,8 +16,11 @@ JSON-over-HTTP front end on :class:`~repro.serving.engine.FleetEngine`:
     The engine's :class:`~repro.serving.reliability.FleetHealth`
     report with the gateway's own counters attached.
 ``GET /v1/metrics``
-    Request/error counters, queue and batch statistics, latency
-    percentiles.
+    The consolidated :class:`~repro.obs.MetricsRegistry` snapshot:
+    gateway request/error/queue/batch/latency counters plus the fleet
+    health, drift, cache, tracing and profiling sections.
+``GET /v1/trace/{request_id}``
+    The recorded trace (spans + events) of one earlier request.
 
 Three serving-layer mechanisms make it production-shaped:
 
@@ -40,18 +43,30 @@ Three serving-layer mechanisms make it production-shaped:
 All engine state mutations (ingest and predict batches) run on one
 dedicated worker thread, so HTTP concurrency can never interleave with
 the engine's single-threaded correctness contract.
+
+Every request is assigned a request id (client-supplied via the
+``X-Repro-Request-Id`` header, else generated) that is echoed on the
+response and — when tracing is enabled — keys a structured trace
+spanning the whole serving path, down to the strategy ladder and model
+store.  Tracing only records; forecasts are bit-identical with it on
+or off, and the load bench pins its overhead below 5 %.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import itertools
 import json
-from collections import Counter, deque
+import re
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import suppress
 from dataclasses import dataclass, field, replace
+from functools import partial
 from urllib.parse import parse_qs, unquote, urlsplit
 
+from ..obs import MetricsRegistry, Observability, tracing
 from .engine import FleetEngine
 from .service import Forecast
 
@@ -77,6 +92,13 @@ _REASONS = {
 
 #: Header flagging a degraded (ladder-fallback) forecast in the body.
 DEGRADED_HEADER = "X-Repro-Degraded"
+
+#: Header carrying the request id; echoed on every response, accepted
+#: from the client to correlate traces across systems.
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
+
+#: Accepted shape of a client-supplied request id.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
 
 
 @dataclass(frozen=True)
@@ -105,6 +127,18 @@ class GatewayConfig:
         in-flight work before failing the remainder with ``503``.
     max_body_bytes:
         Request body cap (``413`` beyond it).
+    tracing:
+        Record structured traces (served by
+        ``/v1/trace/{request_id}``).  Request ids are assigned and
+        echoed either way; only span recording is gated.
+    trace_sample_every:
+        Head-sampling rate for *anonymous* requests: one in every N is
+        traced.  A request that supplies its own well-formed
+        ``X-Repro-Request-Id`` is **always** traced — the client that
+        names a request is the client that will fetch its trace — so
+        tests and debugging sessions get full fidelity while steady-
+        state anonymous traffic pays the span machinery only 1-in-N
+        times.  ``1`` traces everything.
     """
 
     host: str = "127.0.0.1"
@@ -116,6 +150,8 @@ class GatewayConfig:
     auto_register: bool = True
     drain_timeout_s: float = 5.0
     max_body_bytes: int = 1_048_576
+    tracing: bool = True
+    trace_sample_every: int = 8
 
     def __post_init__(self) -> None:
         if self.batch_window_s < 0:
@@ -140,102 +176,116 @@ class GatewayConfig:
             raise ValueError(
                 f"max_body_bytes must be >= 1, got {self.max_body_bytes}."
             )
-
-
-def _percentile(ordered: list[float], q: float) -> float:
-    index = max(0, min(len(ordered) - 1, int(round(q * len(ordered) + 0.5)) - 1))
-    return ordered[index]
-
-
-class _Histogram:
-    """Streaming summary: exact count/mean/max, percentile estimates
-    from a bounded reservoir of the most recent samples."""
-
-    __slots__ = ("count", "total", "peak", "_samples")
-
-    def __init__(self, sample_cap: int = 8192):
-        self.count = 0
-        self.total = 0.0
-        self.peak = 0.0
-        self._samples: deque[float] = deque(maxlen=sample_cap)
-
-    def record(self, value: float) -> None:
-        value = float(value)
-        self.count += 1
-        self.total += value
-        if value > self.peak:
-            self.peak = value
-        self._samples.append(value)
-
-    def summary(self) -> dict:
-        if not self.count:
-            return {"count": 0}
-        ordered = sorted(self._samples)
-        return {
-            "count": self.count,
-            "mean": self.total / self.count,
-            "max": self.peak,
-            "p50": _percentile(ordered, 0.50),
-            "p95": _percentile(ordered, 0.95),
-            "p99": _percentile(ordered, 0.99),
-        }
+        if self.trace_sample_every < 1:
+            raise ValueError(
+                f"trace_sample_every must be >= 1, "
+                f"got {self.trace_sample_every}."
+            )
 
 
 class GatewayMetrics:
-    """The gateway's own operational counters.
+    """The gateway's operational counters, rewired onto a registry.
 
-    Everything is recorded on the event-loop thread, so plain counters
-    suffice; :meth:`snapshot` is what ``/v1/metrics`` serves and what
+    Every counter, gauge and histogram lives in a shared
+    :class:`~repro.obs.MetricsRegistry` under ``gateway.*`` names, so
+    recording is thread-safe (the registry's lock guards each
+    mutation) and :meth:`snapshot` is a consistent point-in-time view.
+    The snapshot keeps the shape ``/v1/metrics`` has always served for
+    the gateway section, and is what
     :class:`~repro.serving.reliability.FleetHealth` carries as its
     ``gateway`` field.
     """
 
-    def __init__(self):
-        self.requests: Counter = Counter()  # endpoint -> count
-        self.errors: Counter = Counter()  # endpoint -> 4xx/5xx count
-        self.responses: dict[str, Counter] = {}  # endpoint -> status -> n
-        self.latency: dict[str, _Histogram] = {}  # endpoint -> seconds
-        self.batch_sizes = _Histogram()
-        self.batch_exec = _Histogram()
-        self.queue_high_water = 0
-        self.queue_rejections = 0
-        self.deadline_expirations = 0
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry or MetricsRegistry()
+        self.batch_sizes = self.registry.histogram("gateway.batch_size")
+        self.batch_exec = self.registry.histogram("gateway.batch_exec_s")
+        self._queue_high_water = self.registry.gauge(
+            "gateway.queue_high_water"
+        )
+        self._queue_rejections = self.registry.counter(
+            "gateway.queue_rejections"
+        )
+        self._deadline_expirations = self.registry.counter(
+            "gateway.deadline_expirations"
+        )
 
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
-        self.requests[endpoint] += 1
-        if status >= 400:
-            self.errors[endpoint] += 1
-        self.responses.setdefault(endpoint, Counter())[status] += 1
-        self.latency.setdefault(endpoint, _Histogram()).record(seconds)
+        registry = self.registry
+        with registry.lock:
+            registry.counter("gateway.requests", endpoint=endpoint).inc()
+            if status >= 400:
+                registry.counter("gateway.errors", endpoint=endpoint).inc()
+            registry.counter(
+                "gateway.responses", endpoint=endpoint, status=str(status)
+            ).inc()
+            registry.histogram(
+                "gateway.latency_s", endpoint=endpoint
+            ).record(seconds)
 
     def observe_batch(self, size: int, seconds: float) -> None:
         self.batch_sizes.record(size)
         self.batch_exec.record(seconds)
 
     def note_queue_depth(self, depth: int) -> None:
-        if depth > self.queue_high_water:
-            self.queue_high_water = depth
+        self._queue_high_water.update_max(depth)
+
+    def note_queue_rejection(self) -> None:
+        self._queue_rejections.inc()
+
+    def note_deadline_expiration(self) -> None:
+        self._deadline_expirations.inc()
+
+    # Former plain-attribute counters, kept readable for tests/tools.
+
+    @property
+    def queue_high_water(self) -> int:
+        return int(self._queue_high_water.value)
+
+    @property
+    def queue_rejections(self) -> int:
+        return self._queue_rejections.value
+
+    @property
+    def deadline_expirations(self) -> int:
+        return self._deadline_expirations.value
 
     def snapshot(self) -> dict:
-        return {
-            "requests": dict(self.requests),
-            "errors": dict(self.errors),
-            "responses": {
-                endpoint: {str(status): n for status, n in sorted(codes.items())}
-                for endpoint, codes in sorted(self.responses.items())
-            },
-            "latency_s": {
-                endpoint: hist.summary()
-                for endpoint, hist in sorted(self.latency.items())
-            },
-            "batch": {
-                "sizes": self.batch_sizes.summary(),
-                "exec_s": self.batch_exec.summary(),
-            },
-            "queue_high_water": self.queue_high_water,
-            "queue_rejections": self.queue_rejections,
-            "deadline_expirations": self.deadline_expirations,
-        }
+        registry = self.registry
+        with registry.lock:
+            requests = {
+                labels["endpoint"]: counter.value
+                for labels, counter in registry.labeled("gateway.requests")
+            }
+            errors = {
+                labels["endpoint"]: counter.value
+                for labels, counter in registry.labeled("gateway.errors")
+            }
+            responses: dict[str, dict[str, int]] = {}
+            for labels, counter in registry.labeled("gateway.responses"):
+                responses.setdefault(labels["endpoint"], {})[
+                    labels["status"]
+                ] = counter.value
+            latency = {
+                labels["endpoint"]: histogram.summary()
+                for labels, histogram in registry.labeled("gateway.latency_s")
+            }
+            return {
+                "requests": dict(sorted(requests.items())),
+                "errors": dict(sorted(errors.items())),
+                "responses": {
+                    endpoint: dict(sorted(codes.items()))
+                    for endpoint, codes in sorted(responses.items())
+                },
+                "latency_s": dict(sorted(latency.items())),
+                "batch": {
+                    "sizes": self.batch_sizes.summary(),
+                    "exec_s": self.batch_exec.summary(),
+                },
+                "queue_high_water": self.queue_high_water,
+                "queue_rejections": self.queue_rejections,
+                "deadline_expirations": self.deadline_expirations,
+            }
 
 
 @dataclass
@@ -285,6 +335,7 @@ class _PendingPredict:
     vehicle_id: str
     future: asyncio.Future
     deadline: float  # loop.time() value
+    span: tracing.Span | None = None  # the enqueuing request's root span
 
 
 def _endpoint_label(method: str, path: str) -> str:
@@ -298,6 +349,8 @@ def _endpoint_label(method: str, path: str) -> str:
         return "health"
     if path == "/v1/metrics":
         return "metrics"
+    if path.startswith("/v1/trace/"):
+        return "trace"
     return "other"
 
 
@@ -311,11 +364,22 @@ class FleetGateway:
     """
 
     def __init__(
-        self, engine: FleetEngine, config: GatewayConfig | None = None
+        self,
+        engine: FleetEngine,
+        config: GatewayConfig | None = None,
+        obs: Observability | None = None,
     ):
         self.engine = engine
         self.config = config or GatewayConfig()
-        self.metrics = GatewayMetrics()
+        # One Observability instance spans gateway, engine and service:
+        # reuse whatever the engine already carries, else attach ours.
+        self.obs = obs or getattr(engine, "obs", None) or Observability()
+        self.obs.tracer.enabled = self.config.tracing
+        engine.attach_observability(self.obs)
+        self.metrics = GatewayMetrics(self.obs.registry)
+        self.obs.registry.register_collector(
+            "gateway", self.metrics.snapshot, replace=True
+        )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._queue: asyncio.Queue | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -324,6 +388,8 @@ class FleetGateway:
         self._inflight: list[_PendingPredict] = []
         self._draining = False
         self._started = False
+        # Head-sampling tick for anonymous requests (GIL-atomic).
+        self._trace_tick = itertools.count()
         self.address: tuple[str, int] | None = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -431,8 +497,13 @@ class FleetGateway:
 
         Serializing *every* state-touching call through one thread is
         what keeps HTTP concurrency equivalent to a serial schedule.
+        The caller's :mod:`contextvars` context (which carries the
+        active trace span) crosses into the worker with the call.
         """
-        return await self._loop.run_in_executor(self._engine_pool, fn, *args)
+        ctx = contextvars.copy_context()
+        return await self._loop.run_in_executor(
+            self._engine_pool, partial(ctx.run, fn, *args)
+        )
 
     # -- micro-batching dispatcher ----------------------------------------
 
@@ -479,7 +550,11 @@ class FleetGateway:
             if request.deadline <= now:
                 # Expired while queued: answer 504 without ever
                 # occupying a slot in the predict_many call.
-                self.metrics.deadline_expirations += 1
+                self.metrics.note_deadline_expiration()
+                if request.span is not None:
+                    request.span.event(
+                        "deadline-expired", vehicle_id=request.vehicle_id
+                    )
                 request.future.set_exception(
                     _RequestError(504, "deadline exceeded while queued")
                 )
@@ -492,10 +567,12 @@ class FleetGateway:
         # when one vehicle appears several times in a batch.
         live.sort(key=lambda r: r.vehicle_id)
         ids = [r.vehicle_id for r in live]
+        spans = [r.span for r in live]
         started = self._loop.time()
         try:
             forecasts = await self._loop.run_in_executor(
-                self._engine_pool, self.engine.predict_many, ids
+                self._engine_pool,
+                partial(self.engine.predict_many, ids, spans=spans),
             )
         except asyncio.CancelledError:
             raise  # the dispatch loop answers the batch with 503
@@ -536,43 +613,90 @@ class FleetGateway:
             vehicle_id=vehicle_id,
             future=future,
             deadline=self._loop.time() + deadline_s,
+            span=tracing.current_span(),
         )
         try:
             self._queue.put_nowait(request)
         except asyncio.QueueFull:
-            self.metrics.queue_rejections += 1
+            self.metrics.note_queue_rejection()
+            tracing.add_event("queue-rejected", vehicle_id=vehicle_id)
             raise _RequestError(
                 429, "request queue full", {"Retry-After": "1"}
             ) from None
-        self.metrics.note_queue_depth(self._queue.qsize())
+        depth = self._queue.qsize()
+        self.metrics.note_queue_depth(depth)
+        # Queue depth at admission rides as a span attribute rather
+        # than an event: an attribute write is a dict store, an event
+        # is an allocation — this is the per-request hot path.
+        if request.span is not None:
+            request.span.set_attribute("queue_depth", depth)
         return await future
 
     # -- routing -----------------------------------------------------------
 
     async def handle_request(
-        self, method: str, target: str, body: bytes | None = None
+        self,
+        method: str,
+        target: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
     ) -> GatewayResponse:
-        """Route one request; the socket layer and tests both call this."""
+        """Route one request; the socket layer and tests both call this.
+
+        Every response — including 429/504/degraded outcomes — carries
+        the request id (client-supplied ``X-Repro-Request-Id`` when
+        well-formed, else generated) so callers can fetch the matching
+        trace from ``/v1/trace/{request_id}``.
+        """
         if not self._started:
             raise RuntimeError("start() the gateway before handling requests.")
         method = method.upper()
         parts = urlsplit(target)
         endpoint = _endpoint_label(method, parts.path)
+        request_id, supplied = self._request_id(headers)
+        root = None
+        if self.config.tracing and (
+            supplied
+            or next(self._trace_tick) % self.config.trace_sample_every == 0
+        ):
+            root = self.obs.tracer.start_trace(
+                request_id,
+                f"{method} {parts.path}",
+                endpoint=endpoint,
+                method=method,
+            )
         started = self._loop.time()
-        try:
-            response = await self._route(
-                method, parts.path, parse_qs(parts.query), body or b""
-            )
-        except _RequestError as exc:
-            response = exc.response()
-        except Exception as exc:  # a handler bug must not kill the server
-            response = GatewayResponse(
-                500, {"error": f"{type(exc).__name__}: {exc}"}
-            )
+        with tracing.activate(root):
+            try:
+                response = await self._route(
+                    method, parts.path, parse_qs(parts.query), body or b""
+                )
+            except _RequestError as exc:
+                response = exc.response()
+            except Exception as exc:  # a handler bug must not kill the server
+                response = GatewayResponse(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
         self.metrics.observe(
             endpoint, response.status, self._loop.time() - started
         )
+        response.headers.setdefault(REQUEST_ID_HEADER, request_id)
+        if root is not None:
+            root.set_attribute("status", response.status)
+            root.finish("ok" if response.status < 400 else f"http-{response.status}")
         return response
+
+    @staticmethod
+    def _request_id(headers: dict[str, str] | None) -> tuple[str, bool]:
+        """The request's id, plus whether the client supplied it.
+
+        A well-formed client-supplied id forces tracing for that
+        request (sampling only thins *anonymous* traffic).
+        """
+        supplied = (headers or {}).get(REQUEST_ID_HEADER.lower(), "")
+        if supplied and _REQUEST_ID_RE.match(supplied):
+            return supplied, True
+        return uuid.uuid4().hex[:16], False
 
     async def _route(
         self, method: str, path: str, query: dict, body: bytes
@@ -582,7 +706,13 @@ class FleetGateway:
             return await self._handle_health()
         if path == "/v1/metrics":
             self._require_method(method, "GET")
-            return GatewayResponse(200, self.metrics.snapshot())
+            # Collectors read engine/service state, so take the
+            # snapshot on the engine thread like any other state read.
+            snapshot = await self._engine_call(self.obs.registry.snapshot)
+            return GatewayResponse(200, snapshot)
+        if path.startswith("/v1/trace/"):
+            self._require_method(method, "GET")
+            return self._handle_trace(path)
         if path == "/v1/ingest":
             self._require_method(method, "POST")
             return await self._handle_ingest(body)
@@ -626,6 +756,17 @@ class FleetGateway:
         return deadline_ms / 1000.0
 
     # -- endpoint handlers -------------------------------------------------
+
+    def _handle_trace(self, path: str) -> GatewayResponse:
+        request_id = unquote(path[len("/v1/trace/"):])
+        if not request_id or "/" in request_id:
+            raise _RequestError(404, f"bad trace path {path!r}")
+        trace = self.obs.tracer.export(request_id)
+        if trace is None:
+            raise _RequestError(
+                404, f"no trace recorded for request {request_id!r}"
+            )
+        return GatewayResponse(200, trace)
 
     async def _handle_health(self) -> GatewayResponse:
         health, readiness = await self._engine_call(self._health_snapshot)
@@ -773,7 +914,9 @@ class FleetGateway:
                 if parsed is None:
                     break
                 method, target, headers, body = parsed
-                response = await self.handle_request(method, target, body)
+                response = await self.handle_request(
+                    method, target, body, headers
+                )
                 keep_alive = (
                     headers.get("connection", "").lower() != "close"
                 )

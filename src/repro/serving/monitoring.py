@@ -120,6 +120,7 @@ class DriftMonitor:
             lambda: deque(maxlen=self.window)
         )
         self._strategy_counts: dict[str, dict[str, int]] = defaultdict(dict)
+        self._recorded = 0  # monotonic, unlike the windowed deques
 
     def record(
         self,
@@ -139,6 +140,7 @@ class DriftMonitor:
         if not np.isfinite(d_true) or not np.isfinite(d_pred):
             raise ValueError("Resolved residuals must be finite.")
         self._residuals[vehicle_id].append(float(d_true) - float(d_pred))
+        self._recorded += 1
         if strategy is not None:
             counts = self._strategy_counts[vehicle_id]
             counts[strategy] = counts.get(strategy, 0) + 1
@@ -155,6 +157,7 @@ class DriftMonitor:
         for t, p in zip(d_true, d_pred):
             if np.isfinite(t) and np.isfinite(p):
                 self._residuals[vehicle_id].append(float(t) - float(p))
+                self._recorded += 1
 
     def mean_abs_error(self, vehicle_id: str) -> float:
         residuals = self._residuals.get(vehicle_id)
@@ -193,6 +196,22 @@ class DriftMonitor:
         ]
         found.sort(key=lambda a: -a.mean_abs_error)
         return found
+
+    def counters(self) -> dict:
+        """Fleet-level counter view — the ``drift`` section of the
+        consolidated metrics snapshot (JSON-safe, no NaN values)."""
+        strategies: dict[str, int] = {}
+        for counts in self._strategy_counts.values():
+            for strategy, n in counts.items():
+                strategies[strategy] = strategies.get(strategy, 0) + n
+        return {
+            "vehicles_tracked": len(self._residuals),
+            "residuals_recorded": self._recorded,
+            "residuals_held": sum(len(r) for r in self._residuals.values()),
+            "resolved_by_strategy": dict(sorted(strategies.items())),
+            "alerts": len(self.alerts()),
+            "threshold_days": self.threshold_days,
+        }
 
     def summary(self) -> dict[str, dict[str, float]]:
         """Per-vehicle {n, mae, bias} snapshot."""

@@ -30,6 +30,8 @@ import re
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..obs import tracing
+
 __all__ = ["ArtifactCorruptError", "ModelArtifact", "ModelStore"]
 
 _SCHEMA_VERSION = 1
@@ -166,7 +168,10 @@ class ModelStore:
                 tmp.write_bytes(data)
                 os.replace(tmp, path)
 
-        self._io(_write)
+        with tracing.span(
+            "store.save", key=key, version=version, bytes=len(payload)
+        ):
+            self._io(_write)
         return version
 
     def _load_version(self, key: str, version: int) -> ModelArtifact:
@@ -178,7 +183,8 @@ class ModelStore:
             return pkl_path.read_bytes(), json_path.read_bytes()
 
         try:
-            payload, sidecar = self._io(_read)
+            with tracing.span("store.read", key=key, version=version):
+                payload, sidecar = self._io(_read)
         except FileNotFoundError as exc:
             raise ArtifactCorruptError(
                 key, version, f"missing file: {exc.filename}"

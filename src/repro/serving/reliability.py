@@ -558,6 +558,20 @@ class FleetHealth:
             for state in health.breaker.values()
         )
 
+    def summary_counters(self) -> dict:
+        """Compact counter view — the ``fleet`` section of the
+        consolidated :class:`~repro.obs.MetricsRegistry` snapshot."""
+        anomalies = self.total_anomalies()
+        return {
+            "vehicles": len(self.vehicles),
+            "anomalies": dict(sorted(anomalies.items())),
+            "anomalies_total": sum(anomalies.values()),
+            "quarantined": self.total_quarantined(),
+            "degraded_serves": self.total_fallbacks(),
+            "breaker_failures": self.breaker_failures(),
+            "persist_failures": self.persist_failures,
+        }
+
     def as_dict(self) -> dict:
         """JSON-ready view of the whole report (gateway included)."""
         return {

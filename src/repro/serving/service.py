@@ -29,6 +29,7 @@ from ..core.coldstart import first_cycle_dataset
 from ..core.predictors import BaselinePredictor
 from ..core.registry import make_predictor
 from ..core.series import VehicleSeries
+from ..obs import NULL_STAGE, Observability, tracing
 from ..dataprep.transformation import (
     RelationalDataset,
     build_relational_dataset,
@@ -167,6 +168,11 @@ class MaintenancePredictionService:
     predictor_factory:
         Override for :func:`~repro.core.registry.make_predictor`
         (the fault-injection harness hooks in here).
+    obs:
+        Optional :class:`~repro.obs.Observability`; when attached, the
+        ingest / feature-build / train / predict stages are profiled
+        and ladder fallbacks land as trace span events.  ``None``
+        (default) keeps every hook a no-op.
     """
 
     def __init__(
@@ -182,6 +188,7 @@ class MaintenancePredictionService:
         breaker: CircuitBreaker | bool | None = None,
         retry: RetryPolicy | None = None,
         predictor_factory=None,
+        obs: Observability | None = None,
     ):
         if t_v <= 0:
             raise ValueError(f"t_v must be positive, got {t_v}.")
@@ -205,6 +212,7 @@ class MaintenancePredictionService:
             breaker = None
         self.breaker: CircuitBreaker | None = breaker
         self.retry = retry
+        self.obs = obs
         self._make_predictor = predictor_factory or make_predictor
         self._vehicles: dict[str, _VehicleState] = {}
         self._unified_model = None
@@ -245,6 +253,11 @@ class MaintenancePredictionService:
                 f"Unknown vehicle {vehicle_id!r}; register it first."
             ) from None
 
+    def _stage(self, name: str, **fields):
+        """Profiling hook for one pipeline stage; no-op without obs."""
+        obs = self.obs
+        return NULL_STAGE if obs is None else obs.stage(name, **fields)
+
     def ingest(
         self, vehicle_id: str, daily_seconds: float, *, day: int | None = None
     ) -> None:
@@ -257,22 +270,23 @@ class MaintenancePredictionService:
         data.  ``day`` is the report's day index; providing it enables
         duplicate-day and out-of-order detection.
         """
-        if self.guard is None:
-            if not np.isfinite(daily_seconds) or not 0 <= daily_seconds <= 86_400:
-                raise ValueError(
-                    f"daily_seconds must be in [0, 86400], got {daily_seconds}."
-                )
+        with self._stage("ingest", vehicle_id=vehicle_id):
+            if self.guard is None:
+                if not np.isfinite(daily_seconds) or not 0 <= daily_seconds <= 86_400:
+                    raise ValueError(
+                        f"daily_seconds must be in [0, 86400], got {daily_seconds}."
+                    )
+                state = self._state(vehicle_id)
+                state.usage.append(float(daily_seconds))
+                self._resolve_forecasts(vehicle_id)
+                return
             state = self._state(vehicle_id)
-            state.usage.append(float(daily_seconds))
-            self._resolve_forecasts(vehicle_id)
-            return
-        state = self._state(vehicle_id)
-        value = self.guard.admit(
-            vehicle_id, daily_seconds, day=day, recent=state.usage
-        )
-        if value is not None:
-            state.usage.append(value)
-            self._resolve_forecasts(vehicle_id)
+            value = self.guard.admit(
+                vehicle_id, daily_seconds, day=day, recent=state.usage
+            )
+            if value is not None:
+                state.usage.append(value)
+                self._resolve_forecasts(vehicle_id)
 
     def ingest_series(
         self, vehicle_id: str, usage, *, start_day: int | None = None
@@ -371,13 +385,14 @@ class MaintenancePredictionService:
         n_cycles = len(series.completed_cycles)
         if state.model is not None and state.model_trained_cycles == n_cycles:
             return state.model
-        dataset = build_relational_dataset(series.bundle, self.window)
-        if dataset.n_records == 0:
-            raise ValueError(
-                f"Vehicle {vehicle_id!r} has no labeled records yet."
-            )
-        predictor = self._make_predictor(self.algorithm)
-        predictor.fit(dataset, usage=series.usage)
+        with self._stage("train", strategy="per-vehicle", vehicle_id=vehicle_id):
+            dataset = build_relational_dataset(series.bundle, self.window)
+            if dataset.n_records == 0:
+                raise ValueError(
+                    f"Vehicle {vehicle_id!r} has no labeled records yet."
+                )
+            predictor = self._make_predictor(self.algorithm)
+            predictor.fit(dataset, usage=series.usage)
         state.model = predictor
         state.model_trained_cycles = n_cycles
         self._persist(
@@ -397,11 +412,12 @@ class MaintenancePredictionService:
         donor_ids = frozenset(s.vehicle_id for s in donors)
         if self._unified_model is not None and donor_ids == self._unified_trained_on:
             return self._unified_model
-        merged = RelationalDataset.concatenate(
-            [first_cycle_dataset(s, self.window) for s in donors]
-        )
-        predictor = self._make_predictor(self.algorithm)
-        predictor.fit(merged)
+        with self._stage("train", strategy="unified", donors=len(donors)):
+            merged = RelationalDataset.concatenate(
+                [first_cycle_dataset(s, self.window) for s in donors]
+            )
+            predictor = self._make_predictor(self.algorithm)
+            predictor.fit(merged)
         self._unified_model = predictor
         self._unified_trained_on = donor_ids
         self._persist(
@@ -438,11 +454,14 @@ class MaintenancePredictionService:
         cache_key = (donor_id, len(donor.completed_cycles))
         if state.sim_model is not None and state.sim_key == cache_key:
             return state.sim_model, donor_id
-        predictor = self._make_predictor(self.algorithm)
-        predictor.fit(
-            first_cycle_dataset(donor, self.window),
-            usage=donor.usage[: donor.first_cycle().end + 1],
-        )
+        with self._stage(
+            "train", strategy="similarity", vehicle_id=vehicle_id, donor=donor_id
+        ):
+            predictor = self._make_predictor(self.algorithm)
+            predictor.fit(
+                first_cycle_dataset(donor, self.window),
+                usage=donor.usage[: donor.first_cycle().end + 1],
+            )
         state.sim_model = predictor
         state.sim_key = cache_key
         self._persist(
@@ -506,6 +525,9 @@ class MaintenancePredictionService:
             key = f"{vehicle_id}:{strategy}"
             if not self.breaker.allow(key):
                 reasons.append(f"{strategy}: circuit open")
+                tracing.add_event(
+                    "breaker-open", vehicle_id=vehicle_id, strategy=strategy
+                )
                 continue
             try:
                 model, donor_id = self._attempt_strategy(strategy, vehicle_id)
@@ -515,16 +537,35 @@ class MaintenancePredictionService:
             except Exception as exc:
                 self.breaker.record_failure(key)
                 reasons.append(f"{strategy}: {type(exc).__name__}: {exc}")
+                tracing.add_event(
+                    "rung-failed",
+                    vehicle_id=vehicle_id,
+                    strategy=strategy,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 continue
             self.breaker.record_success(key)
+            reason = "; ".join(reasons) or None
             if reasons:
                 self._count_fallback(vehicle_id, strategy)
-            return prediction, strategy, donor_id, "; ".join(reasons) or None
+                tracing.add_event(
+                    "fallback",
+                    vehicle_id=vehicle_id,
+                    strategy=strategy,
+                    fallback_reason=reason,
+                )
+            return prediction, strategy, donor_id, reason
         baseline = self._baseline_model(vehicle_id)
         prediction = float(max(baseline.predict(row)[0], 0.0))
         reason = "; ".join(reasons) or None
         if reason is not None:
             self._count_fallback(vehicle_id, "baseline")
+            tracing.add_event(
+                "fallback",
+                vehicle_id=vehicle_id,
+                strategy="baseline",
+                fallback_reason=reason,
+            )
         return prediction, "baseline", None, reason
 
     def predict(self, vehicle_id: str) -> Forecast:
@@ -535,11 +576,23 @@ class MaintenancePredictionService:
         the forecast is flagged ``degraded`` with the reason; without
         one, a rung failure raises as before.
         """
+        # No dedicated span here: the engine's ``engine.predict`` child
+        # already times this boundary, and when a span is active in
+        # this context (resilient services, direct calls) the stage
+        # timer stamps a ``stage_ms:predict`` attribute onto it — a
+        # second span per request would only cost hot-path
+        # microseconds (the gateway bench holds tracing to < 5%
+        # throughput).
+        with self._stage("predict", vehicle_id=vehicle_id):
+            return self._predict(vehicle_id)
+
+    def _predict(self, vehicle_id: str) -> Forecast:
         series = self.series(vehicle_id)
         if series.n_days == 0:
             raise ValueError(f"Vehicle {vehicle_id!r} has no data yet.")
         category = self.category(vehicle_id)
-        row, usage_left, today = self._feature_row(series)
+        with self._stage("feature-build", vehicle_id=vehicle_id):
+            row, usage_left, today = self._feature_row(series)
 
         if self.breaker is not None:
             prediction, strategy, donor_id, reason = self._predict_resilient(

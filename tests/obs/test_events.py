@@ -1,0 +1,72 @@
+"""Tests for the ring-buffer event log and its JSON-lines export."""
+
+import json
+
+import pytest
+
+from repro.obs import EventLog
+
+
+def fixed_clock():
+    return 1_000.123456789
+
+
+class TestEmit:
+    def test_seq_monotonic_and_fields_carried(self):
+        log = EventLog(clock=fixed_clock)
+        first = log.emit("stage", stage="train", ms=12.5)
+        second = log.emit("stage", stage="predict", ms=0.8)
+        assert first["seq"] == 1
+        assert second["seq"] == 2
+        assert first["ts"] == pytest.approx(1_000.123457)
+        assert first["stage"] == "train"
+
+    def test_ring_drops_oldest_but_counts_all(self):
+        log = EventLog(capacity=3, clock=fixed_clock)
+        for i in range(5):
+            log.emit("tick", i=i)
+        records = log.tail()
+        assert [r["seq"] for r in records] == [3, 4, 5]
+        stats = log.stats()
+        assert stats == {
+            "capacity": 3, "emitted": 5, "held": 3, "dropped": 2,
+        }
+        assert len(log) == 3
+
+    def test_tail_limits(self):
+        log = EventLog(clock=fixed_clock)
+        for i in range(4):
+            log.emit("tick", i=i)
+        assert [r["seq"] for r in log.tail(2)] == [3, 4]
+        assert log.tail(0) == []
+        assert len(log.tail(99)) == 4
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestJsonLines:
+    def test_line_format_golden(self):
+        log = EventLog(clock=fixed_clock)
+        log.emit("stage", stage="ingest", ms=1.25, vehicle_id="v00")
+        line = log.to_jsonl()
+        # Pinned line shape: compact separators, keys in emit order,
+        # seq leading — downstream tails parse this without a schema.
+        assert line == (
+            '{"seq":1,"ts":1000.123457,"kind":"stage",'
+            '"stage":"ingest","ms":1.25,"vehicle_id":"v00"}'
+        )
+
+    def test_multiline_round_trip(self):
+        log = EventLog(clock=fixed_clock)
+        log.emit("a", x=1)
+        log.emit("b", y=[1, 2])
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["kind"] == "a"
+        assert parsed[1]["y"] == [1, 2]
+        assert all(
+            list(record)[:3] == ["seq", "ts", "kind"] for record in parsed
+        )

@@ -1,0 +1,258 @@
+"""Tests for the metrics registry: quantile properties + thread-safety.
+
+The percentile estimator is the one the gateway has always served
+(formerly ``gateway._percentile``); the property suite pins its
+contract — monotone in ``q``, bounded by min/max, nearest-rank against
+a sort-based reference — plus the edge cases the old private helper
+never had to face (empty samples, single sample, duplicate-heavy).
+"""
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, percentile
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, width=32
+)
+samples = st.lists(finite_floats, min_size=1, max_size=400)
+quantiles = st.floats(min_value=0.0, max_value=1.0)
+
+
+def reference_nearest_rank(ordered, q):
+    """Sort-based nearest-rank reference: element ceil(q*n), 1-indexed."""
+    n = len(ordered)
+    rank = max(1, min(n, math.ceil(q * n)))
+    return ordered[rank - 1]
+
+
+class TestPercentileProperties:
+    @given(samples, quantiles)
+    @settings(max_examples=300, deadline=None)
+    def test_bounded_by_min_max(self, values, q):
+        ordered = sorted(values)
+        result = percentile(ordered, q)
+        assert ordered[0] <= result <= ordered[-1]
+        assert result in ordered  # nearest-rank returns a real sample
+
+    @given(samples)
+    @settings(max_examples=300, deadline=None)
+    def test_monotone_in_q(self, values):
+        ordered = sorted(values)
+        p50 = percentile(ordered, 0.50)
+        p95 = percentile(ordered, 0.95)
+        p99 = percentile(ordered, 0.99)
+        assert p50 <= p95 <= p99
+
+    @given(samples, quantiles)
+    @settings(max_examples=300, deadline=None)
+    def test_matches_sort_based_reference_within_one_rank(self, values, q):
+        ordered = sorted(values)
+        result = percentile(ordered, q)
+        # round-half-even on q*n + 0.5 can land one rank either side of
+        # the plain ceil-based nearest-rank reference, never further.
+        n = len(ordered)
+        rank = max(1, min(n, math.ceil(q * n)))  # 1-indexed reference
+        lo = ordered[max(0, rank - 2)]
+        hi = ordered[min(n - 1, rank)]
+        assert lo <= result <= hi
+
+    def test_exact_known_values(self):
+        ordered = [float(v) for v in range(1, 101)]  # 1..100
+        # round-half-even: q*n + 0.5 ties round to the even rank, so
+        # p50 of 1..100 is 50 (50.5 -> 50) and p95 is 96 (95.5 -> 96).
+        assert percentile(ordered, 0.50) == 50.0
+        assert percentile(ordered, 0.95) == 96.0
+        assert percentile(ordered, 0.99) == 100.0
+        assert percentile(ordered, 0.0) == 1.0
+        assert percentile(ordered, 1.0) == 100.0
+
+    def test_single_sample_every_quantile(self):
+        for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0):
+            assert percentile([3.25], q) == 3.25
+
+    def test_duplicate_heavy(self):
+        ordered = sorted([1.0] * 99 + [100.0])
+        assert percentile(ordered, 0.50) == 1.0
+        assert percentile(ordered, 0.95) == 1.0
+        assert percentile(ordered, 1.0) == 100.0
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 0.5)
+
+    def test_bad_quantile_raises(self):
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], -0.1)
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        assert Histogram().summary() == {"count": 0}
+
+    def test_summary_shape_and_values(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.record(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["max"] == 100.0
+        assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+
+    def test_reservoir_bounded_but_count_exact(self):
+        histogram = Histogram(sample_cap=8)
+        for value in range(100):
+            histogram.record(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 100  # exact even past the cap
+        assert summary["max"] == 99.0
+        assert summary["p50"] >= 92.0  # percentiles from the recent window
+
+    def test_bad_cap_raises(self):
+        with pytest.raises(ValueError):
+            Histogram(sample_cap=0)
+
+
+class TestCounterGauge:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_high_water(self):
+        gauge = Gauge()
+        gauge.update_max(4)
+        gauge.update_max(2)  # lower: no regress
+        assert gauge.value == 4
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestRegistry:
+    def test_handles_are_cached(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", endpoint="p")
+        b = registry.counter("x", endpoint="p")
+        c = registry.counter("x", endpoint="q")
+        assert a is b
+        assert a is not c
+
+    def test_labeled_view(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", kind="a").inc(2)
+        registry.counter("hits", kind="b").inc(3)
+        pairs = {
+            labels["kind"]: metric.value
+            for labels, metric in registry.labeled("hits")
+        }
+        assert pairs == {"a": 2, "b": 3}
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", endpoint="predict").inc()
+        registry.gauge("depth").set(3)
+        registry.histogram("latency").record(0.5)
+        registry.register_collector("extra", lambda: {"k": 1})
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"requests{endpoint=predict}": 1}
+        assert snapshot["gauges"] == {"depth": 3}
+        assert snapshot["histograms"]["latency"]["count"] == 1
+        assert snapshot["extra"] == {"k": 1}
+
+    def test_collector_name_collisions(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="reserved"):
+            registry.register_collector("counters", dict)
+        registry.register_collector("fleet", lambda: {"v": 1})
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_collector("fleet", dict)
+        registry.register_collector("fleet", lambda: {"v": 2}, replace=True)
+        assert registry.snapshot()["fleet"] == {"v": 2}
+
+
+class TestRegistryConcurrency:
+    """N threads x M increments must lose nothing, and a snapshot taken
+    mid-storm must be internally consistent."""
+
+    N_THREADS = 8
+    M_INCREMENTS = 2000
+
+    def test_counter_storm_loses_no_counts(self):
+        registry = MetricsRegistry()
+
+        def storm():
+            # Re-resolve the handle each time: the get-or-create path
+            # itself must be race-free, not just the increment.
+            for _ in range(self.M_INCREMENTS):
+                registry.counter("storm.requests", endpoint="predict").inc()
+
+        threads = [
+            threading.Thread(target=storm) for _ in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = registry.counter("storm.requests", endpoint="predict").value
+        assert total == self.N_THREADS * self.M_INCREMENTS
+
+    def test_high_water_gauge_never_regresses_under_storm(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_high_water")
+        floor = threading.Event()
+        observed_floor = 500  # every thread records at least this depth
+
+        def storm(offset):
+            for depth in range(1, observed_floor + 1):
+                gauge.update_max(depth + offset)
+            floor.set()
+
+        threads = [
+            threading.Thread(target=storm, args=(i,))
+            for i in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        floor.wait()
+        # Mid-storm read: at least one thread finished, so the mark can
+        # never be below the depth that thread provably recorded.
+        assert gauge.value >= observed_floor
+        for thread in threads:
+            thread.join()
+        assert gauge.value == observed_floor + self.N_THREADS - 1
+
+    def test_snapshot_mid_storm_is_consistent(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def storm():
+            while not stop.is_set():
+                with registry.lock:
+                    # Paired mutation: the snapshot must never observe
+                    # one half without the other.
+                    registry.counter("pair.a").inc()
+                    registry.counter("pair.b").inc()
+
+        threads = [threading.Thread(target=storm) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(50):
+                snapshot = registry.snapshot()["counters"]
+                a = snapshot.get("pair.a", 0)
+                b = snapshot.get("pair.b", 0)
+                assert a == b, f"snapshot tore a paired update: {a} != {b}"
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()

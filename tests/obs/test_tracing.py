@@ -1,0 +1,145 @@
+"""Tests for trace spans: lifecycle, context propagation, ring bounds."""
+
+import threading
+
+import pytest
+
+from repro.obs import Tracer, activate, add_event, current_span, span
+
+
+class TestNoOpPaths:
+    def test_no_active_span_by_default(self):
+        assert current_span() is None
+
+    def test_child_span_without_parent_is_free(self):
+        with span("orphan") as child:
+            assert child is None
+        add_event("ignored")  # must not raise
+
+    def test_activate_none_yields_none(self):
+        with activate(None) as active:
+            assert active is None
+
+    def test_disabled_tracer_starts_nothing(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.start_trace("r1", "GET /x") is None
+        assert tracer.stats()["traces_started"] == 0
+
+
+class TestSpanLifecycle:
+    def test_root_child_event_export(self):
+        tracer = Tracer()
+        root = tracer.start_trace("req-1", "GET /v1/predict/v00", endpoint="predict")
+        with activate(root):
+            with span("engine.predict", vehicle_id="v00") as child:
+                add_event("enqueued", queue_depth=3)
+                assert current_span() is child
+        root.finish("ok")
+
+        trace = tracer.export("req-1")
+        assert trace["request_id"] == "req-1"
+        names = [s["name"] for s in trace["spans"]]
+        assert names == ["GET /v1/predict/v00", "engine.predict"]
+        root_dict, child_dict = trace["spans"]
+        assert root_dict["parent_id"] is None
+        assert child_dict["parent_id"] == root_dict["span_id"]
+        assert child_dict["status"] == "ok"
+        assert child_dict["events"][0]["name"] == "enqueued"
+        assert child_dict["events"][0]["attributes"] == {"queue_depth": 3}
+
+    def test_exception_marks_span_and_reraises(self):
+        tracer = Tracer()
+        root = tracer.start_trace("req-err", "GET /x")
+        with activate(root):
+            with pytest.raises(RuntimeError):
+                with span("boom"):
+                    raise RuntimeError("nope")
+        root.finish("ok")
+        statuses = {
+            s["name"]: s["status"]
+            for s in tracer.export("req-err")["spans"]
+        }
+        assert statuses["boom"] == "error: RuntimeError"
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        root = tracer.start_trace("req-2", "GET /x")
+        root.finish("ok")
+        root.finish("error: late")  # ignored
+        spans = tracer.export("req-2")["spans"]
+        assert len(spans) == 1
+        assert spans[0]["status"] == "ok"
+
+    def test_unknown_request_id_exports_none(self):
+        assert Tracer().export("nope") is None
+
+
+class TestPropagation:
+    def test_activate_carries_span_into_worker_thread(self):
+        tracer = Tracer()
+        root = tracer.start_trace("req-3", "GET /x")
+        seen = {}
+
+        def worker():
+            with activate(root):
+                with span("worker-op") as child:
+                    seen["parent"] = child.parent_id
+            # outside activate the thread has no active span again
+            seen["after"] = current_span()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        root.finish("ok")
+        assert seen["parent"] == root.span_id
+        assert seen["after"] is None
+
+    def test_concurrent_threads_do_not_leak_spans(self):
+        tracer = Tracer()
+        roots = {
+            name: tracer.start_trace(name, f"GET /{name}")
+            for name in ("req-a", "req-b")
+        }
+        observed = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with activate(roots[name]):
+                barrier.wait()  # both threads hold their span at once
+                observed[name] = current_span().request_id
+
+        threads = [
+            threading.Thread(target=worker, args=(name,)) for name in roots
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert observed == {"req-a": "req-a", "req-b": "req-b"}
+
+
+class TestRingBounds:
+    def test_oldest_trace_evicted(self):
+        tracer = Tracer(capacity=2)
+        for i in range(3):
+            root = tracer.start_trace(f"req-{i}", "GET /x")
+            root.finish("ok")
+        assert tracer.export("req-0") is None
+        assert tracer.export("req-2") is not None
+        stats = tracer.stats()
+        assert stats["traces_started"] == 3
+        assert stats["traces_evicted"] == 1
+        assert stats["traces_held"] == 2
+
+    def test_reused_request_id_replaces_trace(self):
+        tracer = Tracer()
+        first = tracer.start_trace("req-x", "GET /a")
+        first.finish("ok")
+        second = tracer.start_trace("req-x", "GET /b")
+        second.finish("ok")
+        spans = tracer.export("req-x")["spans"]
+        assert [s["name"] for s in spans] == ["GET /b"]
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)

@@ -570,7 +570,10 @@ class TestHealthAndMetrics:
             await gateway.shutdown()
             return response
 
-        metrics = run(scenario()).payload
+        payload = run(scenario()).payload
+        # /v1/metrics now serves the consolidated registry snapshot;
+        # the gateway's own counters live under the "gateway" section.
+        metrics = payload["gateway"]
         assert metrics["requests"]["predict"] == 6
         assert metrics["errors"]["predict"] == 1
         assert metrics["responses"]["predict"]["200"] == 5
@@ -579,6 +582,9 @@ class TestHealthAndMetrics:
         assert latency["count"] == 6
         assert 0 <= latency["p50"] <= latency["p95"] <= latency["p99"]
         assert metrics["queue_high_water"] >= 1
+        for section in ("counters", "gauges", "histograms", "fleet", "drift",
+                        "cache", "tracing", "events"):
+            assert section in payload
 
     def test_histogram_percentiles_ordered(self):
         metrics = GatewayMetrics()
