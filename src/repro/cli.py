@@ -8,7 +8,10 @@ Operational entry points for the reproduction:
 * ``predict``   — train a model for one vehicle of a stored fleet and
   forecast its next maintenance;
 * ``chaos``     — replay a seeded fault-injection scenario against the
-  resilient serving stack and print the fleet health report;
+  resilient serving stack and print the fleet health report, or (with
+  ``--kill-after``) run the SIGKILL kill-recovery drill;
+* ``recover``   — recover a durable state directory (write-ahead
+  journal + checkpoints), or inspect it read-only with ``--dry-run``;
 * ``serve``     — run the asyncio HTTP gateway (micro-batching,
   admission control, deadline-aware backpressure) in front of a fleet
   engine;
@@ -181,10 +184,62 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _run_kill_drill(args) -> int:
+    """``chaos --kill-after``: SIGKILL a journaling worker mid-ingest,
+    recover from the state dir, and fail loudly if the recovered state
+    diverges from an uninterrupted reference run."""
+    import json
+    import tempfile
+
+    from .durability.drill import kill_recovery_drill
+
+    work_dir = args.state_dir
+    if work_dir is None:
+        work_dir = tempfile.mkdtemp(prefix="repro-drill-")
+    report = kill_recovery_drill(
+        work_dir,
+        n_vehicles=args.vehicles,
+        days=args.days,
+        seed=args.seed,
+        kill_after=args.kill_after,
+        t_v=args.t_v,
+        torn_tail=args.torn_tail,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"killed worker after {report['applied_acked']}/"
+            f"{report['ops_total']} ops "
+            f"(durably acked: {report['durable_acked']})"
+        )
+        print(
+            f"recovered: checkpoint seq {report['checkpoint_seq']}, "
+            f"{report['replayed']} journal records replayed, "
+            f"last seq {report['last_seq']}"
+        )
+        if report["torn_tail"]:
+            print(
+                f"torn tail: {report['torn_bytes']} bytes planted, "
+                f"{report['torn_records_dropped']} torn records dropped"
+            )
+        for label, ok in (
+            ("acknowledged writes survived", report["acked_survived"]),
+            ("forecasts bit-identical", report["forecasts_match"]),
+            ("fleet health identical", report["health_match"]),
+        ):
+            print(f"[{'ok' if ok else 'FAIL'}] {label}")
+        print(f"state dir left at {work_dir}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_chaos(args) -> int:
     """Deterministic chaos run: dirty readings, failing trainers and
     flaky storage against the resilient service; self-verifies that the
     FleetHealth counters match the injected fault counts exactly."""
+    if args.kill_after is not None:
+        return _run_kill_drill(args)
+
     import tempfile
 
     import numpy as np
@@ -320,6 +375,154 @@ def _cmd_chaos(args) -> int:
         return 1 if failed else 0
 
 
+def _cmd_recover(args) -> int:
+    """Recover a durable state dir, or inspect it with ``--dry-run``.
+
+    Dry-run is strictly read-only: it scans the journal segments
+    (verifying CRC framing), probes the newest valid checkpoint without
+    quarantining corrupt generations, and reports the lock holder —
+    then exits 1 if the journal is damaged beyond its torn tail.  A
+    full recover builds a service from the checkpointed state (or a
+    guarded default-config service when no checkpoint exists yet),
+    replays the journal, takes a fresh checkpoint, and releases.
+    """
+    import json
+    from pathlib import Path
+
+    from .durability import (
+        CheckpointManager,
+        DurabilityConfig,
+        JournalCorruptError,
+        LockHeldError,
+        RecoveryError,
+        RecoveryManager,
+        WriteAheadJournal,
+        build_service_from_state,
+    )
+    from .durability.recovery import LOCK_FILENAME, LockFile
+
+    state_dir = Path(args.state)
+    if args.dry_run:
+        lock = LockFile(state_dir / LOCK_FILENAME)
+        pid = lock.read_pid()
+        checkpoints = CheckpointManager(state_dir / "checkpoints")
+        ckpt = checkpoints.load_latest(quarantine=False)
+        corrupt = None
+        try:
+            scan = WriteAheadJournal.scan(state_dir / "journal")
+        except JournalCorruptError as exc:
+            corrupt = str(exc)
+            scan = None
+        ckpt_seq = ckpt.seq if ckpt is not None else 0
+        report = {
+            "state_dir": str(state_dir),
+            "lock": (
+                None
+                if pid is None
+                else {"pid": pid, "alive": LockFile._pid_alive(pid)}
+            ),
+            "checkpoint": (
+                None
+                if ckpt is None
+                else {"seq": ckpt.seq, "path": str(ckpt.path)}
+            ),
+            "checkpoints_discarded": checkpoints.discarded,
+            "journal": scan,
+            "journal_corrupt": corrupt,
+            "replay_needed": (
+                max(0, scan["last_seq"] - ckpt_seq)
+                if scan is not None
+                else None
+            ),
+        }
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            lock_line = "free"
+            if pid is not None:
+                alive = LockFile._pid_alive(pid)
+                lock_line = f"pid {pid} ({'ALIVE' if alive else 'stale'})"
+            print(f"state dir  : {state_dir}")
+            print(f"lock       : {lock_line}")
+            print(
+                "checkpoint : "
+                + ("none" if ckpt is None else f"seq {ckpt.seq}")
+                + (
+                    f" ({checkpoints.discarded} corrupt generation(s))"
+                    if checkpoints.discarded
+                    else ""
+                )
+            )
+            if scan is not None:
+                print(
+                    f"journal    : {scan['records']} records in "
+                    f"{scan['segments']} segment(s), "
+                    f"seq {scan['first_seq']}..{scan['last_seq']}, "
+                    f"torn tail {scan['torn_tail_bytes']} bytes"
+                )
+                print(f"replay     : {report['replay_needed']} record(s)")
+            else:
+                print(f"journal    : CORRUPT — {corrupt}")
+        return 1 if corrupt is not None else 0
+
+    config = DurabilityConfig()
+    checkpoints = CheckpointManager(
+        state_dir / "checkpoints", keep=config.keep_checkpoints
+    )
+    ckpt = checkpoints.load_latest(quarantine=False)
+    if ckpt is not None:
+        service = build_service_from_state(ckpt.state)
+    else:
+        from .serving import IngestionGuard, MaintenancePredictionService
+
+        service = MaintenancePredictionService(
+            t_v=args.t_v,
+            window=args.window,
+            algorithm=args.algorithm,
+            guard=IngestionGuard(),
+            cycle_cache=True,
+        )
+    manager = RecoveryManager(state_dir, service, config=config)
+    try:
+        report = manager.recover()
+    except LockHeldError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (JournalCorruptError, RecoveryError, ValueError) as exc:
+        print(f"error: recovery failed: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(
+                f"recovered {len(service.vehicle_ids)} vehicle(s) from "
+                f"checkpoint seq {report.checkpoint_seq} + "
+                f"{report.replayed} replayed journal record(s) "
+                f"in {report.duration_s * 1000.0:.1f} ms"
+            )
+            if report.replay_errors:
+                print(
+                    f"  {report.replay_errors} record(s) re-raised "
+                    "during replay (counted, state unaffected)"
+                )
+            if report.torn_records_dropped:
+                print(
+                    f"  {report.torn_records_dropped} torn record(s) "
+                    "truncated from the journal tail"
+                )
+            if report.checkpoints_discarded:
+                print(
+                    f"  {report.checkpoints_discarded} corrupt "
+                    "checkpoint generation(s) quarantined"
+                )
+            if report.lock_stolen:
+                print("  stale lock stolen from a dead holder")
+    finally:
+        manager.close()
+    return 0
+
+
 def _cmd_obs(args) -> int:
     """Profile the pipeline stages over a deterministic scenario.
 
@@ -431,6 +634,23 @@ def _cmd_serve(args) -> int:
             engine.ingest_history(vehicle.vehicle_id, vehicle.usage)
         print(f"preloaded {len(fleet.vehicles)} vehicles from {args.input}")
 
+    manager = None
+    if args.durable:
+        from .durability import LockHeldError, RecoveryManager
+
+        manager = RecoveryManager(args.durable, engine.service)
+        try:
+            report = manager.recover()
+        except LockHeldError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        engine.attach_durability(manager)
+        print(
+            f"durable state dir {args.durable}: checkpoint seq "
+            f"{report.checkpoint_seq}, {report.replayed} journal "
+            "record(s) replayed — journaling live traffic"
+        )
+
     gateway = FleetGateway(engine, gateway_config)
 
     async def _run() -> None:
@@ -451,6 +671,10 @@ def _cmd_serve(args) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass
+    finally:
+        if manager is not None:
+            manager.close()
+            print(f"durable state checkpointed to {args.durable}")
     print("gateway drained")
     return 0
 
@@ -545,7 +769,60 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the health report, forecasts and checks as JSON",
     )
+    chaos.add_argument(
+        "--kill-after",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "run the SIGKILL kill-recovery drill instead: kill a "
+            "journaling worker after N ops, recover, exit 1 on any "
+            "state divergence"
+        ),
+    )
+    chaos.add_argument(
+        "--state-dir",
+        default=None,
+        help=(
+            "work dir for --kill-after (left behind for inspection; "
+            "default: a fresh temp dir)"
+        ),
+    )
+    chaos.add_argument(
+        "--torn-tail",
+        action="store_true",
+        help="with --kill-after, also tear the journal tail pre-recovery",
+    )
     chaos.set_defaults(func=_cmd_chaos)
+
+    recover = sub.add_parser(
+        "recover",
+        help=(
+            "recover a durable state dir (journal + checkpoints), or "
+            "inspect it read-only with --dry-run"
+        ),
+    )
+    recover.add_argument(
+        "--state", required=True, help="durable state directory"
+    )
+    recover.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="read-only: scan journal/checkpoints/lock, change nothing",
+    )
+    recover.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    recover.add_argument(
+        "--t-v",
+        dest="t_v",
+        type=float,
+        default=200_000.0,
+        help="service config when no checkpoint exists yet",
+    )
+    recover.add_argument("--window", type=int, default=0)
+    recover.add_argument("--algorithm", default="LR")
+    recover.set_defaults(func=_cmd_recover)
 
     serve = sub.add_parser(
         "serve",
@@ -610,6 +887,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-tracing",
         action="store_true",
         help="disable per-request trace recording (/v1/trace/{id})",
+    )
+    serve.add_argument(
+        "--durable",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable state directory: recover from it before serving, "
+            "journal live ingest traffic, checkpoint on shutdown"
+        ),
     )
     serve.set_defaults(func=_cmd_serve)
 

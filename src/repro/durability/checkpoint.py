@@ -1,0 +1,215 @@
+"""Atomic, checksummed engine-state checkpoints with retained generations.
+
+A checkpoint is one JSON payload file plus a SHA-256 sidecar::
+
+    ckpt-000000002048.json      {"schema": 1, "seq": 2048, "state": {...}}
+    ckpt-000000002048.sha256    <hex digest of the payload bytes>
+
+The file name carries the journal sequence number the snapshot covers:
+recovery loads the newest *valid* generation and replays journal
+records past that mark.  Payloads are written with
+:func:`~repro.serving.persistence.atomic_write_bytes` (temp + fsync +
+rename + directory fsync), so a crash mid-checkpoint leaves either the
+previous generation intact or a complete new one — never a torn file
+that parses.  A generation whose payload is unreadable, whose digest
+diverges, or whose sidecar is missing is *corrupt*: it is moved to the
+``quarantine/`` subdirectory for inspection and the loader falls back
+to the next-newest generation, mirroring the
+:class:`~repro.serving.persistence.ModelStore` fallback contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..serving.persistence import atomic_write_bytes
+
+__all__ = ["Checkpoint", "CheckpointCorruptError", "CheckpointManager"]
+
+_SCHEMA_VERSION = 1
+_PREFIX = "ckpt-"
+_SUFFIX = ".json"
+_SIDECAR_SUFFIX = ".sha256"
+_QUARANTINE_DIR = "quarantine"
+
+
+class CheckpointCorruptError(ValueError):
+    """A stored checkpoint generation could not be read back."""
+
+    def __init__(self, seq: int, reason: str):
+        self.seq = seq
+        self.reason = reason
+        super().__init__(f"Corrupt checkpoint seq {seq}: {reason}")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One loaded checkpoint: journal high-water mark plus state."""
+
+    seq: int
+    state: dict
+    path: Path
+
+
+class CheckpointManager:
+    """Directory of N retained checkpoint generations.
+
+    Parameters
+    ----------
+    root:
+        Checkpoint directory (created if missing).
+    keep:
+        Generations retained; :meth:`save` prunes older ones.
+    """
+
+    def __init__(self, root, *, keep: int = 3):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}.")
+        self.root = Path(root)
+        self.keep = keep
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.saved = 0
+        self.discarded = 0  # corrupt generations quarantined on load
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, seq: int) -> Path:
+        return self.root / f"{_PREFIX}{seq:012d}{_SUFFIX}"
+
+    @staticmethod
+    def _sidecar(path: Path) -> Path:
+        return path.with_suffix(_SIDECAR_SUFFIX)
+
+    def seqs(self) -> list[int]:
+        """Stored generation sequence numbers, ascending."""
+        found = []
+        for path in self.root.glob(f"{_PREFIX}*{_SUFFIX}"):
+            stem = path.name[len(_PREFIX): -len(_SUFFIX)]
+            try:
+                found.append(int(stem))
+            except ValueError:
+                continue
+        return sorted(found)
+
+    # -- writing -----------------------------------------------------------
+
+    def save(self, state: dict, *, seq: int) -> Path:
+        """Persist one generation durably; prunes beyond ``keep``.
+
+        The payload lands (fsynced) before its sidecar, so a crash
+        between the two leaves a digest-less payload — treated as
+        corrupt on load, falling back to the previous generation.
+        """
+        if seq < 0:
+            raise ValueError(f"seq must be >= 0, got {seq}.")
+        body = json.dumps(
+            {"schema": _SCHEMA_VERSION, "seq": seq, "state": state},
+            separators=(",", ":"),
+            sort_keys=True,
+            allow_nan=True,
+        ).encode("utf-8")
+        path = self._path(seq)
+        atomic_write_bytes(path, body, fsync=True)
+        atomic_write_bytes(
+            self._sidecar(path),
+            hashlib.sha256(body).hexdigest().encode("ascii"),
+            fsync=True,
+        )
+        self.saved += 1
+        self.prune()
+        return path
+
+    def prune(self) -> int:
+        """Drop generations beyond ``keep`` (oldest first)."""
+        seqs = self.seqs()
+        removed = 0
+        for seq in seqs[: max(0, len(seqs) - self.keep)]:
+            path = self._path(seq)
+            path.unlink(missing_ok=True)
+            self._sidecar(path).unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def oldest_retained_seq(self) -> int | None:
+        seqs = self.seqs()
+        return seqs[0] if seqs else None
+
+    def latest_seq(self) -> int | None:
+        seqs = self.seqs()
+        return seqs[-1] if seqs else None
+
+    # -- reading -----------------------------------------------------------
+
+    def _load(self, seq: int) -> Checkpoint:
+        path = self._path(seq)
+        try:
+            body = path.read_bytes()
+        except OSError as exc:
+            raise CheckpointCorruptError(seq, f"unreadable payload: {exc}")
+        try:
+            expected = self._sidecar(path).read_text("ascii").strip()
+        except OSError as exc:
+            raise CheckpointCorruptError(seq, f"missing sidecar: {exc}")
+        digest = hashlib.sha256(body).hexdigest()
+        if digest != expected:
+            raise CheckpointCorruptError(
+                seq,
+                f"checksum mismatch (stored {expected[:12]}…, "
+                f"payload {digest[:12]}…)",
+            )
+        try:
+            obj = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointCorruptError(seq, f"malformed JSON ({exc})")
+        if not isinstance(obj, dict) or obj.get("schema") != _SCHEMA_VERSION:
+            raise CheckpointCorruptError(
+                seq,
+                f"schema {obj.get('schema') if isinstance(obj, dict) else obj!r};"
+                f" expected {_SCHEMA_VERSION}",
+            )
+        if obj.get("seq") != seq:
+            raise CheckpointCorruptError(
+                seq, f"embedded seq {obj.get('seq')!r} does not match file name"
+            )
+        state = obj.get("state")
+        if not isinstance(state, dict):
+            raise CheckpointCorruptError(seq, "state is not an object")
+        return Checkpoint(seq=seq, state=state, path=path)
+
+    def _quarantine(self, seq: int) -> None:
+        directory = self.root / _QUARANTINE_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(seq)
+        for victim in (path, self._sidecar(path)):
+            if victim.exists():
+                os.replace(victim, directory / victim.name)
+
+    def load_latest(self, *, quarantine: bool = True) -> Checkpoint | None:
+        """Newest valid generation, or ``None`` when none is readable.
+
+        Corrupt generations are moved to ``quarantine/`` (unless
+        ``quarantine=False`` — the read-only ``--dry-run`` posture) and
+        the next-newest one is tried.
+        """
+        for seq in reversed(self.seqs()):
+            try:
+                return self._load(seq)
+            except CheckpointCorruptError:
+                self.discarded += 1
+                if quarantine:
+                    self._quarantine(seq)
+        return None
+
+    def stats(self) -> dict:
+        """Counter view for the ``durability`` metrics section."""
+        seqs = self.seqs()
+        return {
+            "generations": len(seqs),
+            "latest_seq": seqs[-1] if seqs else None,
+            "saved": self.saved,
+            "discarded": self.discarded,
+        }

@@ -1,0 +1,326 @@
+"""SIGKILL kill-recovery drill: the durability layer's acid test.
+
+The drill proves the acknowledged-write guarantee end to end, with a
+*real* process death (no mocked crash):
+
+1. write a deterministic op stream (``records.jsonl``) to a work dir;
+2. spawn a worker subprocess (``python -m repro.durability.drill``)
+   that recovers a service from the state dir, applies ops one by one,
+   and appends ``"<applied> <durable_seq>"`` to an acks file after
+   each — the drill's stand-in for a client-visible acknowledgement;
+3. poll the acks file until the worker has applied ``kill_after`` ops,
+   then ``SIGKILL`` it mid-ingest — no atexit, no flush, no cleanup;
+4. optionally tear the journal tail (the torn-write fault site);
+5. recover a fresh service from the same state dir and compare it to a
+   *reference* service built by applying the journaled op prefix to a
+   blank service in-process.
+
+Equivalence is exact: every recovered forecast must be bit-identical
+to the reference's (``Forecast.to_dict`` equality) and the fleet
+health reports must match — and the journal's high-water mark must
+cover at least the last *durably acked* op (records past it may
+survive too; acknowledged ones must).
+
+Everything is deterministic given the seed except the kill point
+itself, which only moves *where* the prefix ends — never what the
+recovered state looks like for that prefix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .config import DurabilityConfig
+from .recovery import RecoveryManager
+
+__all__ = ["apply_op", "generate_ops", "kill_recovery_drill"]
+
+#: Drill fleet configuration shared by worker and reference service.
+_DRILL_T_V = 200_000.0
+_DRILL_CONFIG = DurabilityConfig(fsync_every=8, checkpoint_every=32)
+
+
+def _build_service(t_v: float = _DRILL_T_V):
+    """One drill service: guarded, cached, no monitor (ingest-only)."""
+    from ..serving.reliability import IngestionGuard
+    from ..serving.service import MaintenancePredictionService
+
+    return MaintenancePredictionService(
+        t_v=t_v,
+        window=0,
+        algorithm="LR",
+        guard=IngestionGuard(),
+        cycle_cache=True,
+    )
+
+
+def apply_op(service, op: dict) -> None:
+    """Apply one drill op; swallows the per-op errors ops can raise."""
+    try:
+        if op["op"] == "register":
+            service.register_vehicle(op["v"])
+        elif op["op"] == "ingest":
+            service.ingest(op["v"], float(op["s"]), day=op.get("d"))
+        elif op["op"] == "series":
+            service.ingest_series(op["v"], op["u"], start_day=op.get("d0"))
+        else:
+            raise ValueError(f"unknown drill op {op['op']!r}")
+    except (ValueError, KeyError):
+        pass
+
+
+def generate_ops(n_vehicles: int, days: int, seed: int) -> list[dict]:
+    """Deterministic op stream; every op journals exactly one record.
+
+    Registers the fleet, seeds each vehicle with a short bulk history,
+    then streams per-day ingests with ~5 % dirty values (NaN, negative,
+    over-ceiling) so the guard's screening state is exercised too.
+    """
+    rng = np.random.default_rng(seed)
+    ids = [f"drill{i:02d}" for i in range(n_vehicles)]
+    ops: list[dict] = [{"op": "register", "v": vid} for vid in ids]
+    history = 4
+    for vid in ids:
+        seed_usage = rng.uniform(10_000.0, 40_000.0, size=history)
+        ops.append(
+            {"op": "series", "v": vid, "u": list(seed_usage), "d0": 0}
+        )
+    for day in range(history, history + days):
+        for vid in ids:
+            value = float(rng.uniform(10_000.0, 40_000.0))
+            roll = float(rng.random())
+            if roll < 0.02:
+                value = float("nan")
+            elif roll < 0.035:
+                value = -value
+            elif roll < 0.05:
+                value = 86_400.0 + value
+            ops.append({"op": "ingest", "v": vid, "s": value, "d": day})
+    return ops
+
+
+# -- worker subprocess ----------------------------------------------------
+
+
+def _worker_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.durability.drill``: the killable worker."""
+    parser = argparse.ArgumentParser(
+        description="kill-recovery drill worker (internal)"
+    )
+    parser.add_argument("--state", required=True)
+    parser.add_argument("--records", required=True)
+    parser.add_argument("--acks", required=True)
+    parser.add_argument("--t-v", type=float, default=_DRILL_T_V)
+    parser.add_argument("--throttle-ms", type=float, default=0.0)
+    args = parser.parse_args(argv)
+
+    ops = [
+        json.loads(line)
+        for line in Path(args.records).read_text("utf-8").splitlines()
+        if line.strip()
+    ]
+    service = _build_service(args.t_v)
+    manager = RecoveryManager(
+        args.state, service, config=_DRILL_CONFIG
+    )
+    manager.recover()
+    acks = open(args.acks, "a", encoding="utf-8")
+    for index, op in enumerate(ops, start=1):
+        apply_op(service, op)
+        manager.maybe_checkpoint()
+        # Ack = op applied + its journal position durable-or-not; the
+        # driver treats ops with seq <= durable_seq as acknowledged.
+        acks.write(f"{index} {manager.journal.durable_seq}\n")
+        acks.flush()
+        if args.throttle_ms > 0:
+            time.sleep(args.throttle_ms / 1000.0)
+    acks.close()
+    manager.close()
+    return 0
+
+
+def _read_acks(path: Path) -> tuple[int, int]:
+    """(ops applied, durable seq at last ack) from the acks file."""
+    applied = durable = 0
+    try:
+        text = path.read_text("utf-8")
+    except OSError:
+        return 0, 0
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) == 2:
+            try:
+                applied, durable = int(parts[0]), int(parts[1])
+            except ValueError:
+                continue
+    return applied, durable
+
+
+# -- the drill ------------------------------------------------------------
+
+
+def kill_recovery_drill(
+    work_dir,
+    *,
+    n_vehicles: int = 4,
+    days: int = 40,
+    seed: int = 0,
+    kill_after: int | None = None,
+    t_v: float = _DRILL_T_V,
+    torn_tail: bool = False,
+    throttle_ms: float = 2.0,
+    timeout_s: float = 60.0,
+) -> dict:
+    """Run one kill-recovery drill; returns the equivalence report.
+
+    ``kill_after`` is the op count after which the worker is SIGKILLed
+    (default: halfway).  ``torn_tail`` additionally truncates the
+    journal's final record before recovery, exercising the torn-write
+    repair path on top of the process death.  The work dir is wiped
+    and recreated; it is left behind for inspection (and for the CI
+    ``repro recover --dry-run`` smoke).
+    """
+    work_dir = Path(work_dir)
+    if work_dir.exists():
+        shutil.rmtree(work_dir)
+    state_dir = work_dir / "state"
+    work_dir.mkdir(parents=True)
+
+    ops = generate_ops(n_vehicles, days, seed)
+    if kill_after is None:
+        kill_after = len(ops) // 2
+    kill_after = max(1, min(kill_after, len(ops)))
+    records_path = work_dir / "records.jsonl"
+    records_path.write_text(
+        "".join(json.dumps(op) + "\n" for op in ops), "utf-8"
+    )
+    acks_path = work_dir / "acks.log"
+    acks_path.touch()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    worker = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.durability.drill",
+            "--state",
+            str(state_dir),
+            "--records",
+            str(records_path),
+            "--acks",
+            str(acks_path),
+            "--t-v",
+            str(t_v),
+            "--throttle-ms",
+            str(throttle_ms),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+
+    deadline = time.monotonic() + timeout_s
+    killed = False
+    applied_acked = durable_acked = 0
+    while time.monotonic() < deadline:
+        applied_acked, durable_acked = _read_acks(acks_path)
+        if applied_acked >= kill_after:
+            worker.kill()  # SIGKILL: no atexit, no flush, no cleanup
+            killed = True
+            break
+        if worker.poll() is not None:
+            break  # finished every op before the kill point
+        time.sleep(0.005)
+    if not killed and worker.poll() is None:
+        worker.kill()
+        stderr = worker.communicate()[1]
+        raise TimeoutError(
+            f"drill worker stalled at {applied_acked}/{kill_after} acked "
+            f"ops within {timeout_s}s: {stderr.decode(errors='replace')}"
+        )
+    stderr = worker.communicate()[1]
+    if not killed and worker.returncode != 0:
+        raise RuntimeError(
+            f"drill worker failed before the kill point: "
+            f"{stderr.decode(errors='replace')}"
+        )
+    applied_acked, durable_acked = _read_acks(acks_path)
+
+    torn = 0
+    if torn_tail:
+        from ..serving.faults import tear_journal_tail
+
+        torn = tear_journal_tail(state_dir / "journal")
+
+    # Recover a fresh service from whatever the dead worker left.
+    recovered = _build_service(t_v)
+    manager = RecoveryManager(state_dir, recovered, config=_DRILL_CONFIG)
+    report = manager.recover()
+    last_seq = report.last_seq
+
+    # Acknowledged-write guarantee: every op whose journal record was
+    # durable at ack time must have survived the kill (and the torn
+    # tail can only eat a not-yet-acknowledged record).
+    acked_survived = last_seq >= durable_acked
+
+    # Reference: the same op prefix applied in-process, no crash.  Ops
+    # map 1:1 onto journal seqs, so ops[:last_seq] is the journaled
+    # prefix the recovered service must reproduce exactly.
+    reference = _build_service(t_v)
+    for op in ops[:last_seq]:
+        apply_op(reference, op)
+
+    ready = [
+        vid
+        for vid in reference.vehicle_ids
+        if reference.n_days(vid) > reference.window
+    ]
+    reference_forecasts = {
+        vid: reference.predict(vid).to_dict() for vid in ready
+    }
+    recovered_forecasts = {
+        vid: recovered.predict(vid).to_dict() for vid in ready
+    }
+    forecasts_match = reference_forecasts == recovered_forecasts
+    health_match = (
+        reference.health().as_dict() == recovered.health().as_dict()
+    )
+    manager.close()
+
+    return {
+        "ok": bool(
+            killed and acked_survived and forecasts_match and health_match
+        ),
+        "killed": killed,
+        "ops_total": len(ops),
+        "kill_after": kill_after,
+        "applied_acked": applied_acked,
+        "durable_acked": durable_acked,
+        "last_seq": last_seq,
+        "acked_survived": acked_survived,
+        "replayed": report.replayed,
+        "checkpoint_seq": report.checkpoint_seq,
+        "checkpoints_discarded": report.checkpoints_discarded,
+        "lock_stolen": report.lock_stolen,
+        "torn_tail": bool(torn_tail),
+        "torn_bytes": torn,
+        "torn_records_dropped": report.torn_records_dropped,
+        "forecasts_match": forecasts_match,
+        "health_match": health_match,
+        "vehicles_compared": len(ready),
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(_worker_main())

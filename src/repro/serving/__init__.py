@@ -15,10 +15,13 @@ from .executor import FleetExecutor, default_max_workers
 from .faults import (
     FaultInjector,
     FaultyExecutor,
+    FaultyJournal,
     FaultyStore,
     InjectedFault,
     corrupt_readings,
     faulty_predictor_factory,
+    plant_stale_lock,
+    tear_journal_tail,
 )
 from .gateway import (
     FleetGateway,
@@ -69,10 +72,13 @@ __all__ = [
     "VehicleHealth",
     "FaultInjector",
     "FaultyExecutor",
+    "FaultyJournal",
     "FaultyStore",
     "InjectedFault",
     "corrupt_readings",
     "faulty_predictor_factory",
+    "plant_stale_lock",
+    "tear_journal_tail",
     "Forecast",
     "MaintenancePredictionService",
 ]

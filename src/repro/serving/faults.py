@@ -25,6 +25,10 @@ guards:
   telemetry feed (non-finite, negative, over-ceiling, duplicated and
   out-of-order reports), with the injector recording exactly what was
   corrupted.
+* :class:`FaultyJournal` — wraps a :class:`~repro.durability.journal.
+  WriteAheadJournal` with torn-write and partial-fsync injection; the
+  standalone :func:`tear_journal_tail` and :func:`plant_stale_lock`
+  damage a *closed* state directory the way a crash would.
 
 All sites default to rate 0.0 — an injector with no rates is a no-op,
 which is how the clean-path equivalence suite runs the full harness.
@@ -46,8 +50,11 @@ __all__ = [
     "FaultInjector",
     "FaultyStore",
     "FaultyExecutor",
+    "FaultyJournal",
     "faulty_predictor_factory",
     "corrupt_readings",
+    "plant_stale_lock",
+    "tear_journal_tail",
     "READING_SITES",
 ]
 
@@ -221,6 +228,121 @@ class FaultyExecutor(FleetExecutor):
             return fn(item)
 
         return super().map_ordered(wrapped, items)
+
+
+class FaultyJournal:
+    """A :class:`~repro.durability.journal.WriteAheadJournal` wrapper
+    with injected durability failures.
+
+    Sites:
+
+    * ``journal.append`` — raise ``OSError`` before the append (the
+      write never reaches the log);
+    * ``journal.torn`` — write only the first half of the framed line
+      and raise :exc:`InjectedFault`: exactly the damage a crash mid-
+      ``write(2)`` leaves, which reopening must truncate away;
+    * ``journal.fsync`` — :meth:`sync` silently skips the fsync (a
+      lying disk): ``durable_seq`` stays behind, the acknowledged-write
+      guarantee must still hold for what *was* fsynced.
+    """
+
+    def __init__(self, journal, injector: FaultInjector):
+        self.journal = journal
+        self.injector = injector
+
+    def append(self, kind: str, **payload) -> int:
+        self.injector.maybe_raise("journal.append", OSError)
+        if self.injector.fires("journal.torn"):
+            from ..durability.journal import encode_record
+
+            journal = self.journal
+            line = encode_record(journal.last_seq + 1, kind, payload)
+            # Mirror the real append's rotation, then stop mid-line
+            # (private access, like FaultyStore reaching into paths).
+            if (
+                journal._file is None
+                or journal._file_size >= journal.segment_max_bytes
+            ):
+                journal._rotate(journal.last_seq + 1)
+            # Drain buffered whole records first so the torn fragment
+            # lands after them, as a crash mid-write(2) would leave it.
+            journal.flush()
+            journal._file.write(line[: max(1, len(line) // 2)])
+            journal._file.flush()
+            raise InjectedFault(
+                f"injected torn write at seq {journal.last_seq + 1} "
+                f"(seed {self.injector.seed})"
+            )
+        return self.journal.append(kind, **payload)
+
+    def sync(self) -> int:
+        if self.injector.fires("journal.fsync"):
+            self.journal.flush()  # committed, not durable
+            return self.journal.durable_seq
+        return self.journal.sync()
+
+    def __getattr__(self, name):
+        return getattr(self.journal, name)
+
+
+def tear_journal_tail(root) -> int:
+    """Append a half-written record to the newest journal segment.
+
+    Exactly the artifact a crash mid-``write(2)`` leaves: the next
+    record's bytes partially on disk, unterminated, CRC never written.
+    Committed records are untouched (a fsynced record cannot be torn by
+    a crash), so the acknowledged-write guarantee must survive this —
+    reopening truncates only the torn tail.  Returns the number of torn
+    bytes planted (0 when the journal directory has no segments).
+    """
+    from pathlib import Path
+
+    from ..durability.journal import decode_record, encode_record
+
+    segments = sorted(Path(root).glob("seg-*.jrnl"))
+    if not segments:
+        return 0
+    tail = segments[-1]
+    last_seq = 0
+    for line in tail.read_bytes().splitlines(keepends=True):
+        if line.endswith(b"\n"):
+            try:
+                last_seq = decode_record(line).seq
+            except ValueError:
+                break
+    line = encode_record(last_seq + 1, "ingest", {"v": "torn", "s": 1.0})
+    with open(tail, "ab") as fh:
+        fh.write(line[: max(1, len(line) // 2)])
+        fh.flush()
+    return max(1, len(line) // 2)
+
+
+def plant_stale_lock(state_dir, pid: int | None = None) -> int:
+    """Write a lock file naming a dead process into ``state_dir``.
+
+    Simulates the fence a SIGKILLed service leaves behind; recovery
+    must detect the pid is gone and steal the lock.  When ``pid`` is
+    ``None`` a real just-exited child's pid is used (guaranteed dead,
+    never accidentally alive).  Returns the planted pid.
+    """
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    from ..durability.recovery import LOCK_FILENAME
+
+    if pid is None:
+        probe = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        pid = int(probe.stdout.strip())
+    path = Path(state_dir) / LOCK_FILENAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(str(pid), "ascii")
+    return pid
 
 
 def corrupt_readings(

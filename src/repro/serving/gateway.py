@@ -58,6 +58,7 @@ import asyncio
 import contextvars
 import itertools
 import json
+import random
 import re
 import uuid
 from concurrent.futures import ThreadPoolExecutor
@@ -118,6 +119,11 @@ class GatewayConfig:
     max_queue:
         Bound on queued predict requests; beyond it the gateway
         answers ``429``.
+    retry_after_max_s:
+        Upper bound (seconds) of the jittered ``Retry-After`` value on
+        ``429`` responses — each rejection draws uniformly from
+        ``[1, retry_after_max_s]`` so a burst of rejected clients does
+        not retry in one synchronized thundering herd.
     default_deadline_s:
         Per-request deadline when the client sends none.
     auto_register:
@@ -146,6 +152,7 @@ class GatewayConfig:
     batch_window_s: float = 0.005
     max_batch_size: int = 64
     max_queue: int = 256
+    retry_after_max_s: int = 3
     default_deadline_s: float = 5.0
     auto_register: bool = True
     drain_timeout_s: float = 5.0
@@ -164,6 +171,11 @@ class GatewayConfig:
             )
         if self.max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {self.max_queue}.")
+        if self.retry_after_max_s < 1:
+            raise ValueError(
+                f"retry_after_max_s must be >= 1, "
+                f"got {self.retry_after_max_s}."
+            )
         if self.default_deadline_s <= 0:
             raise ValueError(
                 f"default_deadline_s must be > 0, got {self.default_deadline_s}."
@@ -390,7 +402,28 @@ class FleetGateway:
         self._started = False
         # Head-sampling tick for anonymous requests (GIL-atomic).
         self._trace_tick = itertools.count()
+        # Seeded jitter stream for 429 Retry-After values: spreads
+        # rejected clients' retries without breaking reproducibility.
+        self._retry_rng = random.Random(0x52455052)
         self.address: tuple[str, int] | None = None
+
+    def _retry_after(self) -> dict[str, str]:
+        """A jittered ``Retry-After`` header for back-pressure replies."""
+        return {
+            "Retry-After": str(
+                self._retry_rng.randint(1, self.config.retry_after_max_s)
+            )
+        }
+
+    def _check_ready(self) -> None:
+        """503 while the engine's durability layer is still recovering."""
+        durability = getattr(self.engine, "durability", None)
+        if durability is not None and not durability.ready:
+            raise _RequestError(
+                503,
+                "service is recovering; journal replay in progress",
+                {"Retry-After": "1"},
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -597,6 +630,7 @@ class FleetGateway:
             raise _RequestError(
                 503, "gateway is draining", {"Retry-After": "1"}
             )
+        self._check_ready()
         service = self.engine.service
         if not service.has_vehicle(vehicle_id):
             raise _RequestError(404, f"unknown vehicle {vehicle_id!r}")
@@ -621,7 +655,7 @@ class FleetGateway:
             self.metrics.note_queue_rejection()
             tracing.add_event("queue-rejected", vehicle_id=vehicle_id)
             raise _RequestError(
-                429, "request queue full", {"Retry-After": "1"}
+                429, "request queue full", self._retry_after()
             ) from None
         depth = self._queue.qsize()
         self.metrics.note_queue_depth(depth)
@@ -844,6 +878,7 @@ class FleetGateway:
             raise _RequestError(
                 503, "gateway is draining", {"Retry-After": "1"}
             )
+        self._check_ready()
         payload = self._parse_json(body)
         if "readings" in payload:
             raw_records = payload["readings"]
@@ -888,17 +923,26 @@ class FleetGateway:
         """Runs on the engine thread; returns (ingested, error)."""
         service = self.engine.service
         ingested = 0
+        error = None
         for vehicle_id, seconds, day in records:
             if not service.has_vehicle(vehicle_id):
                 if not self.config.auto_register:
-                    return ingested, f"unknown vehicle {vehicle_id!r}"
+                    error = f"unknown vehicle {vehicle_id!r}"
+                    break
                 service.register_vehicle(vehicle_id)
             try:
                 service.ingest(vehicle_id, seconds, day=day)
             except ValueError as exc:
-                return ingested, str(exc)
+                error = str(exc)
+                break
             ingested += 1
-        return ingested, None
+        # Durability hook even on partial batches: whatever was applied
+        # is already journaled, and sync_on_ack makes the 200/422 reply
+        # imply those records are on stable storage.
+        durability = getattr(self.engine, "durability", None)
+        if durability is not None:
+            durability.on_ingest_batch()
+        return ingested, error
 
     # -- HTTP socket layer -------------------------------------------------
 

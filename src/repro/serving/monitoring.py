@@ -223,3 +223,50 @@ class DriftMonitor:
             }
             for vehicle_id, residuals in self._residuals.items()
         }
+
+    # -- checkpoint state --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (config + windowed residuals + counters)."""
+        return {
+            "config": {
+                "threshold_days": self.threshold_days,
+                "window": self.window,
+                "min_samples": self.min_samples,
+            },
+            "residuals": {
+                vid: [float(r) for r in residuals]
+                for vid, residuals in sorted(self._residuals.items())
+            },
+            "strategy_counts": {
+                vid: dict(counts)
+                for vid, counts in sorted(self._strategy_counts.items())
+            },
+            "recorded": self._recorded,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this monitor."""
+        self._residuals = defaultdict(lambda: deque(maxlen=self.window))
+        for vid, residuals in state.get("residuals", {}).items():
+            self._residuals[vid] = deque(
+                (float(r) for r in residuals), maxlen=self.window
+            )
+        self._strategy_counts = defaultdict(dict)
+        for vid, counts in state.get("strategy_counts", {}).items():
+            self._strategy_counts[vid] = {
+                strategy: int(n) for strategy, n in counts.items()
+            }
+        self._recorded = int(state.get("recorded", 0))
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DriftMonitor":
+        """Build a monitor matching a snapshot's config, then restore it."""
+        config = state.get("config", {})
+        monitor = cls(
+            threshold_days=float(config.get("threshold_days", 7.0)),
+            window=int(config.get("window", 30)),
+            min_samples=int(config.get("min_samples", 5)),
+        )
+        monitor.load_state_dict(state)
+        return monitor

@@ -32,7 +32,39 @@ from pathlib import Path
 
 from ..obs import tracing
 
-__all__ = ["ArtifactCorruptError", "ModelArtifact", "ModelStore"]
+__all__ = [
+    "ArtifactCorruptError",
+    "ModelArtifact",
+    "ModelStore",
+    "atomic_write_bytes",
+]
+
+
+def atomic_write_bytes(path, data: bytes, *, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + rename).
+
+    A crash mid-write never leaves a truncated file at ``path`` — the
+    temp file lives in the same directory so the rename cannot cross
+    filesystems.  With ``fsync`` (the default) the payload is flushed
+    to stable storage before the rename and the directory entry is
+    fsynced after it, the posture checkpoint files need; the model
+    store passes ``fsync=False`` to keep its historical
+    atomic-but-buffered behaviour.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        if fsync:
+            fh.flush()
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
 _SCHEMA_VERSION = 1
 _KEY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
@@ -164,9 +196,7 @@ class ModelStore:
                 (pkl_path, payload),
                 (json_path, json.dumps(record, indent=2).encode()),
             ):
-                tmp = path.with_suffix(path.suffix + ".tmp")
-                tmp.write_bytes(data)
-                os.replace(tmp, path)
+                atomic_write_bytes(path, data, fsync=False)
 
         with tracing.span(
             "store.save", key=key, version=version, bytes=len(payload)

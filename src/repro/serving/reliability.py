@@ -167,8 +167,11 @@ class IngestionGuard:
         How many of the most recent accepted readings the ``IMPUTE``
         policy averages over (0 usage history imputes 0.0).
     max_dead_letters:
-        Cap on retained :class:`DeadLetterRecord` payloads (counters
-        keep counting past the cap).
+        Cap on retained :class:`DeadLetterRecord` payloads.  Past the
+        cap new quarantined readings drop their payload (the anomaly
+        counters keep counting) and :meth:`overflow_count` tallies how
+        many — an unbounded buffer on a quarantine-happy feed would
+        otherwise eat the process.
     """
 
     def __init__(
@@ -176,10 +179,14 @@ class IngestionGuard:
         policies: GuardPolicies | None = None,
         *,
         impute_window: int = 7,
-        max_dead_letters: int = 1000,
+        max_dead_letters: int = 10_000,
     ):
         if impute_window < 1:
             raise ValueError(f"impute_window must be >= 1, got {impute_window}.")
+        if max_dead_letters < 0:
+            raise ValueError(
+                f"max_dead_letters must be >= 0, got {max_dead_letters}."
+            )
         self.policies = policies or GuardPolicies()
         self.impute_window = impute_window
         self.max_dead_letters = max_dead_letters
@@ -188,6 +195,7 @@ class IngestionGuard:
         self._accepted: Counter = Counter()
         self._last_day: dict[str, int] = {}
         self._dead_letters: list[DeadLetterRecord] = []
+        self._overflow = 0  # quarantined payloads dropped at the cap
 
     # -- classification ----------------------------------------------------
 
@@ -304,6 +312,8 @@ class IngestionGuard:
                         vehicle_id=vehicle_id, day=day, value=value, anomaly=kind
                     )
                 )
+            else:
+                self._overflow += 1
         return ReadingDecision(value=None, anomaly=kind, policy=policy)
 
     # -- inspection --------------------------------------------------------
@@ -336,9 +346,99 @@ class IngestionGuard:
             return list(self._dead_letters)
         return [r for r in self._dead_letters if r.vehicle_id == vehicle_id]
 
+    def overflow_count(self) -> int:
+        """Quarantined payloads dropped because the buffer was full."""
+        return self._overflow
+
     @property
     def vehicle_ids(self) -> list[str]:
         return sorted(set(self._anomalies) | set(self._accepted))
+
+    # -- checkpoint state --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (config + every counter + dead letters)."""
+        return {
+            "config": {
+                "policies": {
+                    "non_finite": self.policies.non_finite.value,
+                    "negative": self.policies.negative.value,
+                    "too_large": self.policies.too_large.value,
+                    "duplicate_day": self.policies.duplicate_day.value,
+                    "out_of_order": self.policies.out_of_order.value,
+                },
+                "impute_window": self.impute_window,
+                "max_dead_letters": self.max_dead_letters,
+            },
+            "anomalies": {
+                vid: dict(counts)
+                for vid, counts in sorted(self._anomalies.items())
+            },
+            "applied": {
+                vid: dict(counts)
+                for vid, counts in sorted(self._applied.items())
+            },
+            "accepted": dict(sorted(self._accepted.items())),
+            "last_day": dict(sorted(self._last_day.items())),
+            "dead_letters": [
+                {
+                    "v": record.vehicle_id,
+                    "d": record.day,
+                    "x": record.value,
+                    "a": record.anomaly.value,
+                }
+                for record in self._dead_letters
+            ],
+            "overflow": self._overflow,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (counters only — the
+        config stays whatever this instance was built with)."""
+        self._anomalies = {
+            vid: Counter({k: int(n) for k, n in counts.items()})
+            for vid, counts in state.get("anomalies", {}).items()
+        }
+        self._applied = {
+            vid: Counter({k: int(n) for k, n in counts.items()})
+            for vid, counts in state.get("applied", {}).items()
+        }
+        self._accepted = Counter(
+            {vid: int(n) for vid, n in state.get("accepted", {}).items()}
+        )
+        self._last_day = {
+            vid: int(day) for vid, day in state.get("last_day", {}).items()
+        }
+        self._dead_letters = [
+            DeadLetterRecord(
+                vehicle_id=record["v"],
+                day=record["d"],
+                value=float(record["x"]),
+                anomaly=AnomalyKind(record["a"]),
+            )
+            for record in state.get("dead_letters", [])
+        ]
+        self._overflow = int(state.get("overflow", 0))
+
+    @classmethod
+    def from_state(cls, state: dict) -> "IngestionGuard":
+        """Build a guard matching a snapshot's config, then restore it."""
+        config = state.get("config", {})
+        table = config.get("policies")
+        policies = (
+            GuardPolicies(
+                **{name: AnomalyPolicy(value) for name, value in table.items()}
+            )
+            if table
+            else None
+        )
+        guard = cls(
+            policies,
+            impute_window=int(config.get("impute_window", 7)),
+            max_dead_letters=int(config.get("max_dead_letters", 10_000)),
+        )
+        guard.load_state_dict(state)
+        return guard
 
 
 class BreakerOpenError(RuntimeError):
@@ -425,6 +525,47 @@ class CircuitBreaker:
             }
             for key, state in sorted(self._states.items())
         }
+
+    # -- checkpoint state --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot of the config and every key's counters."""
+        return {
+            "config": {
+                "failure_threshold": self.failure_threshold,
+                "cooldown": self.cooldown,
+            },
+            "states": {
+                key: {
+                    "consecutive_failures": state.consecutive_failures,
+                    "skips_remaining": state.skips_remaining,
+                    "failures": state.failures,
+                    "skips": state.skips,
+                }
+                for key, state in sorted(self._states.items())
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._states = {
+            key: _BreakerState(
+                consecutive_failures=int(fields["consecutive_failures"]),
+                skips_remaining=int(fields["skips_remaining"]),
+                failures=int(fields["failures"]),
+                skips=int(fields["skips"]),
+            )
+            for key, fields in state.get("states", {}).items()
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CircuitBreaker":
+        config = state.get("config", {})
+        breaker = cls(
+            failure_threshold=int(config.get("failure_threshold", 3)),
+            cooldown=int(config.get("cooldown", 5)),
+        )
+        breaker.load_state_dict(state)
+        return breaker
 
 
 class RetryPolicy:
@@ -537,6 +678,7 @@ class FleetHealth:
 
     vehicles: dict  # vehicle_id -> VehicleHealth
     persist_failures: int = 0
+    dead_letter_overflow: int = 0  # quarantine payloads dropped at the cap
     gateway: dict | None = None
 
     def total_anomalies(self) -> dict[str, int]:
@@ -567,6 +709,7 @@ class FleetHealth:
             "anomalies": dict(sorted(anomalies.items())),
             "anomalies_total": sum(anomalies.values()),
             "quarantined": self.total_quarantined(),
+            "dead_letter_overflow": self.dead_letter_overflow,
             "degraded_serves": self.total_fallbacks(),
             "breaker_failures": self.breaker_failures(),
             "persist_failures": self.persist_failures,
@@ -580,6 +723,7 @@ class FleetHealth:
                 for vid, health in sorted(self.vehicles.items())
             },
             "persist_failures": self.persist_failures,
+            "dead_letter_overflow": self.dead_letter_overflow,
             "gateway": self.gateway,
         }
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -214,6 +215,11 @@ class MaintenancePredictionService:
         self.retry = retry
         self.obs = obs
         self._make_predictor = predictor_factory or make_predictor
+        # Write-ahead journal (duck-typed: anything with ``append``).
+        # ``None`` keeps journaling entirely off the ingest hot path;
+        # the recovery manager wires one in after replay completes.
+        self.journal = None
+        self._journal_depth = 0  # > 0 suppresses journaling (replay)
         self._vehicles: dict[str, _VehicleState] = {}
         self._unified_model = None
         self._unified_trained_on: frozenset[str] = frozenset()
@@ -221,9 +227,36 @@ class MaintenancePredictionService:
         self._fallback_counts: dict[str, Counter] = {}
         self._persist_failures = 0
 
+    # -- journaling ----------------------------------------------------------
+
+    @contextmanager
+    def journal_suspended(self):
+        """Suppress journaling inside the block (recovery replay, and
+        bulk paths that journaled one record for the whole batch)."""
+        self._journal_depth += 1
+        try:
+            yield
+        finally:
+            self._journal_depth -= 1
+
+    def _journal_append(self, kind: str, **payload) -> int | None:
+        """Journal one mutation record; no-op without an active journal.
+
+        The per-reading :meth:`ingest` hot path inlines this check
+        instead of calling here — a method call plus kwargs dict per
+        reading would cost real throughput when journaling is off.
+        """
+        if self.journal is None or self._journal_depth:
+            return None
+        return self.journal.append(kind, **payload)
+
     # -- ingestion -----------------------------------------------------------
 
     def register_vehicle(self, vehicle_id: str) -> None:
+        # Journal-before-apply: replay re-executes the same call, so a
+        # duplicate registration re-raises identically during recovery.
+        if self.journal is not None and self._journal_depth == 0:
+            self.journal.append("register", v=vehicle_id)
         if vehicle_id in self._vehicles:
             raise ValueError(f"Vehicle {vehicle_id!r} already registered.")
         self._vehicles[vehicle_id] = _VehicleState()
@@ -271,6 +304,17 @@ class MaintenancePredictionService:
         duplicate-day and out-of-order detection.
         """
         with self._stage("ingest", vehicle_id=vehicle_id):
+            # Journal-before-apply, inlined (see _journal_append): the
+            # journal holds the *requested* reading, pre-guard, so
+            # replay routes it through the same screening and lands on
+            # the same applied state.
+            if self.journal is not None and self._journal_depth == 0:
+                if day is None:
+                    self.journal.append("ingest", v=vehicle_id, s=daily_seconds)
+                else:
+                    self.journal.append(
+                        "ingest", v=vehicle_id, s=daily_seconds, d=day
+                    )
             if self.guard is None:
                 if not np.isfinite(daily_seconds) or not 0 <= daily_seconds <= 86_400:
                     raise ValueError(
@@ -301,6 +345,13 @@ class MaintenancePredictionService:
         """
         values = np.asarray(usage, dtype=np.float64)
         self._state(vehicle_id)  # unknown-vehicle check before any mutation
+        # One bulk journal record for the whole batch (base64 float64
+        # payload, bit-exact); the per-element ingests below run with
+        # journaling suspended.
+        if start_day is None:
+            self._journal_append("series", v=vehicle_id, u=values)
+        else:
+            self._journal_append("series", v=vehicle_id, u=values, d0=start_day)
         if self.guard is None and values.size:
             valid = np.isfinite(values) & (values >= 0) & (values <= 86_400)
             if not valid.all():
@@ -310,9 +361,10 @@ class MaintenancePredictionService:
                     f"{index} ({values[index]}) outside [0, 86400]; "
                     "no days were ingested."
                 )
-        for offset, seconds in enumerate(values):
-            day = None if start_day is None else start_day + offset
-            self.ingest(vehicle_id, float(seconds), day=day)
+        with self.journal_suspended():
+            for offset, seconds in enumerate(values):
+                day = None if start_day is None else start_day + offset
+                self.ingest(vehicle_id, float(seconds), day=day)
 
     # -- vehicle views ---------------------------------------------------------
 
@@ -659,8 +711,126 @@ class MaintenancePredictionService:
             for vid in sorted(ids)
         }
         return FleetHealth(
-            vehicles=vehicles, persist_failures=self._persist_failures
+            vehicles=vehicles,
+            persist_failures=self._persist_failures,
+            dead_letter_overflow=guard.overflow_count() if guard else 0,
         )
+
+    # -- checkpoint state ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot of everything a restart cannot re-derive.
+
+        Covered: usage histories, pending forecasts, guard counters and
+        dead letters, breaker states, drift residuals, fallback and
+        persistence counters, plus the configuration fingerprint that
+        :meth:`load_state_dict` validates.  Models are deliberately
+        *not* snapshotted — they retrain deterministically from the
+        usage histories (the equivalence suite pins this); the latest
+        persisted version per store key is recorded informationally.
+        """
+        vehicles = {}
+        for vid in sorted(self._vehicles):
+            state = self._vehicles[vid]
+            vehicles[vid] = {
+                "usage": [float(x) for x in state.usage],
+                "pending": [
+                    [int(day), float(predicted), strategy]
+                    for day, predicted, strategy in state.pending
+                ],
+                "resolved_through_cycle": state.resolved_through_cycle,
+            }
+        snapshot = {
+            "schema": 1,
+            "config": {
+                "t_v": self.t_v,
+                "window": self.window,
+                "algorithm": self.algorithm,
+            },
+            "vehicles": vehicles,
+            "fallback_counts": {
+                vid: dict(counts)
+                for vid, counts in sorted(self._fallback_counts.items())
+            },
+            "persist_failures": self._persist_failures,
+            "guard": self.guard.state_dict() if self.guard else None,
+            "breaker": self.breaker.state_dict() if self.breaker else None,
+            "monitor": self.monitor.state_dict() if self.monitor else None,
+        }
+        if self.store is not None:
+            snapshot["model_versions"] = {
+                key: versions[-1]
+                for key in self.store.keys()
+                if (versions := self.store.versions(key))
+            }
+        return snapshot
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this service.
+
+        Raises ``ValueError`` when the snapshot's configuration
+        fingerprint does not match this service, or when component
+        presence (guard/breaker/monitor) diverges — recovering counters
+        into a differently-shaped service would silently mis-route.
+        Models are left to retrain lazily; caches are invalidated.
+        """
+        if not isinstance(state, dict) or state.get("schema") != 1:
+            raise ValueError(
+                f"Unsupported service state schema: "
+                f"{state.get('schema') if isinstance(state, dict) else state!r}."
+            )
+        config = state.get("config")
+        if not isinstance(config, dict):
+            raise ValueError("Service state has no config fingerprint.")
+        fingerprint = (
+            float(config.get("t_v", float("nan"))),
+            int(config.get("window", -1)),
+            config.get("algorithm"),
+        )
+        if fingerprint != (self.t_v, self.window, self.algorithm):
+            raise ValueError(
+                f"Config fingerprint mismatch: snapshot {fingerprint}, "
+                f"service {(self.t_v, self.window, self.algorithm)}."
+            )
+        for name, component in (
+            ("guard", self.guard),
+            ("breaker", self.breaker),
+            ("monitor", self.monitor),
+        ):
+            if (state.get(name) is not None) != (component is not None):
+                have = "with" if component is not None else "without"
+                raise ValueError(
+                    f"Snapshot {'has' if state.get(name) else 'lacks'} "
+                    f"{name} state but this service runs {have} one."
+                )
+        self._vehicles = {
+            vid: _VehicleState(
+                usage=[float(x) for x in snap["usage"]],
+                pending=[
+                    (int(day), float(predicted), str(strategy))
+                    for day, predicted, strategy in snap.get("pending", [])
+                ],
+                resolved_through_cycle=int(
+                    snap.get("resolved_through_cycle", 0)
+                ),
+            )
+            for vid, snap in state.get("vehicles", {}).items()
+        }
+        self._fallback_counts = {
+            vid: Counter({k: int(n) for k, n in counts.items()})
+            for vid, counts in state.get("fallback_counts", {}).items()
+        }
+        self._persist_failures = int(state.get("persist_failures", 0))
+        if self.guard is not None:
+            self.guard.load_state_dict(state["guard"])
+        if self.breaker is not None:
+            self.breaker.load_state_dict(state["breaker"])
+        if self.monitor is not None:
+            self.monitor.load_state_dict(state["monitor"])
+        self._unified_model = None
+        self._unified_trained_on = frozenset()
+        if self.cycle_cache is not None:
+            self.cycle_cache.invalidate()
 
     # -- feedback loop -----------------------------------------------------------
 

@@ -1,0 +1,92 @@
+"""Unit tests for atomic checkpoints: generations, checksums, fallback."""
+
+import pytest
+
+from repro.durability import (
+    CheckpointCorruptError,
+    CheckpointManager,
+)
+
+
+def _state(n: int) -> dict:
+    return {"marker": n, "vehicles": {f"v{i:02d}": [1.0 * i] for i in range(3)}}
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ckpt")
+        manager.save(_state(1), seq=10)
+        checkpoint = manager.load_latest()
+        assert checkpoint is not None
+        assert checkpoint.seq == 10
+        assert checkpoint.state == _state(1)
+
+    def test_empty_directory(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ckpt")
+        assert manager.load_latest() is None
+        assert manager.latest_seq() is None
+
+    def test_keep_generations(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ckpt", keep=2)
+        for seq in (10, 20, 30, 40):
+            manager.save(_state(seq), seq=seq)
+        assert manager.seqs() == [30, 40]
+        assert manager.oldest_retained_seq() == 30
+        assert manager.load_latest().seq == 40
+
+    def test_negative_seq_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ckpt")
+        with pytest.raises(ValueError, match="seq"):
+            manager.save(_state(0), seq=-1)
+
+
+class TestCorruptionFallback:
+    def _two_generations(self, tmp_path) -> CheckpointManager:
+        manager = CheckpointManager(tmp_path / "ckpt", keep=3)
+        manager.save(_state(1), seq=10)
+        manager.save(_state(2), seq=20)
+        return manager
+
+    def _corrupt(self, manager: CheckpointManager, seq: int) -> None:
+        path = manager._path(seq)
+        path.write_bytes(path.read_bytes()[:-5] + b"XXXXX")
+
+    def test_falls_back_to_previous_generation(self, tmp_path):
+        manager = self._two_generations(tmp_path)
+        self._corrupt(manager, 20)
+        checkpoint = manager.load_latest()
+        assert checkpoint.seq == 10
+        assert checkpoint.state == _state(1)
+        assert manager.discarded == 1
+
+    def test_quarantines_corrupt_generation(self, tmp_path):
+        manager = self._two_generations(tmp_path)
+        self._corrupt(manager, 20)
+        manager.load_latest()
+        assert 20 not in manager.seqs()
+        quarantined = list((tmp_path / "ckpt" / "quarantine").iterdir())
+        assert quarantined  # payload (and sidecar) moved aside
+
+    def test_dry_run_leaves_corrupt_files_in_place(self, tmp_path):
+        manager = self._two_generations(tmp_path)
+        self._corrupt(manager, 20)
+        checkpoint = manager.load_latest(quarantine=False)
+        assert checkpoint.seq == 10
+        assert 20 in manager.seqs()  # read-only posture: nothing moved
+
+    def test_missing_sidecar_is_corrupt(self, tmp_path):
+        manager = self._two_generations(tmp_path)
+        manager._sidecar(manager._path(20)).unlink()
+        assert manager.load_latest().seq == 10
+
+    def test_all_generations_corrupt(self, tmp_path):
+        manager = self._two_generations(tmp_path)
+        self._corrupt(manager, 10)
+        self._corrupt(manager, 20)
+        assert manager.load_latest() is None
+
+    def test_load_reports_checksum_mismatch(self, tmp_path):
+        manager = self._two_generations(tmp_path)
+        self._corrupt(manager, 20)
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            manager._load(20)

@@ -1,0 +1,72 @@
+"""Property-based round-trip tests for Forecast serialization."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.categorize import VehicleCategory
+from repro.serving.service import Forecast
+
+_forecasts = st.builds(
+    Forecast,
+    vehicle_id=st.text(min_size=1, max_size=24),
+    category=st.sampled_from(list(VehicleCategory)),
+    strategy=st.sampled_from(
+        ["per-vehicle", "similarity", "unified", "baseline"]
+    ),
+    days_to_maintenance=st.floats(
+        allow_nan=False, allow_infinity=True, width=64
+    ),
+    usage_left=st.floats(allow_nan=False, allow_infinity=True, width=64),
+    as_of_day=st.integers(min_value=0, max_value=10**9),
+    donor_id=st.none() | st.text(min_size=1, max_size=24),
+    degraded=st.booleans(),
+    fallback_reason=st.none()
+    | st.sampled_from(
+        [
+            "train-failed:per-vehicle",
+            "breaker-open:similarity",
+            "predict-failed:unified; breaker-open:similarity",
+        ]
+    )
+    | st.text(max_size=60),
+)
+
+
+class TestForecastRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(forecast=_forecasts)
+    def test_to_dict_from_dict_identity(self, forecast):
+        assert Forecast.from_dict(forecast.to_dict()) == forecast
+
+    @settings(max_examples=100, deadline=None)
+    @given(forecast=_forecasts)
+    def test_survives_json_wire_format(self, forecast):
+        # The gateway ships forecasts as JSON; the pair must survive an
+        # actual serialize/parse cycle, not just a dict copy.
+        wire = json.loads(json.dumps(forecast.to_dict()))
+        assert Forecast.from_dict(wire) == forecast
+
+    @settings(max_examples=100, deadline=None)
+    @given(forecast=_forecasts)
+    def test_degraded_flag_and_reason_preserved(self, forecast):
+        restored = Forecast.from_dict(forecast.to_dict())
+        assert restored.degraded == forecast.degraded
+        assert restored.fallback_reason == forecast.fallback_reason
+        assert restored.category is forecast.category
+
+    def test_category_serialized_by_name(self):
+        forecast = Forecast(
+            vehicle_id="v01",
+            category=VehicleCategory.SEMI_NEW,
+            strategy="similarity",
+            days_to_maintenance=4.2,
+            usage_left=90_000.0,
+            as_of_day=17,
+            degraded=True,
+            fallback_reason="breaker-open:per-vehicle",
+        )
+        data = forecast.to_dict()
+        assert data["category"] == "SEMI_NEW"
+        assert Forecast.from_dict(data) == forecast

@@ -1,0 +1,95 @@
+"""Gateway durability behaviors: jittered back-pressure, readiness gate."""
+
+import asyncio
+
+import numpy as np
+
+from repro.serving import FleetEngine, IngestionGuard
+from repro.serving.gateway import FleetGateway, GatewayConfig
+
+T_V = 200_000.0
+
+
+def build_engine() -> FleetEngine:
+    rng = np.random.default_rng(7)
+    engine = FleetEngine(t_v=T_V, window=0, algorithm="LR",
+                         guard=IngestionGuard())
+    usage = {
+        f"v{i:02d}": rng.uniform(15_000, 25_000, size=25) for i in range(3)
+    }
+    engine.register_fleet(usage)
+    for vehicle_id, series in usage.items():
+        engine.ingest_history(vehicle_id, series)
+    return engine
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class _StubDurability:
+    """Duck-typed RecoveryManager: only what the gateway reads."""
+
+    def __init__(self, ready: bool):
+        self.ready = ready
+
+    def maybe_checkpoint(self) -> bool:
+        return False
+
+    def status(self) -> dict:
+        return {"ready": self.ready}
+
+
+class TestRetryAfterJitter:
+    def test_jitter_stays_in_configured_range(self):
+        gateway = FleetGateway(
+            build_engine(), GatewayConfig(retry_after_max_s=5)
+        )
+        values = {
+            int(gateway._retry_after()["Retry-After"]) for _ in range(200)
+        }
+        assert values <= set(range(1, 6))
+        assert len(values) > 1  # actually jittered, not constant
+
+    def test_jitter_stream_is_reproducible(self):
+        first = FleetGateway(build_engine(), GatewayConfig())
+        second = FleetGateway(build_engine(), GatewayConfig())
+        draws = [first._retry_after()["Retry-After"] for _ in range(20)]
+        assert draws == [
+            second._retry_after()["Retry-After"] for _ in range(20)
+        ]
+
+
+class TestReadinessGate:
+    def test_503_while_recovering(self):
+        async def scenario():
+            engine = build_engine()
+            engine.durability = _StubDurability(ready=False)
+            gateway = FleetGateway(engine, GatewayConfig())
+            await gateway.start()
+            response = await gateway.handle_request(
+                "GET", "/v1/predict/v00"
+            )
+            await gateway.shutdown()
+            return response
+
+        response = run(scenario())
+        assert response.status == 503
+        assert "recovering" in response.payload["error"]
+        assert response.headers["Retry-After"]
+
+    def test_serves_once_ready(self):
+        async def scenario():
+            engine = build_engine()
+            engine.durability = _StubDurability(ready=True)
+            gateway = FleetGateway(engine, GatewayConfig())
+            await gateway.start()
+            response = await gateway.handle_request(
+                "GET", "/v1/predict/v00"
+            )
+            await gateway.shutdown()
+            return response
+
+        response = run(scenario())
+        assert response.status == 200
+        assert response.payload["vehicle_id"] == "v00"

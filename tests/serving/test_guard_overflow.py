@@ -1,0 +1,61 @@
+"""Bounded dead-letter buffer: cap, overflow counter, health surfacing."""
+
+import pytest
+
+from repro.serving import IngestionGuard, MaintenancePredictionService
+
+T_V = 200_000.0
+
+
+class TestDeadLetterCap:
+    def test_buffer_stops_at_cap_and_counts_overflow(self):
+        guard = IngestionGuard(max_dead_letters=2)
+        for day in range(5):
+            decision = guard.screen("v01", float("nan"), day=day)
+            assert decision.value is None  # quarantined either way
+        assert len(guard.dead_letters()) == 2
+        assert guard.overflow_count() == 3
+        # Anomaly accounting keeps counting past the cap.
+        assert guard.anomaly_counts("v01") == {"non-finite": 5}
+
+    def test_zero_cap_records_nothing(self):
+        guard = IngestionGuard(max_dead_letters=0)
+        guard.screen("v01", float("nan"), day=0)
+        assert guard.dead_letters() == []
+        assert guard.overflow_count() == 1
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_dead_letters"):
+            IngestionGuard(max_dead_letters=-1)
+
+    def test_overflow_survives_state_round_trip(self):
+        guard = IngestionGuard(max_dead_letters=1)
+        for day in range(3):
+            guard.screen("v01", float("nan"), day=day)
+        restored = IngestionGuard(max_dead_letters=1)
+        restored.load_state_dict(guard.state_dict())
+        assert restored.overflow_count() == guard.overflow_count() == 2
+
+
+class TestHealthSurfacing:
+    def test_fleet_health_reports_overflow(self):
+        service = MaintenancePredictionService(
+            t_v=T_V,
+            window=0,
+            algorithm="LR",
+            guard=IngestionGuard(max_dead_letters=1),
+        )
+        service.register_vehicle("v01")
+        for day in range(4):
+            service.ingest("v01", float("nan"), day=day)
+        health = service.health()
+        assert health.dead_letter_overflow == 3
+        assert health.as_dict()["dead_letter_overflow"] == 3
+
+    def test_no_overflow_reads_zero(self):
+        service = MaintenancePredictionService(
+            t_v=T_V, window=0, algorithm="LR", guard=IngestionGuard()
+        )
+        service.register_vehicle("v01")
+        service.ingest("v01", 20_000.0, day=0)
+        assert service.health().dead_letter_overflow == 0

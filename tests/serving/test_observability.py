@@ -410,6 +410,7 @@ class TestGoldenSchemas:
             "degraded_serves",
             "breaker_failures",
             "persist_failures",
+            "dead_letter_overflow",
         }
         assert set(payload["drift"]) == {
             "vehicles_tracked",
