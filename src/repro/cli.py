@@ -9,7 +9,11 @@ Operational entry points for the reproduction:
   forecast its next maintenance;
 * ``chaos``     — replay a seeded fault-injection scenario against the
   resilient serving stack and print the fleet health report, or (with
-  ``--kill-after``) run the SIGKILL kill-recovery drill;
+  ``--kill-after``) run the SIGKILL kill-recovery drill, or (with
+  ``--drift``) run the drift-injection lifecycle drill;
+* ``lifecycle`` — drive the model-lifecycle controller over a seeded
+  drift scenario: print its admin status, run one sweep, or watch
+  promotions land day by day;
 * ``recover``   — recover a durable state directory (write-ahead
   journal + checkpoints), or inspect it read-only with ``--dry-run``;
 * ``serve``     — run the asyncio HTTP gateway (micro-batching,
@@ -233,10 +237,41 @@ def _run_kill_drill(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _run_drift_drill(args) -> int:
+    """``chaos --drift``: inject concept drift into part of the fleet,
+    let the lifecycle controller promote evaluation-gated replacements,
+    and fail loudly unless the fleet's error recovers with zero serving
+    interruption."""
+    import json
+
+    from .lifecycle import drift_promotion_drill
+
+    report = drift_promotion_drill(seed=args.seed, n_vehicles=args.vehicles)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"drifted  : {', '.join(report['drifted'])} "
+            f"(peak mae {max(report['peak_mae'].values()):.2f}d)"
+        )
+        print(
+            f"promoted : {', '.join(report['promoted']) or '(none)'} "
+            f"(final mae "
+            f"{max(report['final_mae'].get(v, 0.0) for v in report['drifted']):.2f}d)"
+        )
+        print(f"counters : {report['counters']}")
+        print()
+        for check in report["checks"]:
+            print(f"[{'ok' if check['ok'] else 'FAIL'}] {check['name']}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_chaos(args) -> int:
     """Deterministic chaos run: dirty readings, failing trainers and
     flaky storage against the resilient service; self-verifies that the
     FleetHealth counters match the injected fault counts exactly."""
+    if args.drift:
+        return _run_drift_drill(args)
     if args.kill_after is not None:
         return _run_kill_drill(args)
 
@@ -373,6 +408,123 @@ def _cmd_chaos(args) -> int:
             for label, ok in checks:
                 print(f"[{'ok' if ok else 'FAIL'}] {label}")
         return 1 if failed else 0
+
+
+def _cmd_lifecycle(args) -> int:
+    """Drive the lifecycle controller over a seeded drift scenario.
+
+    Replays the drill fleet in-process (warm champions, then inject
+    drift into the first ``--drifted`` vehicles), then either prints
+    the controller's admin ``status``, runs one sweep (``run-once``),
+    or follows ``--ticks`` further days with a sweep per day
+    (``watch``) — the same decision stream the gateway serves at
+    ``/v1/lifecycle``.
+    """
+    import json
+    import tempfile
+
+    import numpy as np
+
+    from .lifecycle.drill import _build_stack, _daily_usage
+
+    rng = np.random.default_rng(args.seed)
+    ids = [f"v{i:02d}" for i in range(args.vehicles)]
+    drifted = set(ids[: args.drifted])
+    with tempfile.TemporaryDirectory(prefix="repro-lifecycle-") as tmp:
+        engine, controller = _build_stack(store_dir=tmp)
+        engine.register_fleet(ids)
+        rates = dict(
+            zip(ids, rng.uniform(15_000.0, 21_000.0, size=len(ids)))
+        )
+        day = 0
+
+        def one_day(drifting: bool) -> None:
+            nonlocal day
+            engine.ingest_day(
+                {
+                    vid: _daily_usage(
+                        rng,
+                        rates[vid]
+                        * (
+                            args.drift_factor
+                            if drifting and vid in drifted
+                            else 1.0
+                        ),
+                    )
+                    for vid in ids
+                },
+                day=day,
+            )
+            if day >= 15:
+                engine.predict_all()
+            day += 1
+
+        for _ in range(args.warm_days):
+            one_day(False)
+        for _ in range(args.drift_days):
+            one_day(True)
+
+        if args.mode == "status":
+            status = controller.status()
+            if args.json:
+                print(json.dumps(status, indent=2, sort_keys=True))
+            else:
+                print(f"policy   : {status['policy']}")
+                print(f"counters : {status['counters']}")
+                for vid, info in sorted(status["vehicles"].items()):
+                    mae = info["mean_abs_error"]
+                    print(
+                        f"  {vid}  {info['category']:<8} "
+                        f"v{info['model_version']}  "
+                        f"pinned={info['pinned_version'] or '-'}  "
+                        f"mae={'n/a' if mae is None else f'{mae:.2f}d'}"
+                    )
+            return 0
+
+        if args.mode == "run-once":
+            entries = controller.run_once()
+            if args.json:
+                print(json.dumps(entries, indent=2, sort_keys=True))
+            else:
+                if not entries:
+                    print("no candidates due")
+                for entry in entries:
+                    print(
+                        f"{entry['vehicle_id']}: {entry['outcome']} "
+                        f"({entry['trigger']}) — {entry['detail']}"
+                    )
+            return 0
+
+        # watch: keep the drifted regime running, one sweep per day.
+        decisions = []
+        for tick in range(args.ticks):
+            one_day(True)
+            for entry in controller.run_once():
+                decisions.append({"day": day - 1, **entry})
+                if not args.json:
+                    print(
+                        f"day {day - 1}: {entry['vehicle_id']} "
+                        f"{entry['outcome']} ({entry['trigger']}) — "
+                        f"{entry['detail']}"
+                    )
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "decisions": decisions,
+                        "counters": controller.counters(),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(
+                f"watched {args.ticks} day(s): "
+                f"{controller.counters()['promotions']} promotion(s), "
+                f"{controller.counters()['rejections']} rejection(s)"
+            )
+        return 0
 
 
 def _cmd_recover(args) -> int:
@@ -612,6 +764,10 @@ def _cmd_serve(args) -> int:
             breaker=CircuitBreaker(),
             retry=RetryPolicy(),
         )
+    if args.store:
+        from .serving import ModelStore
+
+        service_kwargs["store"] = ModelStore(args.store)
 
     fleet = None
     if args.input:
@@ -633,6 +789,13 @@ def _cmd_serve(args) -> int:
             engine.service.register_vehicle(vehicle.vehicle_id)
             engine.ingest_history(vehicle.vehicle_id, vehicle.usage)
         print(f"preloaded {len(fleet.vehicles)} vehicles from {args.input}")
+
+    # Passive until an admin endpoint (or a drift alert sweep) invokes
+    # it, so the controller is always on: /v1/lifecycle works on any
+    # served fleet instead of 503ing.  Registers itself on the engine.
+    from .lifecycle import LifecycleController
+
+    LifecycleController(engine)
 
     manager = None
     if args.durable:
@@ -660,7 +823,7 @@ def _cmd_serve(args) -> int:
         print(
             "endpoints: POST /v1/ingest  GET /v1/predict/{id}  "
             "POST /v1/predict:batch  GET /v1/health  GET /v1/metrics  "
-            "GET /v1/trace/{request_id}"
+            "GET /v1/trace/{request_id}  GET /v1/lifecycle"
         )
         await gateway.run_until_closed()
 
@@ -793,7 +956,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --kill-after, also tear the journal tail pre-recovery",
     )
+    chaos.add_argument(
+        "--drift",
+        action="store_true",
+        help=(
+            "run the drift-injection lifecycle drill instead: inject "
+            "concept drift, require gated promotions and error "
+            "recovery, exit 1 on any failed check"
+        ),
+    )
     chaos.set_defaults(func=_cmd_chaos)
+
+    lifecycle = sub.add_parser(
+        "lifecycle",
+        help=(
+            "drive the model-lifecycle controller over a seeded drift "
+            "scenario: status, run-once, or watch"
+        ),
+    )
+    lifecycle.add_argument("mode", choices=("status", "run-once", "watch"))
+    lifecycle.add_argument("--seed", type=int, default=0)
+    lifecycle.add_argument("--vehicles", type=int, default=6)
+    lifecycle.add_argument(
+        "--drifted",
+        type=int,
+        default=2,
+        help="how many vehicles shift regime after the warm phase",
+    )
+    lifecycle.add_argument("--warm-days", type=int, default=70)
+    lifecycle.add_argument("--drift-days", type=int, default=45)
+    lifecycle.add_argument("--drift-factor", type=float, default=2.0)
+    lifecycle.add_argument(
+        "--ticks",
+        type=_positive_int,
+        default=40,
+        help="watch: how many further days to follow (one sweep each)",
+    )
+    lifecycle.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    lifecycle.set_defaults(func=_cmd_lifecycle)
 
     recover = sub.add_parser(
         "recover",
@@ -837,6 +1039,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--input", default=None, help="saved fleet directory to preload"
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "model artifact directory; enables versioned promotion, "
+            "rollback and pinning via /v1/lifecycle"
+        ),
     )
     serve.add_argument("--stem", default="fleet")
     serve.add_argument(

@@ -53,7 +53,7 @@ _SEGMENT_PREFIX = "seg-"
 _SEGMENT_SUFFIX = ".jrnl"
 
 #: Record kinds the serving layer writes (recovery refuses others).
-RECORD_KINDS = ("register", "ingest", "series", "day")
+RECORD_KINDS = ("register", "ingest", "series", "day", "lifecycle")
 
 
 class JournalCorruptError(ValueError):

@@ -232,6 +232,18 @@ class RecoveryManager:
                     )
             for vehicle_id, seconds in zip(ids, values):
                 self.service.ingest(vehicle_id, float(seconds), day=day)
+        elif record.kind == "lifecycle":
+            # Replay passes no predictor: the promoted/pinned artifact
+            # is reloaded from the model store when still present (bit
+            # identical), otherwise the service drops to deterministic
+            # lazy retraining for that vehicle.
+            self.service.apply_lifecycle_event(
+                payload["a"],
+                payload["v"],
+                version=payload.get("ver"),
+                trained_cycles=payload.get("c"),
+                reason=payload.get("r"),
+            )
         else:
             raise RecoveryError(
                 f"Unknown journal record kind {record.kind!r} "

@@ -1,0 +1,142 @@
+"""Promotion policy: the evaluation gate between challenger and champion.
+
+Every gate rejects with an explicit reason string so the controller's
+history (and the gateway's ``/v1/lifecycle`` payload) reads as an audit
+trail: which challenger was rejected, by which gate, with which
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .shadow import ShadowReport
+
+__all__ = ["PromotionDecision", "PromotionPolicy"]
+
+
+@dataclass(frozen=True)
+class PromotionDecision:
+    """Outcome of one policy check."""
+
+    vehicle_id: str
+    promote: bool
+    reason: str
+    report: ShadowReport | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "vehicle_id": self.vehicle_id,
+            "promote": self.promote,
+            "reason": self.reason,
+            "report": None if self.report is None else self.report.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class PromotionPolicy:
+    """Gates a shadow-evaluated challenger must pass to serve.
+
+    Attributes
+    ----------
+    min_shadow_samples:
+        Resolved shadow days required before any verdict — a challenger
+        scored on a handful of points is noise, not evidence.
+    min_improvement_days:
+        Absolute mean-|error| reduction (days) the challenger must
+        deliver.
+    min_relative_improvement:
+        Relative reduction against the champion's mean |error|; the
+        effective bar is ``max(min_improvement_days,
+        champion_mae * min_relative_improvement)``, so vehicles with
+        large errors need proportionally more improvement.
+    max_worst_regression_days:
+        Optional tail guardrail: reject when the challenger's worst
+        shadow error exceeds the champion's by more than this many days
+        (a better mean bought with a worse tail is a bad trade for
+        maintenance scheduling).  ``None`` disables the gate.
+    allowed_strategies:
+        Strategy-aware guardrail — promotion only ever replaces models
+        on these serving strategies (donor-trained similarity/unified
+        models are shared artifacts, not per-vehicle champions).
+    """
+
+    min_shadow_samples: int = 8
+    min_improvement_days: float = 0.25
+    min_relative_improvement: float = 0.05
+    max_worst_regression_days: float | None = None
+    allowed_strategies: tuple = ("per-vehicle",)
+
+    def __post_init__(self) -> None:
+        if self.min_shadow_samples < 1:
+            raise ValueError(
+                f"min_shadow_samples must be >= 1, "
+                f"got {self.min_shadow_samples}."
+            )
+        if self.min_improvement_days < 0:
+            raise ValueError(
+                f"min_improvement_days must be >= 0, "
+                f"got {self.min_improvement_days}."
+            )
+        if not 0 <= self.min_relative_improvement < 1:
+            raise ValueError(
+                f"min_relative_improvement must be in [0, 1), "
+                f"got {self.min_relative_improvement}."
+            )
+        if not self.allowed_strategies:
+            raise ValueError("allowed_strategies must not be empty.")
+
+    def required_improvement(self, champion_mae: float) -> float:
+        """The effective improvement bar for a given champion error."""
+        return max(
+            self.min_improvement_days,
+            champion_mae * self.min_relative_improvement,
+        )
+
+    def decide(
+        self, report: ShadowReport, *, strategy: str = "per-vehicle"
+    ) -> PromotionDecision:
+        """Promote or reject one shadow-evaluated challenger."""
+        vid = report.vehicle_id
+        if strategy not in self.allowed_strategies:
+            return PromotionDecision(
+                vid,
+                False,
+                f"strategy guardrail: {strategy!r} not in "
+                f"{self.allowed_strategies}",
+                report,
+            )
+        if report.n_samples < self.min_shadow_samples:
+            return PromotionDecision(
+                vid,
+                False,
+                f"insufficient shadow samples: {report.n_samples} < "
+                f"{self.min_shadow_samples}",
+                report,
+            )
+        required = self.required_improvement(report.champion_mae)
+        if not report.improvement >= required:  # NaN-safe: rejects NaN
+            return PromotionDecision(
+                vid,
+                False,
+                f"improvement {report.improvement:.3f}d below required "
+                f"{required:.3f}d",
+                report,
+            )
+        if self.max_worst_regression_days is not None:
+            regression = report.challenger_worst - report.champion_worst
+            if regression > self.max_worst_regression_days:
+                return PromotionDecision(
+                    vid,
+                    False,
+                    f"worst-case regression {regression:.3f}d exceeds "
+                    f"{self.max_worst_regression_days:.3f}d",
+                    report,
+                )
+        return PromotionDecision(
+            vid,
+            True,
+            f"improvement {report.improvement:.3f}d over {report.n_samples} "
+            f"shadow samples (win rate {report.win_rate:.2f})",
+            report,
+        )

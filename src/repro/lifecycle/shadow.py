@@ -1,0 +1,136 @@
+"""Shadow evaluation: score a challenger against the serving champion.
+
+A challenger trained off the hot path must prove itself on *recent
+resolved outcomes* before it may serve (the Air Force ground-vehicles
+study's validate-against-recent-outcomes discipline).  The evaluator
+replays the vehicle's most recent days with known ground truth — the
+same ``[L(t), u(t-1..t-window)]`` feature rows the serving path builds —
+through both models and reports paired absolute-error statistics; the
+:class:`~repro.lifecycle.policy.PromotionPolicy` then gates promotion on
+them.
+
+Shadow evaluation never mutates serving state: no pending forecasts are
+appended, no models installed, no residuals recorded.  The champion
+keeps serving untouched while its replacement is scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ShadowEvaluator", "ShadowReport"]
+
+
+@dataclass(frozen=True)
+class ShadowReport:
+    """Paired champion/challenger error statistics over the shadow window."""
+
+    vehicle_id: str
+    n_samples: int
+    champion_mae: float
+    challenger_mae: float
+    champion_worst: float
+    challenger_worst: float
+    win_rate: float  # fraction of days the challenger was closer (ties ½)
+
+    @property
+    def improvement(self) -> float:
+        """Mean absolute-error reduction in days (positive = better)."""
+        return self.champion_mae - self.challenger_mae
+
+    def as_dict(self) -> dict:
+        return {
+            "vehicle_id": self.vehicle_id,
+            "n_samples": self.n_samples,
+            "champion_mae": self.champion_mae,
+            "challenger_mae": self.challenger_mae,
+            "champion_worst": self.champion_worst,
+            "challenger_worst": self.challenger_worst,
+            "win_rate": self.win_rate,
+            "improvement": self.improvement,
+        }
+
+
+class ShadowEvaluator:
+    """Replays recent resolved days through champion and challenger.
+
+    Parameters
+    ----------
+    window_days:
+        Upper bound on shadow samples: the newest that-many days with
+        known ground truth are scored.  Recency matters — under concept
+        drift the oldest outcomes describe a regime the challenger is
+        supposed to replace.
+    """
+
+    def __init__(self, window_days: int = 45):
+        if window_days < 1:
+            raise ValueError(f"window_days must be >= 1, got {window_days}.")
+        self.window_days = window_days
+
+    def _shadow_rows(
+        self, service, vehicle_id: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(feature matrix, truth vector) for the newest resolved days.
+
+        Rows use exactly the serving feature layout
+        (``service._feature_row``): ``[usage_left[t], usage[t-1],
+        ..., usage[t-window]]`` for every day ``t >= window`` whose true
+        days-to-maintenance is known (its cycle completed).
+        """
+        series = service.series(vehicle_id)
+        window = service.window
+        d_true = series.days_to_maintenance
+        days = [
+            t
+            for t in range(window, series.n_days)
+            if np.isfinite(d_true[t])
+        ]
+        days = days[-self.window_days:]
+        rows = np.empty((len(days), window + 1))
+        for i, t in enumerate(days):
+            rows[i, 0] = series.usage_left[t]
+            for lag in range(1, window + 1):
+                rows[i, lag] = series.usage[t - lag]
+        return rows, d_true[days] if days else np.empty(0)
+
+    def evaluate(
+        self, service, vehicle_id: str, champion, challenger
+    ) -> ShadowReport:
+        """Score both models on the vehicle's shadow window.
+
+        Predictions are clamped at zero exactly as the serving path
+        clamps them, so the shadow errors are the errors clients would
+        have seen.  With no resolved days yet the report carries
+        ``n_samples=0`` (the policy rejects it as insufficient).
+        """
+        rows, truth = self._shadow_rows(service, vehicle_id)
+        if rows.shape[0] == 0:
+            nan = float("nan")
+            return ShadowReport(
+                vehicle_id=vehicle_id,
+                n_samples=0,
+                champion_mae=nan,
+                challenger_mae=nan,
+                champion_worst=nan,
+                challenger_worst=nan,
+                win_rate=nan,
+            )
+        champ_pred = np.maximum(np.asarray(champion.predict(rows)), 0.0)
+        chall_pred = np.maximum(np.asarray(challenger.predict(rows)), 0.0)
+        champ_err = np.abs(truth - champ_pred)
+        chall_err = np.abs(truth - chall_pred)
+        n = rows.shape[0]
+        wins = float(np.sum(chall_err < champ_err))
+        ties = float(np.sum(chall_err == champ_err))
+        return ShadowReport(
+            vehicle_id=vehicle_id,
+            n_samples=n,
+            champion_mae=float(np.mean(champ_err)),
+            challenger_mae=float(np.mean(chall_err)),
+            champion_worst=float(np.max(champ_err)),
+            challenger_worst=float(np.max(chall_err)),
+            win_rate=(wins + 0.5 * ties) / n,
+        )

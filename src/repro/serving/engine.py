@@ -62,11 +62,18 @@ class EngineConfig:
         mutates live per-vehicle service state.
     use_cycle_cache:
         Attach an incremental :class:`CycleStateCache` to the service.
+    auto_refresh:
+        Refresh stale old-vehicle models before every batch prediction
+        (the historical contract).  ``False`` leaves model freshness to
+        explicit :meth:`FleetEngine.refresh_models` calls or the
+        lifecycle controller's evaluation-gated promotions — batch
+        prediction then serves whatever champions are installed.
     """
 
     max_workers: int | None = None
     executor: str = "thread"
     use_cycle_cache: bool = True
+    auto_refresh: bool = True
 
     def __post_init__(self) -> None:
         if self.executor not in ("serial", "thread", "process"):
@@ -172,6 +179,10 @@ class FleetEngine:
         # batches; keyed by fleet size, which is sound because
         # vehicles are never deregistered.
         self._fleet_ids_cache = None
+        # Optional LifecycleController (duck-typed); attach_lifecycle()
+        # wires it in so the gateway's admin endpoints and readiness()
+        # can reach it.
+        self.lifecycle = None
 
     def attach_observability(self, obs: Observability) -> None:
         """Share one :class:`~repro.obs.Observability` across the stack.
@@ -205,6 +216,10 @@ class FleetEngine:
             obs.registry.register_collector(
                 "durability", self.durability.status, replace=True
             )
+        if self.lifecycle is not None:
+            obs.registry.register_collector(
+                "lifecycle", self.lifecycle.counters, replace=True
+            )
 
     def attach_durability(self, manager) -> None:
         """Wire a recovered :class:`~repro.durability.recovery.
@@ -219,6 +234,20 @@ class FleetEngine:
         if self.obs is not None:
             self.obs.registry.register_collector(
                 "durability", manager.status, replace=True
+            )
+
+    def attach_lifecycle(self, controller) -> None:
+        """Wire a :class:`~repro.lifecycle.LifecycleController` in.
+
+        The gateway's ``/v1/lifecycle`` admin endpoints and
+        :meth:`readiness` reach the controller through this handle, and
+        its sweep/promotion counters join the consolidated metrics
+        snapshot as the ``lifecycle`` section.
+        """
+        self.lifecycle = controller
+        if self.obs is not None:
+            self.obs.registry.register_collector(
+                "lifecycle", controller.counters, replace=True
             )
 
     @contextmanager
@@ -366,8 +395,13 @@ class FleetEngine:
             if service.category(vehicle_id) is not VehicleCategory.OLD:
                 continue
             state = service._vehicles[vehicle_id]
+            if state.pinned_version is not None:
+                continue  # pinned vehicles serve their pin, never retrain
             n_cycles = len(service.series(vehicle_id).completed_cycles)
-            if state.model is None or state.model_trained_cycles != n_cycles:
+            if state.model is None or (
+                service.retrain_on_cycle
+                and state.model_trained_cycles != n_cycles
+            ):
                 stale.append((vehicle_id, n_cycles))
         return stale
 
@@ -448,7 +482,7 @@ class FleetEngine:
             state.model = predictor
             state.model_trained_cycles = task.n_cycles
             installed += 1
-            service._persist(
+            state.model_version = service._persist(
                 f"{task.vehicle_id}.per-vehicle",
                 predictor,
                 strategy="per-vehicle",
@@ -477,7 +511,8 @@ class FleetEngine:
         """
         with self._track_inflight():
             service = self.service
-            self._refresh_models()
+            if self.config.auto_refresh:
+                self._refresh_models()
             ids = self._ready_ids() if skip_unready else service.vehicle_ids
             if service.breaker is None and any(
                 service.category(vehicle_id) is VehicleCategory.NEW
@@ -517,7 +552,8 @@ class FleetEngine:
         ladder's breaker/fallback events land on the trace.
         """
         with self._track_inflight():
-            self._refresh_models()
+            if self.config.auto_refresh:
+                self._refresh_models()
             ids = list(vehicle_ids)
             if spans is None or not any(s is not None for s in spans):
                 return self._prediction_executor().map_ordered(
@@ -586,6 +622,9 @@ class FleetEngine:
             "cache": self.cache_stats,
             "durability": (
                 None if self.durability is None else self.durability.status()
+            ),
+            "lifecycle": (
+                None if self.lifecycle is None else self.lifecycle.counters()
             ),
         }
 

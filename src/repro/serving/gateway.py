@@ -21,6 +21,18 @@ JSON-over-HTTP front end on :class:`~repro.serving.engine.FleetEngine`:
     health, drift, cache, tracing and profiling sections.
 ``GET /v1/trace/{request_id}``
     The recorded trace (spans + events) of one earlier request.
+``GET /v1/lifecycle``
+    The lifecycle controller's admin view: policy, counters,
+    per-vehicle versions/pins/drift, recent decisions (503 when no
+    :class:`~repro.lifecycle.LifecycleController` is attached).
+``POST /v1/lifecycle/run``
+    One lifecycle sweep: evaluate every due candidate now.
+``POST /v1/lifecycle/{vehicle_id}/{promote|rollback|pin|unpin}``
+    Operator actions.  ``promote`` forces one evaluation-gated
+    challenger run; ``rollback`` reverts to a prior stored version
+    (newest-prior default, optional ``{"version": n, "quarantine":
+    true}`` body); ``pin`` requires ``{"version": n}``; all accept an
+    optional ``"reason"``.
 
 Three serving-layer mechanisms make it production-shaped:
 
@@ -363,6 +375,8 @@ def _endpoint_label(method: str, path: str) -> str:
         return "metrics"
     if path.startswith("/v1/trace/"):
         return "trace"
+    if path == "/v1/lifecycle" or path.startswith("/v1/lifecycle/"):
+        return "lifecycle"
     return "other"
 
 
@@ -750,6 +764,8 @@ class FleetGateway:
         if path == "/v1/ingest":
             self._require_method(method, "POST")
             return await self._handle_ingest(body)
+        if path == "/v1/lifecycle" or path.startswith("/v1/lifecycle/"):
+            return await self._handle_lifecycle(method, path, body)
         if path == "/v1/predict:batch":
             self._require_method(method, "POST")
             return await self._handle_predict_batch(body)
@@ -872,6 +888,84 @@ class FleetGateway:
         return GatewayResponse(
             200, {"forecasts": forecasts, "errors": errors}, headers
         )
+
+    async def _handle_lifecycle(
+        self, method: str, path: str, body: bytes
+    ) -> GatewayResponse:
+        """Admin surface of the lifecycle controller.
+
+        Every action runs on the engine thread like any other state
+        mutation, so an operator rollback can never interleave with an
+        in-flight predict batch.
+        """
+        controller = getattr(self.engine, "lifecycle", None)
+        if controller is None:
+            raise _RequestError(
+                503, "no lifecycle controller attached to this engine"
+            )
+        if path == "/v1/lifecycle":
+            self._require_method(method, "GET")
+            return GatewayResponse(
+                200, await self._engine_call(controller.status)
+            )
+        self._require_method(method, "POST")
+        self._check_ready()
+        if path == "/v1/lifecycle/run":
+            entries = await self._engine_call(controller.run_once)
+            return GatewayResponse(200, {"evaluated": entries})
+        rest = unquote(path[len("/v1/lifecycle/"):])
+        vehicle_id, _, action = rest.rpartition("/")
+        if not vehicle_id or action not in (
+            "promote", "rollback", "pin", "unpin"
+        ):
+            raise _RequestError(404, f"no lifecycle route for {path!r}")
+        if not self.engine.service.has_vehicle(vehicle_id):
+            raise _RequestError(404, f"unknown vehicle {vehicle_id!r}")
+        payload = self._parse_json(body) if body else {}
+        version = payload.get("version")
+        if version is not None and (
+            isinstance(version, bool) or not isinstance(version, int)
+        ):
+            raise _RequestError(400, "'version' must be an integer")
+        reason = payload.get("reason")
+        if reason is not None and not isinstance(reason, str):
+            raise _RequestError(400, "'reason' must be a string")
+        try:
+            if action == "promote":
+                entry = await self._engine_call(
+                    partial(
+                        controller.evaluate_vehicle,
+                        vehicle_id,
+                        reason or "operator request",
+                    )
+                )
+            elif action == "rollback":
+                entry = await self._engine_call(
+                    partial(
+                        controller.rollback,
+                        vehicle_id,
+                        version,
+                        quarantine_current=bool(
+                            payload.get("quarantine", False)
+                        ),
+                        reason=reason,
+                    )
+                )
+            elif action == "pin":
+                if version is None:
+                    raise _RequestError(400, "pin requires 'version'")
+                entry = await self._engine_call(
+                    partial(controller.pin, vehicle_id, version, reason=reason)
+                )
+            else:
+                entry = await self._engine_call(
+                    partial(controller.unpin, vehicle_id, reason=reason)
+                )
+        except KeyError as exc:  # unknown stored version
+            raise _RequestError(404, str(exc)) from None
+        except ValueError as exc:  # no store / no prior version / corrupt
+            raise _RequestError(422, str(exc)) from None
+        return GatewayResponse(200, entry)
 
     async def _handle_ingest(self, body: bytes) -> GatewayResponse:
         if self._draining:

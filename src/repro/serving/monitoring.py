@@ -97,6 +97,12 @@ class DriftMonitor:
         Number of most recent resolved residuals considered per vehicle.
     min_samples:
         Residuals required before a vehicle can be flagged at all.
+    alert_cooldown:
+        Debounce for :meth:`fire_alerts`: after an alert fires for a
+        vehicle, re-firing is suppressed until that many *new* residuals
+        have been recorded for it (fresh evidence).  Suppressed re-fires
+        are counted as "still degraded" instead of retriggering
+        consumers in a loop.  ``None`` (default) uses ``min_samples``.
     """
 
     def __init__(
@@ -104,6 +110,7 @@ class DriftMonitor:
         threshold_days: float = 7.0,
         window: int = 30,
         min_samples: int = 5,
+        alert_cooldown: int | None = None,
     ):
         if threshold_days <= 0:
             raise ValueError(
@@ -113,14 +120,32 @@ class DriftMonitor:
             raise ValueError(f"window must be >= 1, got {window}.")
         if min_samples < 1:
             raise ValueError(f"min_samples must be >= 1, got {min_samples}.")
+        if alert_cooldown is None:
+            alert_cooldown = min_samples
+        if alert_cooldown < 1:
+            raise ValueError(
+                f"alert_cooldown must be >= 1, got {alert_cooldown}."
+            )
         self.threshold_days = threshold_days
         self.window = window
         self.min_samples = min_samples
+        self.alert_cooldown = alert_cooldown
         self._residuals: dict[str, deque] = defaultdict(
             lambda: deque(maxlen=self.window)
         )
+        # Running per-vehicle sums of the windowed residuals (plain and
+        # absolute), maintained on append/evict so the per-sweep alert
+        # scan is O(vehicles), not O(vehicles * window) numpy reductions
+        # — the lifecycle controller polls alerts every serve day.
+        self._sums: dict[str, float] = defaultdict(float)
+        self._abs_sums: dict[str, float] = defaultdict(float)
         self._strategy_counts: dict[str, dict[str, int]] = defaultdict(dict)
         self._recorded = 0  # monotonic, unlike the windowed deques
+        self._recorded_by_vehicle: dict[str, int] = defaultdict(int)
+        # Per-vehicle recorded-count at the moment the last alert fired;
+        # a vehicle re-fires only once alert_cooldown new residuals land.
+        self._fired_at: dict[str, int] = {}
+        self._still_degraded: dict[str, int] = defaultdict(int)
 
     def record(
         self,
@@ -139,8 +164,7 @@ class DriftMonitor:
         """
         if not np.isfinite(d_true) or not np.isfinite(d_pred):
             raise ValueError("Resolved residuals must be finite.")
-        self._residuals[vehicle_id].append(float(d_true) - float(d_pred))
-        self._recorded += 1
+        self._append(vehicle_id, float(d_true) - float(d_pred))
         if strategy is not None:
             counts = self._strategy_counts[vehicle_id]
             counts[strategy] = counts.get(strategy, 0) + 1
@@ -156,28 +180,40 @@ class DriftMonitor:
             raise ValueError("d_true and d_pred must align.")
         for t, p in zip(d_true, d_pred):
             if np.isfinite(t) and np.isfinite(p):
-                self._residuals[vehicle_id].append(float(t) - float(p))
-                self._recorded += 1
+                self._append(vehicle_id, float(t) - float(p))
+
+    def _append(self, vehicle_id: str, residual: float) -> None:
+        """Window one residual in, keeping the running sums consistent."""
+        window = self._residuals[vehicle_id]
+        if len(window) == self.window:
+            evicted = window[0]
+            self._sums[vehicle_id] -= evicted
+            self._abs_sums[vehicle_id] -= abs(evicted)
+        window.append(residual)
+        self._sums[vehicle_id] += residual
+        self._abs_sums[vehicle_id] += abs(residual)
+        self._recorded += 1
+        self._recorded_by_vehicle[vehicle_id] += 1
 
     def mean_abs_error(self, vehicle_id: str) -> float:
         residuals = self._residuals.get(vehicle_id)
         if not residuals:
             return float("nan")
-        return float(np.mean(np.abs(residuals)))
+        return self._abs_sums[vehicle_id] / len(residuals)
 
     def bias(self, vehicle_id: str) -> float:
         """Signed mean residual: positive = systematic under-prediction."""
         residuals = self._residuals.get(vehicle_id)
         if not residuals:
             return float("nan")
-        return float(np.mean(residuals))
+        return self._sums[vehicle_id] / len(residuals)
 
     def check(self, vehicle_id: str) -> DriftAlert | None:
         """Alert for one vehicle, or ``None`` if healthy/insufficient data."""
         residuals = self._residuals.get(vehicle_id)
         if not residuals or len(residuals) < self.min_samples:
             return None
-        mae = float(np.mean(np.abs(residuals)))
+        mae = self._abs_sums[vehicle_id] / len(residuals)
         if mae <= self.threshold_days:
             return None
         return DriftAlert(
@@ -188,7 +224,7 @@ class DriftMonitor:
         )
 
     def alerts(self) -> list[DriftAlert]:
-        """All currently-firing alerts, worst first."""
+        """All currently-firing alerts, worst first (pure view)."""
         found = [
             alert
             for vehicle_id in self._residuals
@@ -196,6 +232,52 @@ class DriftMonitor:
         ]
         found.sort(key=lambda a: -a.mean_abs_error)
         return found
+
+    def fire_alerts(self) -> list[DriftAlert]:
+        """Debounced alert consumption for downstream automation.
+
+        :meth:`alerts` is a pure view and re-reports an identical alert
+        for a still-degraded vehicle on every check — fine for a
+        dashboard, a retrigger loop for anything that *acts* on alerts
+        (the lifecycle controller).  This variant marks each returned
+        alert as fired and suppresses that vehicle until
+        ``alert_cooldown`` new residuals have been recorded for it;
+        suppressed re-fires increment the vehicle's "still degraded"
+        counter instead.
+        """
+        fired: list[DriftAlert] = []
+        for alert in self.alerts():
+            vehicle_id = alert.vehicle_id
+            seen = self._recorded_by_vehicle.get(vehicle_id, 0)
+            fired_at = self._fired_at.get(vehicle_id)
+            if (
+                fired_at is not None
+                and seen - fired_at < self.alert_cooldown
+            ):
+                self._still_degraded[vehicle_id] += 1
+                continue
+            self._fired_at[vehicle_id] = seen
+            fired.append(alert)
+        return fired
+
+    def still_degraded(self, vehicle_id: str | None = None) -> int:
+        """Suppressed re-fires — for one vehicle, or fleet-wide."""
+        if vehicle_id is not None:
+            return self._still_degraded.get(vehicle_id, 0)
+        return sum(self._still_degraded.values())
+
+    def reset(self, vehicle_id: str) -> None:
+        """Forget a vehicle's residual window and alert debounce state.
+
+        Called after a model promotion/rollback: the residuals scored
+        the *replaced* model, so the new one starts with a clean window
+        and may alert again as soon as its own evidence accrues.
+        """
+        self._residuals.pop(vehicle_id, None)
+        self._sums.pop(vehicle_id, None)
+        self._abs_sums.pop(vehicle_id, None)
+        self._fired_at.pop(vehicle_id, None)
+        self._still_degraded.pop(vehicle_id, None)
 
     def counters(self) -> dict:
         """Fleet-level counter view — the ``drift`` section of the
@@ -210,6 +292,10 @@ class DriftMonitor:
             "residuals_held": sum(len(r) for r in self._residuals.values()),
             "resolved_by_strategy": dict(sorted(strategies.items())),
             "alerts": len(self.alerts()),
+            "alerts_suppressed": self.still_degraded(),
+            "still_degraded_vehicles": sum(
+                1 for n in self._still_degraded.values() if n
+            ),
             "threshold_days": self.threshold_days,
         }
 
@@ -233,6 +319,7 @@ class DriftMonitor:
                 "threshold_days": self.threshold_days,
                 "window": self.window,
                 "min_samples": self.min_samples,
+                "alert_cooldown": self.alert_cooldown,
             },
             "residuals": {
                 vid: [float(r) for r in residuals]
@@ -243,30 +330,56 @@ class DriftMonitor:
                 for vid, counts in sorted(self._strategy_counts.items())
             },
             "recorded": self._recorded,
+            "recorded_by_vehicle": dict(
+                sorted(self._recorded_by_vehicle.items())
+            ),
+            "fired_at": dict(sorted(self._fired_at.items())),
+            "still_degraded": dict(sorted(self._still_degraded.items())),
         }
 
     def load_state_dict(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot into this monitor."""
         self._residuals = defaultdict(lambda: deque(maxlen=self.window))
+        self._sums = defaultdict(float)
+        self._abs_sums = defaultdict(float)
         for vid, residuals in state.get("residuals", {}).items():
-            self._residuals[vid] = deque(
-                (float(r) for r in residuals), maxlen=self.window
-            )
+            window = deque(maxlen=self.window)
+            for raw in residuals:
+                residual = float(raw)
+                if len(window) == self.window:
+                    evicted = window[0]
+                    self._sums[vid] -= evicted
+                    self._abs_sums[vid] -= abs(evicted)
+                window.append(residual)
+                self._sums[vid] += residual
+                self._abs_sums[vid] += abs(residual)
+            self._residuals[vid] = window
         self._strategy_counts = defaultdict(dict)
         for vid, counts in state.get("strategy_counts", {}).items():
             self._strategy_counts[vid] = {
                 strategy: int(n) for strategy, n in counts.items()
             }
         self._recorded = int(state.get("recorded", 0))
+        self._recorded_by_vehicle = defaultdict(int)
+        for vid, n in state.get("recorded_by_vehicle", {}).items():
+            self._recorded_by_vehicle[vid] = int(n)
+        self._fired_at = {
+            vid: int(n) for vid, n in state.get("fired_at", {}).items()
+        }
+        self._still_degraded = defaultdict(int)
+        for vid, n in state.get("still_degraded", {}).items():
+            self._still_degraded[vid] = int(n)
 
     @classmethod
     def from_state(cls, state: dict) -> "DriftMonitor":
         """Build a monitor matching a snapshot's config, then restore it."""
         config = state.get("config", {})
+        cooldown = config.get("alert_cooldown")
         monitor = cls(
             threshold_days=float(config.get("threshold_days", 7.0)),
             window=int(config.get("window", 30)),
             min_samples=int(config.get("min_samples", 5)),
+            alert_cooldown=None if cooldown is None else int(cooldown),
         )
         monitor.load_state_dict(state)
         return monitor

@@ -27,6 +27,7 @@ import json
 import os
 import pickle
 import re
+from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -166,6 +167,11 @@ class ModelStore:
         return sorted(
             p.name for p in self.root.iterdir() if p.is_dir()
         )
+
+    def latest_version(self, key: str) -> int | None:
+        """Newest stored version number for a key, ``None`` when empty."""
+        versions = self.versions(key)
+        return versions[-1] if versions else None
 
     def save(self, key: str, predictor, metadata: dict | None = None) -> int:
         """Persist a fitted predictor under ``key``; returns the version.
@@ -327,3 +333,36 @@ class ModelStore:
             raise KeyError(f"{key!r} v{version} does not exist.")
         pkl_path.unlink()
         json_path.unlink(missing_ok=True)
+
+    def quarantine(self, key: str, version: int) -> None:
+        """Move one stored version into the key's ``quarantine/`` dir.
+
+        The load path quarantines versions it *proves* corrupt; this is
+        the operator-facing variant — a rollback can park a suspect
+        (but still readable) promoted version for offline inspection
+        instead of deleting it.
+        """
+        pkl_path, _ = self._version_paths(key, version)
+        if not pkl_path.exists():
+            raise KeyError(f"{key!r} v{version} does not exist.")
+        self._quarantine(key, version)
+
+    def prune(
+        self, key: str, keep_last: int = 5, *, keep: Iterable[int] = ()
+    ) -> list[int]:
+        """Retention policy: drop old versions beyond the newest ``keep_last``.
+
+        Versions listed in ``keep`` (the actively serving and pinned
+        versions) are never deleted, whatever their age — a rollback
+        target must survive any retention sweep.  Oldest unprotected
+        versions go first; returns the deleted version numbers.
+        """
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}.")
+        protected = {int(v) for v in keep if v is not None}
+        versions = self.versions(key)
+        retained = set(versions[-keep_last:]) | protected
+        removed = [v for v in versions if v not in retained]
+        for version in removed:
+            self.delete(key, version)
+        return removed

@@ -78,6 +78,7 @@ class Forecast:
     donor_id: str | None = None
     degraded: bool = False
     fallback_reason: str | None = None
+    model_version: int | None = None  # per-vehicle store version served
 
     def to_dict(self) -> dict:
         """JSON-ready view; :meth:`from_dict` round-trips it exactly.
@@ -96,11 +97,13 @@ class Forecast:
             "donor_id": self.donor_id,
             "degraded": self.degraded,
             "fallback_reason": self.fallback_reason,
+            "model_version": self.model_version,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "Forecast":
         """Rebuild a forecast serialized by :meth:`to_dict`."""
+        version = data.get("model_version")
         return cls(
             vehicle_id=data["vehicle_id"],
             category=VehicleCategory[data["category"]],
@@ -111,6 +114,7 @@ class Forecast:
             donor_id=data.get("donor_id"),
             degraded=bool(data.get("degraded", False)),
             fallback_reason=data.get("fallback_reason"),
+            model_version=None if version is None else int(version),
         )
 
 
@@ -119,10 +123,19 @@ class _VehicleState:
     usage: list = field(default_factory=list)
     model: object | None = None
     model_trained_cycles: int = -1
+    model_version: int | None = None  # store version of the serving model
+    pinned_version: int | None = None  # operator pin; blocks retrain/promote
     sim_model: object | None = None
     sim_key: tuple | None = None  # (donor id, donor cycle count)
     pending: list = field(default_factory=list)  # (day, predicted, strategy)
     resolved_through_cycle: int = 0
+
+
+#: Audit-trail cap for :attr:`MaintenancePredictionService.lifecycle_log`.
+_LIFECYCLE_LOG_LIMIT = 512
+
+#: Valid actions for :meth:`MaintenancePredictionService.apply_lifecycle_event`.
+_LIFECYCLE_ACTIONS = ("promote", "rollback", "pin", "unpin")
 
 
 class MaintenancePredictionService:
@@ -174,6 +187,13 @@ class MaintenancePredictionService:
         ingest / feature-build / train / predict stages are profiled
         and ladder fallbacks land as trace span events.  ``None``
         (default) keeps every hook a no-op.
+    retrain_on_cycle:
+        ``True`` (the historical contract) retrains a vehicle's model
+        whenever a new maintenance cycle completes.  ``False`` freezes
+        trained champions — the per-vehicle model keeps serving across
+        cycle boundaries and is only replaced via
+        :meth:`apply_lifecycle_event` (the lifecycle controller's
+        evaluation-gated promotion path).
     """
 
     def __init__(
@@ -190,6 +210,7 @@ class MaintenancePredictionService:
         retry: RetryPolicy | None = None,
         predictor_factory=None,
         obs: Observability | None = None,
+        retrain_on_cycle: bool = True,
     ):
         if t_v <= 0:
             raise ValueError(f"t_v must be positive, got {t_v}.")
@@ -214,6 +235,12 @@ class MaintenancePredictionService:
         self.breaker: CircuitBreaker | None = breaker
         self.retry = retry
         self.obs = obs
+        # ``False`` hands model freshness over to the lifecycle
+        # subsystem: a trained champion keeps serving across cycle
+        # boundaries until an evaluation-gated promotion replaces it.
+        self.retrain_on_cycle = retrain_on_cycle
+        #: Audit trail of lifecycle decisions (bounded ring, newest last).
+        self.lifecycle_log: list[dict] = []
         self._make_predictor = predictor_factory or make_predictor
         # Write-ahead journal (duck-typed: anything with ``append``).
         # ``None`` keeps journaling entirely off the ingest hot path;
@@ -401,16 +428,18 @@ class MaintenancePredictionService:
 
     # -- model management --------------------------------------------------------
 
-    def _persist(self, key: str, predictor, **metadata) -> None:
+    def _persist(self, key: str, predictor, **metadata) -> int | None:
         """Best-effort persistence: retried, and in resilient mode a
         persistent failure is swallowed and counted (a prediction should
-        never fail because the model could not be *saved*)."""
+        never fail because the model could not be *saved*).  Returns the
+        stored version number, ``None`` without a store or on a
+        swallowed failure."""
         if self.store is None:
-            return
+            return None
 
-        def _save() -> None:
+        def _save() -> int:
             with self._persist_lock:
-                self.store.save(
+                return self.store.save(
                     key,
                     predictor,
                     {
@@ -422,20 +451,75 @@ class MaintenancePredictionService:
 
         try:
             if self.retry is not None:
-                self.retry.call(_save)
-            else:
-                _save()
+                return self.retry.call(_save)
+            return _save()
         except Exception:
             if self.breaker is None:
                 raise
             self._persist_failures += 1
+            return None
 
     def _ensure_vehicle_model(self, vehicle_id: str):
-        """Per-vehicle model, retrained when a new cycle has completed."""
+        """Per-vehicle model, retrained when a new cycle has completed.
+
+        A pinned vehicle (see :meth:`apply_lifecycle_event`) always
+        serves its pinned store version — no retraining, however stale.
+        With :attr:`retrain_on_cycle` off, an already-trained champion
+        keeps serving across cycle boundaries (lifecycle promotion is
+        then the only replacement path).
+        """
         state = self._state(vehicle_id)
+        if state.pinned_version is not None:
+            if (
+                state.model is not None
+                and state.model_version == state.pinned_version
+            ):
+                return state.model
+            if self.store is None:
+                raise ValueError(
+                    f"Vehicle {vehicle_id!r} is pinned to version "
+                    f"{state.pinned_version} but the service has no store."
+                )
+            artifact = self.store.load(
+                f"{vehicle_id}.per-vehicle", state.pinned_version
+            )
+            state.model = artifact.predictor
+            state.model_version = artifact.version
+            state.model_trained_cycles = int(
+                artifact.metadata.get("trained_cycles", -1)
+            )
+            return state.model
         series = self.series(vehicle_id)
         n_cycles = len(series.completed_cycles)
-        if state.model is not None and state.model_trained_cycles == n_cycles:
+        if (
+            state.model is None
+            and state.model_version is not None
+            and self.store is not None
+        ):
+            # Checkpoint restore: the state carries a (possibly promoted)
+            # version number without its in-memory model.  Reload that
+            # exact artifact rather than retraining over the promotion.
+            try:
+                artifact = self.store.load(
+                    f"{vehicle_id}.per-vehicle",
+                    state.model_version,
+                    quarantine=False,
+                )
+            except Exception:
+                state.model_version = None  # pruned/corrupt: retrain below
+            else:
+                self.install_model(
+                    vehicle_id,
+                    artifact.predictor,
+                    trained_cycles=int(
+                        artifact.metadata.get("trained_cycles", -1)
+                    ),
+                    version=artifact.version,
+                )
+        if state.model is not None and (
+            not self.retrain_on_cycle
+            or state.model_trained_cycles == n_cycles
+        ):
             return state.model
         with self._stage("train", strategy="per-vehicle", vehicle_id=vehicle_id):
             dataset = build_relational_dataset(series.bundle, self.window)
@@ -447,7 +531,7 @@ class MaintenancePredictionService:
             predictor.fit(dataset, usage=series.usage)
         state.model = predictor
         state.model_trained_cycles = n_cycles
-        self._persist(
+        state.model_version = self._persist(
             f"{vehicle_id}.per-vehicle",
             predictor,
             strategy="per-vehicle",
@@ -535,6 +619,140 @@ class MaintenancePredictionService:
         )
         predictor.fit(dummy, usage=np.asarray(state.usage))
         return predictor
+
+    # -- model lifecycle -------------------------------------------------------
+
+    def _load_stored_model(self, vehicle_id: str, version: int | None):
+        """Tolerant store load for lifecycle installs; ``None`` on any
+        failure (journal replay must succeed even when an artifact was
+        pruned or the store moved — the vehicle then retrains lazily)."""
+        if self.store is None:
+            return None
+        try:
+            artifact = self.store.load(
+                f"{vehicle_id}.per-vehicle", version, quarantine=False
+            )
+        except Exception:
+            return None
+        return artifact.predictor
+
+    def install_model(
+        self,
+        vehicle_id: str,
+        predictor,
+        *,
+        trained_cycles: int,
+        version: int | None = None,
+    ) -> None:
+        """Atomically swap a vehicle's serving model.
+
+        Metadata lands first and the ``model`` reference is assigned
+        last — a concurrent :meth:`predict` sees either the old
+        champion or the fully-described new one, never a half-installed
+        model (zero serving interruption).
+        """
+        state = self._state(vehicle_id)
+        state.model_trained_cycles = int(trained_cycles)
+        state.model_version = None if version is None else int(version)
+        state.model = predictor
+
+    def apply_lifecycle_event(
+        self,
+        action: str,
+        vehicle_id: str,
+        *,
+        version: int | None = None,
+        trained_cycles: int | None = None,
+        reason: str | None = None,
+        predictor=None,
+    ) -> dict:
+        """Apply one journaled lifecycle decision to the serving state.
+
+        Actions: ``promote`` (install an evaluation-gated challenger as
+        the new champion), ``rollback`` / ``pin`` (pin the vehicle to a
+        stored version and serve it), ``unpin`` (release the pin; the
+        normal freshness rules apply again).  The decision is journaled
+        *before* it is applied, so a crash mid-install replays to the
+        same state; replay passes no ``predictor`` and reloads the
+        artifact from the store (or leaves the model to lazy retrain
+        when the artifact is gone).  Returns the audit-log entry.
+        """
+        if action not in _LIFECYCLE_ACTIONS:
+            raise ValueError(
+                f"Unknown lifecycle action {action!r}; "
+                f"expected one of {_LIFECYCLE_ACTIONS}."
+            )
+        state = self._state(vehicle_id)
+        if action in ("rollback", "pin") and version is None:
+            raise ValueError(f"Lifecycle {action} requires a version.")
+        if self.journal is not None and self._journal_depth == 0:
+            payload = {"a": action, "v": vehicle_id}
+            if version is not None:
+                payload["ver"] = int(version)
+            if trained_cycles is not None:
+                payload["c"] = int(trained_cycles)
+            if reason is not None:
+                payload["r"] = reason
+            self.journal.append("lifecycle", **payload)
+        if action == "promote":
+            state.pinned_version = None
+            model = predictor
+            if model is None:
+                model = self._load_stored_model(vehicle_id, version)
+            if model is not None:
+                self.install_model(
+                    vehicle_id,
+                    model,
+                    trained_cycles=(
+                        -1 if trained_cycles is None else trained_cycles
+                    ),
+                    version=version,
+                )
+            else:
+                # Replay with the artifact gone: drop to deterministic
+                # lazy retraining instead of serving a stale champion.
+                state.model = None
+                state.model_trained_cycles = -1
+                state.model_version = None
+        elif action in ("rollback", "pin"):
+            state.pinned_version = int(version)
+            model = predictor
+            if model is None:
+                model = self._load_stored_model(vehicle_id, version)
+            if model is not None:
+                self.install_model(
+                    vehicle_id,
+                    model,
+                    trained_cycles=(
+                        -1 if trained_cycles is None else trained_cycles
+                    ),
+                    version=version,
+                )
+            else:
+                # Pinned but not loadable right now: the next predict
+                # resolves the pin through _ensure_vehicle_model (and
+                # raises there if the artifact truly is gone).
+                state.model = None
+                state.model_version = None
+        else:  # unpin
+            state.pinned_version = None
+        event = {
+            "action": action,
+            "vehicle_id": vehicle_id,
+            "version": None if version is None else int(version),
+            "reason": reason,
+        }
+        self.lifecycle_log.append(event)
+        if len(self.lifecycle_log) > _LIFECYCLE_LOG_LIMIT:
+            del self.lifecycle_log[: -_LIFECYCLE_LOG_LIMIT]
+        tracing.add_event(
+            "lifecycle",
+            action=action,
+            vehicle_id=vehicle_id,
+            version=version,
+            reason=reason,
+        )
+        return event
 
     # -- prediction -----------------------------------------------------------
 
@@ -682,6 +900,9 @@ class MaintenancePredictionService:
             donor_id=donor_id,
             degraded=reason is not None,
             fallback_reason=reason,
+            model_version=(
+                state.model_version if strategy == "per-vehicle" else None
+            ),
         )
 
     # -- health ----------------------------------------------------------------
@@ -739,6 +960,8 @@ class MaintenancePredictionService:
                     for day, predicted, strategy in state.pending
                 ],
                 "resolved_through_cycle": state.resolved_through_cycle,
+                "model_version": state.model_version,
+                "pinned_version": state.pinned_version,
             }
         snapshot = {
             "schema": 1,
@@ -756,6 +979,7 @@ class MaintenancePredictionService:
             "guard": self.guard.state_dict() if self.guard else None,
             "breaker": self.breaker.state_dict() if self.breaker else None,
             "monitor": self.monitor.state_dict() if self.monitor else None,
+            "lifecycle_log": [dict(event) for event in self.lifecycle_log],
         }
         if self.store is not None:
             snapshot["model_versions"] = {
@@ -813,9 +1037,22 @@ class MaintenancePredictionService:
                 resolved_through_cycle=int(
                     snap.get("resolved_through_cycle", 0)
                 ),
+                model_version=(
+                    None
+                    if snap.get("model_version") is None
+                    else int(snap["model_version"])
+                ),
+                pinned_version=(
+                    None
+                    if snap.get("pinned_version") is None
+                    else int(snap["pinned_version"])
+                ),
             )
             for vid, snap in state.get("vehicles", {}).items()
         }
+        self.lifecycle_log = [
+            dict(event) for event in state.get("lifecycle_log", [])
+        ]
         self._fallback_counts = {
             vid: Counter({k: int(n) for k, n in counts.items()})
             for vid, counts in state.get("fallback_counts", {}).items()

@@ -1,0 +1,61 @@
+"""Shared scenario builder for the lifecycle suite.
+
+``drifted_stack`` replays the drill regime in miniature: warm a small
+fleet until per-vehicle champions are trained and frozen
+(``retrain_on_cycle=False``), then shift part of the fleet's usage rate
+so the stale champions degrade — the state every lifecycle test starts
+from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lifecycle.drill import _build_stack, _daily_usage
+
+
+def run_scenario(
+    store_dir,
+    *,
+    n_vehicles=4,
+    n_drifted=1,
+    warm_days=70,
+    drift_days=45,
+    seed=0,
+    drift_factor=2.0,
+):
+    engine, controller = _build_stack(store_dir=str(store_dir))
+    rng = np.random.default_rng(seed)
+    ids = [f"lc{i:02d}" for i in range(n_vehicles)]
+    drifted = set(ids[:n_drifted])
+    engine.register_fleet(ids)
+    rates = dict(zip(ids, rng.uniform(15_000.0, 21_000.0, size=n_vehicles)))
+    day = 0
+
+    def one_day(drifting: bool) -> None:
+        nonlocal day
+        engine.ingest_day(
+            {
+                vid: _daily_usage(
+                    rng,
+                    rates[vid]
+                    * (drift_factor if drifting and vid in drifted else 1.0),
+                )
+                for vid in ids
+            },
+            day=day,
+        )
+        if day >= 15:
+            engine.predict_all()
+        day += 1
+
+    for _ in range(warm_days):
+        one_day(False)
+    for _ in range(drift_days):
+        one_day(True)
+    return engine, controller, sorted(drifted)
+
+
+@pytest.fixture
+def drifted_stack(tmp_path):
+    """(engine, controller, drifted ids) after warm + drift phases."""
+    return run_scenario(tmp_path / "models")

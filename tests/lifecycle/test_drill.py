@@ -1,0 +1,34 @@
+"""End-to-end drift-injection drill: detection -> promotion -> recovery."""
+
+import pytest
+
+from repro.lifecycle import drift_promotion_drill
+
+
+@pytest.fixture(scope="module")
+def report():
+    return drift_promotion_drill(seed=0)
+
+
+class TestDriftPromotionDrill:
+    def test_all_checks_pass(self, report):
+        failed = [c["name"] for c in report["checks"] if not c["ok"]]
+        assert report["ok"] and failed == [], report
+
+    def test_exactly_the_drifted_vehicles_promoted(self, report):
+        assert report["promoted"] == report["drifted"] == ["lc00", "lc01"]
+        assert report["counters"]["promotions"] >= len(report["drifted"])
+
+    def test_degradation_and_recovery_visible_in_mae(self, report):
+        for vid in report["drifted"]:
+            assert report["peak_mae"][vid] > 2.0  # breached the threshold
+            assert report["final_mae"][vid] <= 2.0  # recovered under it
+
+    def test_deterministic_under_seed(self, report):
+        again = drift_promotion_drill(seed=0)
+        assert again["digest"] == report["digest"]
+        assert again["final_mae"] == report["final_mae"]
+
+    def test_rejects_bad_n_drifted(self):
+        with pytest.raises(ValueError, match="n_drifted"):
+            drift_promotion_drill(n_vehicles=3, n_drifted=4)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.lifecycle.policy."""
+
+import pytest
+
+from repro.lifecycle import PromotionPolicy
+from repro.lifecycle.shadow import ShadowReport
+
+
+def report(**overrides) -> ShadowReport:
+    values = dict(
+        vehicle_id="v1",
+        n_samples=20,
+        champion_mae=3.0,
+        challenger_mae=1.0,
+        champion_worst=5.0,
+        challenger_worst=3.0,
+        win_rate=0.9,
+    )
+    values.update(overrides)
+    return ShadowReport(**values)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_shadow_samples": 0},
+            {"min_improvement_days": -0.1},
+            {"min_relative_improvement": 1.0},
+            {"min_relative_improvement": -0.2},
+            {"allowed_strategies": ()},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            PromotionPolicy(**kwargs)
+
+    def test_required_improvement_is_max_of_abs_and_relative(self):
+        policy = PromotionPolicy(
+            min_improvement_days=0.25, min_relative_improvement=0.10
+        )
+        assert policy.required_improvement(1.0) == pytest.approx(0.25)
+        assert policy.required_improvement(10.0) == pytest.approx(1.0)
+
+
+class TestGates:
+    def test_promotes_clear_winner(self):
+        decision = PromotionPolicy().decide(report())
+        assert decision.promote
+        assert "improvement" in decision.reason
+        assert decision.as_dict()["report"]["n_samples"] == 20
+
+    def test_strategy_guardrail_first(self):
+        decision = PromotionPolicy().decide(report(), strategy="unified")
+        assert not decision.promote
+        assert "strategy guardrail" in decision.reason
+
+    def test_insufficient_samples(self):
+        decision = PromotionPolicy(min_shadow_samples=8).decide(
+            report(n_samples=3)
+        )
+        assert not decision.promote
+        assert "insufficient shadow samples" in decision.reason
+
+    def test_absolute_improvement_gate(self):
+        decision = PromotionPolicy(
+            min_improvement_days=0.5, min_relative_improvement=0.0
+        ).decide(report(champion_mae=1.0, challenger_mae=0.8))
+        assert not decision.promote
+        assert "below required" in decision.reason
+
+    def test_relative_improvement_scales_with_champion_error(self):
+        policy = PromotionPolicy(
+            min_improvement_days=0.1, min_relative_improvement=0.10
+        )
+        # 0.5d improvement on a 10d champion is below the 1d relative bar.
+        decision = policy.decide(
+            report(champion_mae=10.0, challenger_mae=9.5)
+        )
+        assert not decision.promote
+
+    def test_nan_improvement_rejected(self):
+        decision = PromotionPolicy(min_shadow_samples=1).decide(
+            report(champion_mae=float("nan"), challenger_mae=float("nan"))
+        )
+        assert not decision.promote
+
+    def test_worst_case_regression_guardrail(self):
+        policy = PromotionPolicy(max_worst_regression_days=1.0)
+        decision = policy.decide(
+            report(champion_worst=2.0, challenger_worst=4.0)
+        )
+        assert not decision.promote
+        assert "worst-case regression" in decision.reason
+        # Within the allowance the same challenger promotes.
+        assert policy.decide(
+            report(champion_worst=2.0, challenger_worst=2.5)
+        ).promote

@@ -1,0 +1,110 @@
+"""Unit tests for repro.lifecycle.shadow."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lifecycle import ShadowEvaluator, ShadowReport
+from repro.serving import MaintenancePredictionService
+
+T_V = 200_000.0
+
+
+class ConstPredictor:
+    """Predicts one constant for every row."""
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def predict(self, X):
+        return np.full(np.asarray(X).shape[0], self.value)
+
+
+def build_service(n_days=40, rate=20_000.0) -> MaintenancePredictionService:
+    service = MaintenancePredictionService(t_v=T_V, window=0, algorithm="LR")
+    service.register_vehicle("v1")
+    service.ingest_series("v1", np.full(n_days, rate))
+    return service
+
+
+def resolved_truth(service, window_days):
+    series = service.series("v1")
+    truth = [
+        float(series.days_to_maintenance[t])
+        for t in range(service.window, series.n_days)
+        if np.isfinite(series.days_to_maintenance[t])
+    ]
+    return truth[-window_days:]
+
+
+class TestShadowReport:
+    def test_improvement_is_champion_minus_challenger(self):
+        report = ShadowReport("v1", 10, 3.0, 1.0, 5.0, 2.0, 0.9)
+        assert report.improvement == pytest.approx(2.0)
+        assert report.as_dict()["improvement"] == pytest.approx(2.0)
+
+    def test_as_dict_round_trips_fields(self):
+        report = ShadowReport("v1", 4, 1.5, 1.0, 2.0, 1.5, 0.75)
+        payload = report.as_dict()
+        assert payload["vehicle_id"] == "v1"
+        assert payload["n_samples"] == 4
+        assert payload["win_rate"] == pytest.approx(0.75)
+
+
+class TestShadowEvaluator:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window_days"):
+            ShadowEvaluator(window_days=0)
+
+    def test_no_resolved_days_reports_zero_samples(self):
+        service = MaintenancePredictionService(t_v=T_V, window=0)
+        service.register_vehicle("v1")
+        service.ingest_series("v1", np.full(3, 20_000.0))  # cycle incomplete
+        report = ShadowEvaluator().evaluate(
+            service, "v1", ConstPredictor(1.0), ConstPredictor(2.0)
+        )
+        assert report.n_samples == 0
+        assert math.isnan(report.champion_mae)
+
+    def test_errors_match_manual_computation(self):
+        service = build_service()
+        evaluator = ShadowEvaluator(window_days=10)
+        champion, challenger = ConstPredictor(0.0), ConstPredictor(5.0)
+        report = evaluator.evaluate(service, "v1", champion, challenger)
+        truth = resolved_truth(service, 10)
+        assert report.n_samples == len(truth) > 0
+        assert report.champion_mae == pytest.approx(
+            np.mean(np.abs(np.asarray(truth)))
+        )
+        assert report.challenger_mae == pytest.approx(
+            np.mean(np.abs(np.asarray(truth) - 5.0))
+        )
+        assert report.champion_worst == pytest.approx(max(abs(t) for t in truth))
+
+    def test_window_caps_samples_to_newest(self):
+        service = build_service()
+        full = ShadowEvaluator(window_days=500).evaluate(
+            service, "v1", ConstPredictor(0.0), ConstPredictor(0.0)
+        )
+        capped = ShadowEvaluator(window_days=3).evaluate(
+            service, "v1", ConstPredictor(0.0), ConstPredictor(0.0)
+        )
+        assert capped.n_samples == 3 < full.n_samples
+
+    def test_predictions_clamped_at_zero(self):
+        service = build_service()
+        report = ShadowEvaluator().evaluate(
+            service, "v1", ConstPredictor(-100.0), ConstPredictor(0.0)
+        )
+        # A -100 predictor clamps to 0 == exactly the 0-predictor.
+        assert report.champion_mae == pytest.approx(report.challenger_mae)
+        assert report.win_rate == pytest.approx(0.5)  # all ties
+
+    def test_evaluation_never_mutates_serving_state(self):
+        service = build_service()
+        before = service.state_dict()
+        ShadowEvaluator().evaluate(
+            service, "v1", ConstPredictor(1.0), ConstPredictor(2.0)
+        )
+        assert service.state_dict() == before

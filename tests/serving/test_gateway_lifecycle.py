@@ -1,0 +1,269 @@
+"""Gateway admin endpoints for the model-lifecycle controller.
+
+Drives ``/v1/lifecycle*`` through ``handle_request`` (in-process, no
+sockets) over a miniature drifted fleet, and asserts the serving path
+reflects lifecycle actions: a promoted version shows up in forecast
+metadata, a rollback pins the prior one.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serving.gateway import FleetGateway, GatewayConfig
+
+from tests.lifecycle.conftest import run_scenario
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def drifted(tmp_path):
+    """(engine, controller, drifted vehicle id) with drift pending."""
+    engine, controller, drifted_ids = run_scenario(tmp_path / "models")
+    return engine, controller, drifted_ids[0]
+
+
+def lifecycle_scenario(engine, fn):
+    """Start a gateway over ``engine``, run ``fn(gateway)``, shut down."""
+
+    async def scenario():
+        gateway = FleetGateway(engine, GatewayConfig())
+        await gateway.start()
+        try:
+            return await fn(gateway)
+        finally:
+            await gateway.shutdown()
+
+    return run(scenario())
+
+
+class TestStatusEndpoint:
+    def test_get_status(self, drifted):
+        engine, controller, vid = drifted
+
+        async def fn(gateway):
+            return await gateway.handle_request("GET", "/v1/lifecycle")
+
+        response = lifecycle_scenario(engine, fn)
+        assert response.status == 200
+        assert set(response.payload) == {
+            "policy", "counters", "vehicles", "history", "log"
+        }
+        assert response.payload["vehicles"][vid]["category"] == "OLD"
+        json.dumps(response.payload)  # strict JSON clean
+
+    def test_post_status_is_405(self, drifted):
+        engine, _, _ = drifted
+
+        async def fn(gateway):
+            return await gateway.handle_request("POST", "/v1/lifecycle")
+
+        response = lifecycle_scenario(engine, fn)
+        assert response.status == 405
+        assert response.headers["Allow"] == "GET"
+
+    def test_no_controller_is_503(self, drifted):
+        engine, _, _ = drifted
+        engine.lifecycle = None
+
+        async def fn(gateway):
+            return await gateway.handle_request("GET", "/v1/lifecycle")
+
+        response = lifecycle_scenario(engine, fn)
+        assert response.status == 503
+
+
+class TestRunEndpoint:
+    def test_run_promotes_and_attributes_in_forecasts(self, drifted):
+        engine, _, vid = drifted
+
+        async def fn(gateway):
+            ran = await gateway.handle_request(
+                "POST", "/v1/lifecycle/run"
+            )
+            forecast = await gateway.handle_request(
+                "GET", f"/v1/predict/{vid}"
+            )
+            return ran, forecast
+
+        ran, forecast = lifecycle_scenario(engine, fn)
+        assert ran.status == 200
+        entries = ran.payload["evaluated"]
+        assert [e["vehicle_id"] for e in entries] == [vid]
+        assert entries[0]["outcome"] == "promoted"
+        promoted_version = entries[0]["version"]
+        assert forecast.status == 200
+        assert forecast.payload["model_version"] == promoted_version
+        assert forecast.payload["strategy"] == "per-vehicle"
+        assert not forecast.payload["degraded"]
+
+    def test_promote_single_vehicle_with_reason(self, drifted):
+        engine, _, vid = drifted
+
+        async def fn(gateway):
+            return await gateway.handle_request(
+                "POST",
+                f"/v1/lifecycle/{vid}/promote",
+                json.dumps({"reason": "ops ticket 42"}).encode(),
+            )
+
+        response = lifecycle_scenario(engine, fn)
+        assert response.status == 200
+        assert response.payload["outcome"] == "promoted"
+        assert response.payload["trigger"] == "ops ticket 42"
+
+
+class TestRollbackAndPin:
+    def test_rollback_then_unpin_roundtrip(self, drifted):
+        engine, _, vid = drifted
+
+        async def fn(gateway):
+            await gateway.handle_request("POST", "/v1/lifecycle/run")
+            rolled = await gateway.handle_request(
+                "POST", f"/v1/lifecycle/{vid}/rollback"
+            )
+            forecast = await gateway.handle_request(
+                "GET", f"/v1/predict/{vid}"
+            )
+            unpinned = await gateway.handle_request(
+                "POST", f"/v1/lifecycle/{vid}/unpin"
+            )
+            return rolled, forecast, unpinned
+
+        rolled, forecast, unpinned = lifecycle_scenario(engine, fn)
+        assert rolled.status == 200
+        assert rolled.payload["action"] == "rollback"
+        assert rolled.payload["version"] == 1
+        assert forecast.payload["model_version"] == 1
+        assert unpinned.status == 200
+        assert engine.service._vehicles[vid].pinned_version is None
+
+    def test_pin_requires_version(self, drifted):
+        engine, _, vid = drifted
+
+        async def fn(gateway):
+            missing = await gateway.handle_request(
+                "POST", f"/v1/lifecycle/{vid}/pin"
+            )
+            pinned = await gateway.handle_request(
+                "POST",
+                f"/v1/lifecycle/{vid}/pin",
+                json.dumps({"version": 1}).encode(),
+            )
+            return missing, pinned
+
+        missing, pinned = lifecycle_scenario(engine, fn)
+        assert missing.status == 400
+        assert pinned.status == 200
+        assert engine.service._vehicles[vid].pinned_version == 1
+
+
+class TestErrorMapping:
+    def test_unknown_vehicle_404(self, drifted):
+        engine, _, _ = drifted
+
+        async def fn(gateway):
+            return await gateway.handle_request(
+                "POST", "/v1/lifecycle/ghost/promote"
+            )
+
+        assert lifecycle_scenario(engine, fn).status == 404
+
+    def test_unknown_action_404(self, drifted):
+        engine, _, vid = drifted
+
+        async def fn(gateway):
+            return await gateway.handle_request(
+                "POST", f"/v1/lifecycle/{vid}/reboot"
+            )
+
+        assert lifecycle_scenario(engine, fn).status == 404
+
+    def test_rollback_without_prior_version_422(self, drifted):
+        engine, _, vid = drifted
+
+        async def fn(gateway):
+            return await gateway.handle_request(
+                "POST", f"/v1/lifecycle/{vid}/rollback"
+            )
+
+        assert lifecycle_scenario(engine, fn).status == 422
+
+    def test_pin_missing_stored_version_404(self, drifted):
+        engine, _, vid = drifted
+
+        async def fn(gateway):
+            return await gateway.handle_request(
+                "POST",
+                f"/v1/lifecycle/{vid}/pin",
+                json.dumps({"version": 99}).encode(),
+            )
+
+        assert lifecycle_scenario(engine, fn).status == 404
+
+    def test_non_integer_version_400(self, drifted):
+        engine, _, vid = drifted
+
+        async def fn(gateway):
+            return await gateway.handle_request(
+                "POST",
+                f"/v1/lifecycle/{vid}/pin",
+                json.dumps({"version": True}).encode(),
+            )
+
+        assert lifecycle_scenario(engine, fn).status == 400
+
+
+class TestSocketSmoke:
+    """Admin flow over a real localhost socket: drift -> promote ->
+    promoted version visible in forecast metadata -> rollback."""
+
+    @staticmethod
+    async def _request(reader, writer, method, path, payload=None):
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        if body:
+            head += f"Content-Length: {len(body)}\r\n"
+        writer.write(head.encode() + b"\r\n" + body)
+        await writer.drain()
+        status = int((await reader.readline()).split()[1])
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        data = await reader.readexactly(int(headers["content-length"]))
+        return status, json.loads(data)
+
+    def test_lifecycle_admin_round_trip(self, drifted):
+        engine, _, vid = drifted
+
+        async def scenario():
+            gateway = FleetGateway(engine, GatewayConfig(port=0))
+            host, port = await gateway.serve()
+            reader, writer = await asyncio.open_connection(host, port)
+            req = self._request
+            status = await req(reader, writer, "GET", "/v1/lifecycle")
+            ran = await req(reader, writer, "POST", "/v1/lifecycle/run")
+            promoted = await req(reader, writer, "GET", f"/v1/predict/{vid}")
+            rolled = await req(
+                reader, writer, "POST", f"/v1/lifecycle/{vid}/rollback"
+            )
+            pinned = await req(reader, writer, "GET", f"/v1/predict/{vid}")
+            writer.close()
+            await gateway.shutdown()
+            return status, ran, promoted, rolled, pinned
+
+        status, ran, promoted, rolled, pinned = run(scenario())
+        assert status[0] == ran[0] == promoted[0] == rolled[0] == 200
+        entries = ran[1]["evaluated"]
+        assert entries and entries[0]["outcome"] == "promoted"
+        assert promoted[1]["model_version"] == entries[0]["version"]
+        assert rolled[1]["action"] == "rollback"
+        assert pinned[1]["model_version"] == rolled[1]["version"]

@@ -215,3 +215,104 @@ class TestStrategyAttribution:
         assert np.isfinite(population_stability_index(reference, stable))
         score = population_stability_index(reference, shifted)
         assert np.isfinite(score) and score > 0.25
+
+
+class TestAlertDebounce:
+    def make(self) -> DriftMonitor:
+        return DriftMonitor(
+            threshold_days=1.0, window=10, min_samples=3, alert_cooldown=4
+        )
+
+    def degrade(self, monitor, vehicle_id, n=3):
+        for _ in range(n):
+            monitor.record(vehicle_id, 10.0, 0.0)
+
+    def test_fire_marks_and_suppresses_refires(self):
+        monitor = self.make()
+        self.degrade(monitor, "v01")
+        assert [a.vehicle_id for a in monitor.fire_alerts()] == ["v01"]
+        # Still degraded but no new evidence: suppressed, not re-fired.
+        assert monitor.fire_alerts() == []
+        assert monitor.still_degraded("v01") == 1
+        # The pure view keeps reporting throughout.
+        assert [a.vehicle_id for a in monitor.alerts()] == ["v01"]
+
+    def test_refires_after_cooldown_new_residuals(self):
+        monitor = self.make()
+        self.degrade(monitor, "v01")
+        monitor.fire_alerts()
+        self.degrade(monitor, "v01", n=3)  # 3 < alert_cooldown=4
+        assert monitor.fire_alerts() == []
+        self.degrade(monitor, "v01", n=1)  # fresh-evidence bar reached
+        assert [a.vehicle_id for a in monitor.fire_alerts()] == ["v01"]
+
+    def test_counters_expose_suppression(self):
+        monitor = self.make()
+        self.degrade(monitor, "v01")
+        self.degrade(monitor, "v02")
+        monitor.fire_alerts()
+        monitor.fire_alerts()
+        monitor.fire_alerts()
+        counters = monitor.counters()
+        assert counters["alerts_suppressed"] == 4
+        assert counters["still_degraded_vehicles"] == 2
+        assert monitor.still_degraded() == 4
+
+    def test_reset_clears_debounce_state(self):
+        monitor = self.make()
+        self.degrade(monitor, "v01")
+        monitor.fire_alerts()
+        monitor.fire_alerts()
+        monitor.reset("v01")
+        assert monitor.still_degraded("v01") == 0
+        self.degrade(monitor, "v01")  # the new model's own evidence
+        assert [a.vehicle_id for a in monitor.fire_alerts()] == ["v01"]
+
+    def test_cooldown_is_per_vehicle(self):
+        monitor = self.make()
+        self.degrade(monitor, "v01")
+        monitor.fire_alerts()
+        self.degrade(monitor, "v02")
+        # v01 is in cooldown; v02's first alert still fires.
+        assert [a.vehicle_id for a in monitor.fire_alerts()] == ["v02"]
+
+
+class TestIncrementalSums:
+    """The O(1) running sums must stay exact through window evictions."""
+
+    def test_matches_numpy_after_evictions(self):
+        rng = np.random.default_rng(3)
+        monitor = DriftMonitor(threshold_days=1.0, window=8, min_samples=1)
+        residuals = rng.normal(0.0, 5.0, size=50)
+        for r in residuals:
+            monitor.record("v01", float(r), 0.0)
+        window = residuals[-8:]
+        assert monitor.mean_abs_error("v01") == pytest.approx(
+            float(np.mean(np.abs(window))), rel=1e-12
+        )
+        assert monitor.bias("v01") == pytest.approx(
+            float(np.mean(window)), rel=1e-12
+        )
+
+    def test_state_roundtrip_preserves_sums(self):
+        rng = np.random.default_rng(4)
+        monitor = DriftMonitor(threshold_days=1.0, window=6, min_samples=1)
+        for r in rng.normal(0.0, 3.0, size=25):
+            monitor.record("v01", float(r), 0.0)
+        restored = DriftMonitor.from_state(monitor.state_dict())
+        # The rebuilt sums come from the persisted window alone, so they
+        # can differ from the long-running accumulation by round-off —
+        # but only by round-off.
+        assert restored.mean_abs_error("v01") == pytest.approx(
+            monitor.mean_abs_error("v01"), rel=1e-12
+        )
+        assert restored.bias("v01") == pytest.approx(
+            monitor.bias("v01"), rel=1e-9, abs=1e-12
+        )
+        # Sums keep tracking after the round-trip, evictions included.
+        for r in rng.normal(0.0, 3.0, size=10):
+            monitor.record("v01", float(r), 0.0)
+            restored.record("v01", float(r), 0.0)
+        assert restored.mean_abs_error("v01") == pytest.approx(
+            monitor.mean_abs_error("v01"), rel=1e-12
+        )

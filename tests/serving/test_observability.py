@@ -418,6 +418,8 @@ class TestGoldenSchemas:
             "residuals_held",
             "resolved_by_strategy",
             "alerts",
+            "alerts_suppressed",
+            "still_degraded_vehicles",
             "threshold_days",
         }
         for summary in payload["histograms"].values():

@@ -93,6 +93,49 @@ class TestSaveLoad:
         assert store.keys() == []
         assert store.versions("m") == []
 
+    def test_latest_version(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        assert store.latest_version("m") is None
+        store.save("m", fitted_model)
+        store.save("m", fitted_model)
+        assert store.latest_version("m") == 2
+
+
+class TestPrune:
+    def saved(self, tmp_path, fitted_model, n=6) -> ModelStore:
+        store = ModelStore(tmp_path)
+        for _ in range(n):
+            store.save("m", fitted_model)
+        return store
+
+    def test_keeps_newest_versions(self, tmp_path, fitted_model):
+        store = self.saved(tmp_path, fitted_model)
+        removed = store.prune("m", keep_last=2)
+        assert removed == [1, 2, 3, 4]
+        assert store.versions("m") == [5, 6]
+
+    def test_protected_versions_survive_any_sweep(self, tmp_path, fitted_model):
+        store = self.saved(tmp_path, fitted_model)
+        removed = store.prune("m", keep_last=1, keep={2, 4})
+        assert removed == [1, 3, 5]
+        # The active/pinned versions outlive their age class.
+        assert store.versions("m") == [2, 4, 6]
+
+    def test_none_entries_in_keep_ignored(self, tmp_path, fitted_model):
+        store = self.saved(tmp_path, fitted_model, n=3)
+        store.prune("m", keep_last=1, keep={None, 1})
+        assert store.versions("m") == [1, 3]
+
+    def test_noop_when_under_retention(self, tmp_path, fitted_model):
+        store = self.saved(tmp_path, fitted_model, n=2)
+        assert store.prune("m", keep_last=5) == []
+        assert store.versions("m") == [1, 2]
+
+    def test_rejects_bad_keep_last(self, tmp_path, fitted_model):
+        store = self.saved(tmp_path, fitted_model, n=1)
+        with pytest.raises(ValueError, match="keep_last"):
+            store.prune("m", keep_last=0)
+
 
 class TestCorruptionHandling:
     def corrupt_pickle(self, store, key, version):
