@@ -777,42 +777,116 @@ def _cmd_serve(args) -> int:
     t_v = args.t_v if args.t_v is not None else (
         fleet.t_v if fleet is not None else 2_000_000.0
     )
-    engine = FleetEngine(
-        t_v=t_v,
-        window=args.window,
-        algorithm=args.algorithm,
-        config=EngineConfig(max_workers=args.max_workers),
-        **service_kwargs,
-    )
-    if fleet is not None:
-        for vehicle in fleet.vehicles:
-            engine.service.register_vehicle(vehicle.vehicle_id)
-            engine.ingest_history(vehicle.vehicle_id, vehicle.usage)
-        print(f"preloaded {len(fleet.vehicles)} vehicles from {args.input}")
-
-    # Passive until an admin endpoint (or a drift alert sweep) invokes
-    # it, so the controller is always on: /v1/lifecycle works on any
-    # served fleet instead of 503ing.  Registers itself on the engine.
-    from .lifecycle import LifecycleController
-
-    LifecycleController(engine)
 
     manager = None
-    if args.durable:
-        from .durability import LockHeldError, RecoveryManager
-
-        manager = RecoveryManager(args.durable, engine.service)
-        try:
-            report = manager.recover()
-        except LockHeldError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
-        engine.attach_durability(manager)
-        print(
-            f"durable state dir {args.durable}: checkpoint seq "
-            f"{report.checkpoint_seq}, {report.replayed} journal "
-            "record(s) replayed — journaling live traffic"
+    if args.shards > 1:
+        # Shared-nothing pool: N worker processes, each owning the
+        # vehicles the consistent-hash router assigns it, with its own
+        # model-store / journal / lifecycle partition.  The factory
+        # runs inside each forked worker; the preloaded fleet crosses
+        # over through fork memory, no pickling.
+        from .serving.executor import default_max_workers
+        from .serving.sharding import (
+            ShardRouter,
+            ShardedFleetEngine,
+            build_shard_engine,
         )
+
+        router = ShardRouter(args.shards)
+        per_shard_workers = (
+            args.max_workers
+            if args.max_workers is not None
+            else max(1, default_max_workers() // args.shards)
+        )
+
+        def engine_factory(shard_index: int):
+            shard_engine = build_shard_engine(
+                shard_index,
+                config=EngineConfig(max_workers=per_shard_workers),
+                store_dir=args.store,
+                resilient=args.resilient,
+                monitor=True,
+                service_kwargs=dict(
+                    t_v=t_v, window=args.window, algorithm=args.algorithm
+                ),
+            )
+            if fleet is not None:
+                for vehicle in fleet.vehicles:
+                    if router.shard_for(vehicle.vehicle_id) == shard_index:
+                        shard_engine.service.register_vehicle(
+                            vehicle.vehicle_id
+                        )
+                        shard_engine.ingest_history(
+                            vehicle.vehicle_id, vehicle.usage
+                        )
+            return shard_engine
+
+        engine = ShardedFleetEngine(
+            args.shards,
+            engine_factory,
+            router=router,
+            lifecycle=True,
+            durable_dir=args.durable,
+        )
+        counts = {index: 0 for index in range(args.shards)}
+        for vehicle_id in engine.vehicle_ids:
+            counts[router.shard_for(vehicle_id)] += 1
+        print(
+            f"sharded pool: {args.shards} worker processes, "
+            f"{per_shard_workers} engine worker(s) each, vehicles/shard "
+            + "/".join(str(counts[index]) for index in sorted(counts))
+        )
+        if fleet is not None:
+            print(
+                f"preloaded {len(fleet.vehicles)} vehicles from {args.input}"
+            )
+        if args.durable:
+            print(
+                f"durable state dir {args.durable}: per-shard partitions "
+                + ", ".join(
+                    f"shard-{index:02d}" for index in range(args.shards)
+                )
+                + " recovered in parallel — journaling live traffic"
+            )
+    else:
+        engine = FleetEngine(
+            t_v=t_v,
+            window=args.window,
+            algorithm=args.algorithm,
+            config=EngineConfig(max_workers=args.max_workers),
+            **service_kwargs,
+        )
+        if fleet is not None:
+            for vehicle in fleet.vehicles:
+                engine.service.register_vehicle(vehicle.vehicle_id)
+                engine.ingest_history(vehicle.vehicle_id, vehicle.usage)
+            print(
+                f"preloaded {len(fleet.vehicles)} vehicles from {args.input}"
+            )
+
+        # Passive until an admin endpoint (or a drift alert sweep)
+        # invokes it, so the controller is always on: /v1/lifecycle
+        # works on any served fleet instead of 503ing.  Registers
+        # itself on the engine.
+        from .lifecycle import LifecycleController
+
+        LifecycleController(engine)
+
+        if args.durable:
+            from .durability import LockHeldError, RecoveryManager
+
+            manager = RecoveryManager(args.durable, engine.service)
+            try:
+                report = manager.recover()
+            except LockHeldError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            engine.attach_durability(manager)
+            print(
+                f"durable state dir {args.durable}: checkpoint seq "
+                f"{report.checkpoint_seq}, {report.replayed} journal "
+                "record(s) replayed — journaling live traffic"
+            )
 
     gateway = FleetGateway(engine, gateway_config)
 
@@ -838,6 +912,13 @@ def _cmd_serve(args) -> int:
         if manager is not None:
             manager.close()
             print(f"durable state checkpointed to {args.durable}")
+        if args.shards > 1:
+            # Workers checkpoint their own partitions on shutdown.
+            engine.close()
+            if args.durable:
+                print(
+                    f"durable shard partitions checkpointed to {args.durable}"
+                )
     print("gateway drained")
     return 0
 
@@ -1087,7 +1168,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-workers",
         type=_positive_int,
         default=None,
-        help="engine worker bound for training/prediction fan-out",
+        help=(
+            "engine worker bound for training/prediction fan-out "
+            "(sharded: per shard, default host workers / shards)"
+        ),
+    )
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help=(
+            "shared-nothing engine shards (worker processes) with "
+            "consistent-hash vehicle routing; 1 = single in-process "
+            "engine"
+        ),
     )
     serve.add_argument(
         "--resilient",

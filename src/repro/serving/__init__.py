@@ -43,8 +43,20 @@ from .reliability import (
     VehicleHealth,
 )
 from .service import Forecast, MaintenancePredictionService
+from .sharding import (
+    ShardRouter,
+    ShardWorker,
+    ShardedFleetEngine,
+    build_shard_engine,
+    merge_fleet_health,
+)
 
 __all__ = [
+    "ShardRouter",
+    "ShardWorker",
+    "ShardedFleetEngine",
+    "build_shard_engine",
+    "merge_fleet_health",
     "CacheStats",
     "CycleStateCache",
     "EngineConfig",

@@ -11,7 +11,11 @@ and rebuilds it from scratch.
 
 Entries are locked individually so parallel per-vehicle prediction can
 refresh different vehicles — or race on a shared donor vehicle —
-without corrupting state.
+without corrupting state.  The shared :class:`CacheStats` counters are
+guarded by their own dedicated lock: per-entry locks serialize access
+to one vehicle's *state*, but two threads holding two different entry
+locks still mutate the same counters, and unsynchronized ``+=`` on
+them loses increments under contention.
 """
 
 from __future__ import annotations
@@ -28,20 +32,46 @@ __all__ = ["CacheStats", "CycleStateCache"]
 
 @dataclass
 class CacheStats:
-    """Counters describing how the cache is performing."""
+    """Counters describing how the cache is performing.
+
+    All mutation goes through :meth:`record`, which serializes on an
+    internal lock — entry-level locks do not protect these fields, so
+    concurrent lookups on *different* vehicles would otherwise race on
+    the shared integers and drop increments.  :meth:`as_dict` takes the
+    same lock, so a snapshot is a consistent point-in-time view.
+    """
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
     appended_days: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(
+        self,
+        *,
+        hits: int = 0,
+        misses: int = 0,
+        invalidations: int = 0,
+        appended_days: int = 0,
+    ) -> None:
+        """Atomically add to the counters (one lock hop per lookup)."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+            self.invalidations += invalidations
+            self.appended_days += appended_days
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "appended_days": self.appended_days,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "appended_days": self.appended_days,
+            }
 
 
 @dataclass
@@ -106,18 +136,18 @@ class CycleStateCache:
                 )
             )
             if not reusable:
-                if state is not None:
-                    self._stats.invalidations += 1
-                self._stats.misses += 1
+                self._stats.record(
+                    misses=1,
+                    invalidations=1 if state is not None else 0,
+                    appended_days=usage.size,
+                )
                 state = IncrementalSeriesState.from_usage(
                     usage, t_v, start=start
                 )
-                self._stats.appended_days += usage.size
                 entry.state = state
             else:
                 tail = usage.size - state.n_days
                 if tail:
                     state.extend(usage[state.n_days :])
-                    self._stats.appended_days += tail
-                self._stats.hits += 1
+                self._stats.record(hits=1, appended_days=tail)
             return state.bundle()

@@ -168,6 +168,11 @@ class FleetEngine:
         self.service = service
         self._training_executor_override = training_executor
         self._prediction_executor_override = prediction_executor
+        # Lazily-built persistent executors: FleetExecutor keeps one
+        # pool per instance now, so the engine must keep one instance
+        # per role instead of constructing a throwaway per call.
+        self._training_executor_cache: FleetExecutor | None = None
+        self._prediction_executor_cache: FleetExecutor | None = None
         self._inflight = 0
         self._inflight_cond = threading.Condition()
         self.obs: Observability | None = None
@@ -267,17 +272,37 @@ class FleetEngine:
     def _training_executor(self) -> FleetExecutor:
         if self._training_executor_override is not None:
             return self._training_executor_override
-        return FleetExecutor(
-            max_workers=self.config.max_workers, kind=self.config.executor
-        )
+        if self._training_executor_cache is None:
+            self._training_executor_cache = FleetExecutor(
+                max_workers=self.config.max_workers, kind=self.config.executor
+            )
+        return self._training_executor_cache
 
     def _prediction_executor(self) -> FleetExecutor:
         if self._prediction_executor_override is not None:
             return self._prediction_executor_override
-        # Prediction mutates live per-vehicle state (pending forecasts,
-        # model caches), so it must stay in-process.
-        kind = "serial" if self.config.executor == "serial" else "thread"
-        return FleetExecutor(max_workers=self.config.max_workers, kind=kind)
+        if self._prediction_executor_cache is None:
+            # Prediction mutates live per-vehicle state (pending
+            # forecasts, model caches), so it must stay in-process.
+            kind = "serial" if self.config.executor == "serial" else "thread"
+            self._prediction_executor_cache = FleetExecutor(
+                max_workers=self.config.max_workers, kind=kind
+            )
+        return self._prediction_executor_cache
+
+    def close(self) -> None:
+        """Release the engine's persistent worker pools; idempotent.
+
+        Override executors are owned by whoever passed them in and are
+        left alone.  The engine itself stays usable for serial work,
+        but a closed pool is never resurrected.
+        """
+        for cache in (
+            self._training_executor_cache,
+            self._prediction_executor_cache,
+        ):
+            if cache is not None:
+                cache.close()
 
     # -- ingestion ---------------------------------------------------------
 
@@ -374,6 +399,42 @@ class FleetEngine:
 
     def ingest_history(self, vehicle_id: str, usage) -> None:
         self.service.ingest_series(vehicle_id, usage)
+
+    def ingest_records(
+        self,
+        records: list[tuple[str, float, int | None]],
+        *,
+        auto_register: bool = True,
+    ) -> tuple[int, str | None]:
+        """Apply gateway-shaped ``(vehicle_id, seconds, day)`` records.
+
+        Records are applied in the given order; the first failure stops
+        the batch and is returned as ``(ingested_so_far, error)`` —
+        whatever was applied before it stays applied (and journaled).
+        This is the single ingest entry point shared by the in-process
+        gateway lane and the sharded worker processes.
+        """
+        service = self.service
+        ingested = 0
+        error = None
+        for vehicle_id, seconds, day in records:
+            if not service.has_vehicle(vehicle_id):
+                if not auto_register:
+                    error = f"unknown vehicle {vehicle_id!r}"
+                    break
+                service.register_vehicle(vehicle_id)
+            try:
+                service.ingest(vehicle_id, seconds, day=day)
+            except ValueError as exc:
+                error = str(exc)
+                break
+            ingested += 1
+        # Durability hook even on partial batches: whatever was applied
+        # is already journaled, and sync_on_ack makes the 200/422 reply
+        # imply those records are on stable storage.
+        if self.durability is not None:
+            self.durability.on_ingest_batch()
+        return ingested, error
 
     # -- health ------------------------------------------------------------
 
@@ -627,6 +688,29 @@ class FleetEngine:
                 None if self.lifecycle is None else self.lifecycle.counters()
             ),
         }
+
+    def metrics_section(self) -> dict:
+        """The engine-owned sections of a metrics snapshot.
+
+        Exactly what the registry collectors registered by
+        :meth:`attach_observability` would produce — but callable
+        directly, so a sharded deployment can gather each shard's
+        sections on that shard's own thread/process instead of reading
+        another shard's state cross-thread at snapshot time.
+        """
+        service = self.service
+        section = {
+            "fleet": service.health().summary_counters(),
+            "drift": (
+                {} if service.monitor is None else service.monitor.counters()
+            ),
+            "cache": self.cache_stats or {},
+        }
+        if self.durability is not None:
+            section["durability"] = self.durability.status()
+        if self.lifecycle is not None:
+            section["lifecycle"] = self.lifecycle.counters()
+        return section
 
     def drain(self, timeout: float | None = None) -> bool:
         """Block until no batch operation is in flight.

@@ -56,6 +56,19 @@ All engine state mutations (ingest and predict batches) run on one
 dedicated worker thread, so HTTP concurrency can never interleave with
 the engine's single-threaded correctness contract.
 
+**Sharded serving** — in front of a :class:`~repro.serving.sharding.
+ShardedFleetEngine` the gateway runs one *lane* per shard: a private
+micro-batch queue, dispatcher task and engine thread, so a slow shard
+head-of-line-blocks only its own vehicles.  Predict requests route to
+their vehicle's lane by the engine's consistent-hash router and are
+validated against the parent's routing bookkeeping (no cross-process
+round trip before admission); fleet-wide endpoints (``/v1/health`` —
+also reachable as ``/v1/fleet/health`` — ``/v1/metrics`` and the
+lifecycle admin surface) scatter-gather over every shard.  Batch and
+queue metrics then carry a ``shard`` label and predict spans a
+``shard`` attribute.  With a plain :class:`FleetEngine` there is
+exactly one lane and behavior is unchanged.
+
 Every request is assigned a request id (client-supplied via the
 ``X-Repro-Request-Id`` header, else generated) that is echoed on the
 response and — when tracing is enabled — keys a structured trace
@@ -247,15 +260,33 @@ class GatewayMetrics:
                 "gateway.latency_s", endpoint=endpoint
             ).record(seconds)
 
-    def observe_batch(self, size: int, seconds: float) -> None:
+    def observe_batch(
+        self, size: int, seconds: float, *, shard: int | None = None
+    ) -> None:
         self.batch_sizes.record(size)
         self.batch_exec.record(seconds)
+        if shard is not None:
+            label = str(shard)
+            self.registry.histogram(
+                "gateway.shard_batch_size", shard=label
+            ).record(size)
+            self.registry.histogram(
+                "gateway.shard_batch_exec_s", shard=label
+            ).record(seconds)
 
-    def note_queue_depth(self, depth: int) -> None:
+    def note_queue_depth(self, depth: int, *, shard: int | None = None) -> None:
         self._queue_high_water.update_max(depth)
+        if shard is not None:
+            self.registry.gauge(
+                "gateway.shard_queue_high_water", shard=str(shard)
+            ).update_max(depth)
 
-    def note_queue_rejection(self) -> None:
+    def note_queue_rejection(self, *, shard: int | None = None) -> None:
         self._queue_rejections.inc()
+        if shard is not None:
+            self.registry.counter(
+                "gateway.shard_queue_rejections", shard=str(shard)
+            ).inc()
 
     def note_deadline_expiration(self) -> None:
         self._deadline_expirations.inc()
@@ -309,7 +340,36 @@ class GatewayMetrics:
                 "queue_high_water": self.queue_high_water,
                 "queue_rejections": self.queue_rejections,
                 "deadline_expirations": self.deadline_expirations,
+                **self._shard_section(),
             }
+
+    def _shard_section(self) -> dict:
+        """Per-shard lane counters; empty (key omitted) when unsharded."""
+        registry = self.registry
+        shards: dict[str, dict] = {}
+        for labels, histogram in registry.labeled("gateway.shard_batch_size"):
+            shards.setdefault(labels["shard"], {})["batch_sizes"] = (
+                histogram.summary()
+            )
+        for labels, histogram in registry.labeled(
+            "gateway.shard_batch_exec_s"
+        ):
+            shards.setdefault(labels["shard"], {})["batch_exec_s"] = (
+                histogram.summary()
+            )
+        for labels, gauge in registry.labeled("gateway.shard_queue_high_water"):
+            shards.setdefault(labels["shard"], {})["queue_high_water"] = int(
+                gauge.value
+            )
+        for labels, counter in registry.labeled(
+            "gateway.shard_queue_rejections"
+        ):
+            shards.setdefault(labels["shard"], {})["queue_rejections"] = (
+                counter.value
+            )
+        if not shards:
+            return {}
+        return {"shards": dict(sorted(shards.items(), key=lambda i: int(i[0])))}
 
 
 @dataclass
@@ -362,6 +422,23 @@ class _PendingPredict:
     span: tracing.Span | None = None  # the enqueuing request's root span
 
 
+@dataclass
+class _Lane:
+    """One shard's serving lane: queue + dispatcher + engine thread.
+
+    A plain (unsharded) engine gets exactly one lane, so the historic
+    single-queue/single-worker schedule is the one-lane special case.
+    Each lane owns a private micro-batch queue and a one-thread pool,
+    so one slow shard delays only the vehicles it owns.
+    """
+
+    shard: int
+    queue: asyncio.Queue
+    pool: ThreadPoolExecutor
+    dispatcher: asyncio.Task | None = None
+    inflight: list = field(default_factory=list)
+
+
 def _endpoint_label(method: str, path: str) -> str:
     if path.startswith("/v1/predict/"):
         return "predict"
@@ -369,7 +446,7 @@ def _endpoint_label(method: str, path: str) -> str:
         return "predict:batch"
     if path == "/v1/ingest":
         return "ingest"
-    if path == "/v1/health":
+    if path in ("/v1/health", "/v1/fleet/health"):
         return "health"
     if path == "/v1/metrics":
         return "metrics"
@@ -407,11 +484,13 @@ class FleetGateway:
             "gateway", self.metrics.snapshot, replace=True
         )
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._queue: asyncio.Queue | None = None
-        self._dispatcher: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
-        self._engine_pool: ThreadPoolExecutor | None = None
-        self._inflight: list[_PendingPredict] = []
+        # One lane per shard; a plain engine is the one-lane case.
+        # ``n_shards``/``shard_for`` duck-type the sharded facade so the
+        # gateway works with any engine exposing the routing surface.
+        self._n_shards = int(getattr(engine, "n_shards", 1))
+        self._shard_for = getattr(engine, "shard_for", lambda vehicle_id: 0)
+        self._lanes: list[_Lane] = []
         self._draining = False
         self._started = False
         # Head-sampling tick for anonymous requests (GIL-atomic).
@@ -452,10 +531,19 @@ class FleetGateway:
         if self._started:
             return
         self._loop = asyncio.get_running_loop()
-        self._queue = asyncio.Queue(maxsize=self.config.max_queue)
-        self._engine_pool = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="gateway-engine"
-        )
+        # ``max_queue`` bounds each lane: admission control is per
+        # shard, so one hot shard back-pressures only its own vehicles.
+        self._lanes = [
+            _Lane(
+                shard=shard,
+                queue=asyncio.Queue(maxsize=self.config.max_queue),
+                pool=ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix=f"gateway-engine-{shard}",
+                ),
+            )
+            for shard in range(self._n_shards)
+        ]
         self._draining = False
         self._started = True
         if dispatch:
@@ -464,8 +552,11 @@ class FleetGateway:
     def start_dispatcher(self) -> None:
         if not self._started:
             raise RuntimeError("start() the gateway first.")
-        if self._dispatcher is None or self._dispatcher.done():
-            self._dispatcher = self._loop.create_task(self._dispatch_loop())
+        for lane in self._lanes:
+            if lane.dispatcher is None or lane.dispatcher.done():
+                lane.dispatcher = self._loop.create_task(
+                    self._dispatch_loop(lane)
+                )
 
     async def serve(
         self, *, host: str | None = None, port: int | None = None
@@ -512,27 +603,36 @@ class FleetGateway:
         if drain:
             deadline = self._loop.time() + self.config.drain_timeout_s
             while (
-                (not self._queue.empty() or self._inflight)
+                any(
+                    not lane.queue.empty() or lane.inflight
+                    for lane in self._lanes
+                )
                 and self._loop.time() < deadline
             ):
                 await asyncio.sleep(0.002)
-        if self._dispatcher is not None:
-            self._dispatcher.cancel()
-            with suppress(asyncio.CancelledError):
-                await self._dispatcher
-            self._dispatcher = None
-        leftovers = list(self._inflight)
-        while not self._queue.empty():
-            leftovers.append(self._queue.get_nowait())
+        for lane in self._lanes:
+            if lane.dispatcher is not None:
+                lane.dispatcher.cancel()
+                with suppress(asyncio.CancelledError):
+                    await lane.dispatcher
+                lane.dispatcher = None
+        leftovers: list[_PendingPredict] = []
+        for lane in self._lanes:
+            leftovers.extend(lane.inflight)
+            while not lane.queue.empty():
+                leftovers.append(lane.queue.get_nowait())
+            lane.inflight = []
         for request in leftovers:
             if not request.future.done():
                 request.future.set_exception(
                     _RequestError(503, "gateway shut down")
                 )
-        self._inflight = []
-        await self._loop.run_in_executor(self._engine_pool, self.engine.drain)
-        self._engine_pool.shutdown(wait=True)
-        self._engine_pool = None
+        await self._loop.run_in_executor(
+            self._lanes[0].pool, self.engine.drain
+        )
+        for lane in self._lanes:
+            lane.pool.shutdown(wait=True)
+        self._lanes = []
         self._started = False
 
     @property
@@ -540,27 +640,49 @@ class FleetGateway:
         return self._draining
 
     async def _engine_call(self, fn, *args):
-        """Run an engine/service call on the single worker thread.
+        """Run an engine/service call off the event loop.
 
-        Serializing *every* state-touching call through one thread is
+        Unsharded, everything runs on lane 0's single worker thread —
+        serializing *every* state-touching call through one thread is
         what keeps HTTP concurrency equivalent to a serial schedule.
-        The caller's :mod:`contextvars` context (which carries the
-        active trace span) crosses into the worker with the call.
+        Sharded, lane 0 hosts only the facade's scatter-gather calls
+        (each worker process serializes its own RPCs), so admin reads
+        never block a predict lane.  The caller's :mod:`contextvars`
+        context (which carries the active trace span) crosses into the
+        worker with the call.
         """
         ctx = contextvars.copy_context()
         return await self._loop.run_in_executor(
-            self._engine_pool, partial(ctx.run, fn, *args)
+            self._lanes[0].pool, partial(ctx.run, fn, *args)
         )
+
+    # -- engine-shape helpers (plain vs sharded) --------------------------
+
+    def _has_vehicle(self, vehicle_id: str) -> bool:
+        if self._n_shards > 1:
+            return self.engine.has_vehicle(vehicle_id)
+        return self.engine.service.has_vehicle(vehicle_id)
+
+    def _observed_days(self, vehicle_id: str) -> int:
+        if self._n_shards > 1:
+            return self.engine.n_days(vehicle_id)
+        return self.engine.service.n_days(vehicle_id)
+
+    @property
+    def _window(self) -> int:
+        if self._n_shards > 1:
+            return self.engine.window
+        return self.engine.service.window
 
     # -- micro-batching dispatcher ----------------------------------------
 
-    async def _dispatch_loop(self) -> None:
+    async def _dispatch_loop(self, lane: _Lane) -> None:
         while True:
-            request = await self._queue.get()
+            request = await lane.queue.get()
             # Track the batch from the instant it leaves the queue so a
             # concurrent drain waits for it (and a cancellation mid-
             # collection can still answer every popped request).
-            self._inflight = batch = [request]
+            lane.inflight = batch = [request]
             try:
                 window = self.config.batch_window_s
                 if window > 0:
@@ -572,12 +694,12 @@ class FleetGateway:
                         try:
                             batch.append(
                                 await asyncio.wait_for(
-                                    self._queue.get(), remaining
+                                    lane.queue.get(), remaining
                                 )
                             )
                         except asyncio.TimeoutError:
                             break
-                await self._execute_batch(batch)
+                await self._execute_batch(lane, batch)
             except asyncio.CancelledError:
                 for queued in batch:
                     if not queued.future.done():
@@ -586,9 +708,11 @@ class FleetGateway:
                         )
                 raise
             finally:
-                self._inflight = []
+                lane.inflight = []
 
-    async def _execute_batch(self, batch: list[_PendingPredict]) -> None:
+    async def _execute_batch(
+        self, lane: _Lane, batch: list[_PendingPredict]
+    ) -> None:
         now = self._loop.time()
         live: list[_PendingPredict] = []
         for request in batch:
@@ -614,13 +738,20 @@ class FleetGateway:
         # when one vehicle appears several times in a batch.
         live.sort(key=lambda r: r.vehicle_id)
         ids = [r.vehicle_id for r in live]
-        spans = [r.span for r in live]
         started = self._loop.time()
-        try:
-            forecasts = await self._loop.run_in_executor(
-                self._engine_pool,
-                partial(self.engine.predict_many, ids, spans=spans),
+        sharded = self._n_shards > 1
+        if sharded:
+            # Span objects never cross the process boundary; the lane
+            # records one shard-labeled ``engine.predict`` child per
+            # traced request from the batch timings afterwards.
+            call = partial(
+                self.engine.call_shard, lane.shard, "predict_many", ids
             )
+        else:
+            spans = [r.span for r in live]
+            call = partial(self.engine.predict_many, ids, spans=spans)
+        try:
+            forecasts = await self._loop.run_in_executor(lane.pool, call)
         except asyncio.CancelledError:
             raise  # the dispatch loop answers the batch with 503
         except Exception as exc:
@@ -632,8 +763,22 @@ class FleetGateway:
                         )
                     )
         else:
-            self.metrics.observe_batch(len(live), self._loop.time() - started)
+            finished = self._loop.time()
+            self.metrics.observe_batch(
+                len(live),
+                finished - started,
+                shard=lane.shard if sharded else None,
+            )
             for request, forecast in zip(live, forecasts):
+                if sharded and request.span is not None:
+                    request.span.tracer.record_span(
+                        "engine.predict",
+                        request.span,
+                        started,
+                        finished,
+                        vehicle_id=request.vehicle_id,
+                        shard=lane.shard,
+                    )
                 if not request.future.done():
                     request.future.set_result(forecast)
 
@@ -645,17 +790,18 @@ class FleetGateway:
                 503, "gateway is draining", {"Retry-After": "1"}
             )
         self._check_ready()
-        service = self.engine.service
-        if not service.has_vehicle(vehicle_id):
+        if not self._has_vehicle(vehicle_id):
             raise _RequestError(404, f"unknown vehicle {vehicle_id!r}")
-        n_days = service.n_days(vehicle_id)
-        if n_days <= service.window:
+        n_days = self._observed_days(vehicle_id)
+        window = self._window
+        if n_days <= window:
             raise _RequestError(
                 422,
                 f"vehicle {vehicle_id!r} has {n_days} observed days; "
-                f"window={service.window} needs at least "
-                f"{service.window + 1}.",
+                f"window={window} needs at least "
+                f"{window + 1}.",
             )
+        lane = self._lanes[self._shard_for(vehicle_id)]
         future = self._loop.create_future()
         request = _PendingPredict(
             vehicle_id=vehicle_id,
@@ -663,21 +809,24 @@ class FleetGateway:
             deadline=self._loop.time() + deadline_s,
             span=tracing.current_span(),
         )
+        shard_label = lane.shard if self._n_shards > 1 else None
         try:
-            self._queue.put_nowait(request)
+            lane.queue.put_nowait(request)
         except asyncio.QueueFull:
-            self.metrics.note_queue_rejection()
+            self.metrics.note_queue_rejection(shard=shard_label)
             tracing.add_event("queue-rejected", vehicle_id=vehicle_id)
             raise _RequestError(
                 429, "request queue full", self._retry_after()
             ) from None
-        depth = self._queue.qsize()
-        self.metrics.note_queue_depth(depth)
+        depth = lane.queue.qsize()
+        self.metrics.note_queue_depth(depth, shard=shard_label)
         # Queue depth at admission rides as a span attribute rather
         # than an event: an attribute write is a dict store, an event
         # is an allocation — this is the per-request hot path.
         if request.span is not None:
             request.span.set_attribute("queue_depth", depth)
+            if shard_label is not None:
+                request.span.set_attribute("shard", shard_label)
         return await future
 
     # -- routing -----------------------------------------------------------
@@ -749,14 +898,16 @@ class FleetGateway:
     async def _route(
         self, method: str, path: str, query: dict, body: bytes
     ) -> GatewayResponse:
-        if path == "/v1/health":
+        if path in ("/v1/health", "/v1/fleet/health"):
             self._require_method(method, "GET")
             return await self._handle_health()
         if path == "/v1/metrics":
             self._require_method(method, "GET")
             # Collectors read engine/service state, so take the
             # snapshot on the engine thread like any other state read.
-            snapshot = await self._engine_call(self.obs.registry.snapshot)
+            # Sharded, the registry holds only gateway-local sections;
+            # the engine-owned ones are scatter-gathered per shard.
+            snapshot = await self._engine_call(self._metrics_snapshot)
             return GatewayResponse(200, snapshot)
         if path.startswith("/v1/trace/"):
             self._require_method(method, "GET")
@@ -826,10 +977,33 @@ class FleetGateway:
             "readiness": readiness,
             **health.as_dict(),
         }
+        if self._n_shards > 1:
+            payload["shards"] = self._n_shards
         return GatewayResponse(200, payload)
 
     def _health_snapshot(self):
+        # Sharded, both calls scatter-gather across every worker and
+        # merge (shards own disjoint fleets, so the union is exact).
         return self.engine.health(), self.engine.readiness()
+
+    def _metrics_snapshot(self) -> dict:
+        snapshot = self.obs.registry.snapshot()
+        if self._n_shards <= 1:
+            return snapshot
+        sections = self.engine.metrics_sections()
+        merged: dict[str, dict] = {}
+        for section in sections:
+            for name in ("fleet", "drift", "cache"):
+                part = section.get(name) or {}
+                bucket = merged.setdefault(name, {})
+                for key, value in part.items():
+                    if isinstance(value, (int, float)):
+                        bucket[key] = bucket.get(key, 0) + value
+        snapshot.update(merged)
+        snapshot["shard_sections"] = {
+            str(index): section for index, section in enumerate(sections)
+        }
+        return snapshot
 
     async def _handle_predict(
         self, path: str, query: dict
@@ -919,7 +1093,7 @@ class FleetGateway:
             "promote", "rollback", "pin", "unpin"
         ):
             raise _RequestError(404, f"no lifecycle route for {path!r}")
-        if not self.engine.service.has_vehicle(vehicle_id):
+        if not self._has_vehicle(vehicle_id):
             raise _RequestError(404, f"unknown vehicle {vehicle_id!r}")
         payload = self._parse_json(body) if body else {}
         version = payload.get("version")
@@ -983,7 +1157,7 @@ class FleetGateway:
         else:
             raw_records = [payload]
         records = [self._parse_reading(record) for record in raw_records]
-        ingested, error = await self._engine_call(self._do_ingest, records)
+        ingested, error = await self._engine_call(self._ingest_records, records)
         if error is not None:
             return GatewayResponse(
                 422, {"error": error, "ingested": ingested}
@@ -1011,32 +1185,19 @@ class FleetGateway:
             )
         return vehicle_id, float(seconds), day
 
-    def _do_ingest(
+    def _ingest_records(
         self, records: list[tuple[str, float, int | None]]
     ) -> tuple[int, str | None]:
-        """Runs on the engine thread; returns (ingested, error)."""
-        service = self.engine.service
-        ingested = 0
-        error = None
-        for vehicle_id, seconds, day in records:
-            if not service.has_vehicle(vehicle_id):
-                if not self.config.auto_register:
-                    error = f"unknown vehicle {vehicle_id!r}"
-                    break
-                service.register_vehicle(vehicle_id)
-            try:
-                service.ingest(vehicle_id, seconds, day=day)
-            except ValueError as exc:
-                error = str(exc)
-                break
-            ingested += 1
-        # Durability hook even on partial batches: whatever was applied
-        # is already journaled, and sync_on_ack makes the 200/422 reply
-        # imply those records are on stable storage.
-        durability = getattr(self.engine, "durability", None)
-        if durability is not None:
-            durability.on_ingest_batch()
-        return ingested, error
+        """Runs on the engine thread; returns (ingested, error).
+
+        The batch-application loop lives on the engine
+        (:meth:`FleetEngine.ingest_records`) so the in-process lane and
+        the sharded worker processes apply records identically; the
+        sharded facade partitions the batch by owning shard first.
+        """
+        return self.engine.ingest_records(
+            records, auto_register=self.config.auto_register
+        )
 
     # -- HTTP socket layer -------------------------------------------------
 

@@ -6,6 +6,10 @@ predictions must be *identical* (exact float equality, not approx) to
 the serial :class:`MaintenancePredictionService` path.
 """
 
+import sys
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -314,6 +318,63 @@ class TestCycleStateCache:
         cache.bundle("v", usage, T_V)
         assert cache.stats.misses == 2
 
+    def test_stats_exact_under_concurrent_bundles(self):
+        # Regression for the cache-stats race: per-entry locks serialize
+        # one vehicle's *state*, but threads on different vehicles used
+        # to mutate the shared counters with bare ``+=`` and lose
+        # increments.  On GIL builds a plain ``+=`` only tears when a
+        # switch lands inside the load->add->store window, so the test
+        # seeds the counters with an int subclass whose addition yields
+        # the GIL — every increment becomes a preemption point.  The
+        # dedicated stats lock must keep totals exact anyway; the
+        # pre-fix code loses most increments under this schedule.
+        class YieldingInt(int):
+            def __add__(self, other):
+                time.sleep(0)  # drop the GIL mid-increment
+                return YieldingInt(int(self) + int(other))
+
+            __radd__ = __add__
+
+        cache = CycleStateCache()
+        for name in ("hits", "misses", "invalidations", "appended_days"):
+            setattr(cache.stats, name, YieldingInt(0))
+        n_threads, rounds = 8, 150
+        start = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(index: int) -> None:
+            vehicle_id = f"v{index}"
+            usage = np.full(rounds + 1, 10_000.0)
+            try:
+                start.wait()
+                for n in range(1, rounds + 1):
+                    cache.bundle(vehicle_id, usage[:n], T_V)
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        switch = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # aggressive preemption besides
+        try:
+            threads = [
+                threading.Thread(target=worker, args=(index,))
+                for index in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(switch)
+        assert not errors
+        stats = {k: int(v) for k, v in cache.stats.as_dict().items()}
+        # Each thread: 1 miss (first call) then rounds-1 hits, one
+        # appended day per call.
+        assert stats["misses"] == n_threads
+        assert stats["hits"] == n_threads * (rounds - 1)
+        assert stats["hits"] + stats["misses"] == n_threads * rounds
+        assert stats["appended_days"] == n_threads * rounds
+        assert stats["invalidations"] == 0
+
 
 class TestFleetExecutor:
     def test_rejects_unknown_kind(self):
@@ -328,8 +389,63 @@ class TestFleetExecutor:
     def test_map_ordered_preserves_order(self, kind):
         executor = FleetExecutor(max_workers=4, kind=kind)
         items = list(range(20))
-        assert executor.map_ordered(_square, items) == [i * i for i in items]
+        try:
+            assert executor.map_ordered(_square, items) == [
+                i * i for i in items
+            ]
+        finally:
+            executor.close()
+
+    def test_pool_persists_across_calls(self):
+        # Regression for pool churn: map_ordered used to build and tear
+        # down a fresh ThreadPoolExecutor per call.  The same executor
+        # must serve repeated calls from one pool — same pool object,
+        # same worker threads, no respawning.
+        with FleetExecutor(max_workers=2, kind="thread") as executor:
+            first = set(executor.map_ordered(_worker_ident, range(8)))
+            pool = executor._pool
+            assert pool is not None
+            second = set(executor.map_ordered(_worker_ident, range(8)))
+            assert executor._pool is pool
+            # Every item of both calls ran on a thread owned by the one
+            # persistent pool.  (Not `first == second`: the stdlib pool
+            # spawns threads lazily and a fast worker may drain a whole
+            # call alone, so the per-call ident sets can differ.)
+            pool_idents = {t.ident for t in pool._threads}
+            assert first <= pool_idents
+            assert second <= pool_idents
+        assert executor.closed
+
+    def test_serial_calls_never_build_a_pool(self):
+        executor = FleetExecutor(max_workers=4, kind="thread")
+        assert executor.map_ordered(_square, [3]) == [9]  # 1 item: serial
+        assert executor._pool is None
+        serial = FleetExecutor(kind="serial")
+        assert serial.map_ordered(_square, range(10)) == [
+            i * i for i in range(10)
+        ]
+        assert serial._pool is None
+
+    def test_close_is_idempotent_and_rejects_work(self):
+        executor = FleetExecutor(max_workers=2, kind="thread")
+        executor.map_ordered(_square, range(4))
+        executor.close()
+        executor.close()
+        assert executor.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map_ordered(_square, range(4))
+
+    def test_parallel_results_match_serial(self):
+        items = list(range(37))
+        expected = [_square(i) for i in items]
+        with FleetExecutor(max_workers=3, kind="thread") as executor:
+            for _ in range(3):
+                assert executor.map_ordered(_square, items) == expected
 
 
 def _square(x):
     return x * x
+
+
+def _worker_ident(_item):
+    return threading.get_ident()
