@@ -46,6 +46,7 @@ class BaselinePredictor:
 
     name = "BL"
     is_baseline = True
+    trusted_predict = True
 
     def __init__(self, min_average: float = 1.0):
         if min_average <= 0:
@@ -68,12 +69,12 @@ class BaselinePredictor:
         self.average_ = max(float(usage.mean()), self.min_average)
         return self
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X, *, validate: bool = True) -> np.ndarray:
         """Predict days left from feature rows (column 0 is ``L(t)``)."""
         if not hasattr(self, "average_"):
             raise RuntimeError("BaselinePredictor used before fit().")
         X = np.asarray(X, dtype=np.float64)
-        if X.ndim != 2 or X.shape[1] < 1:
+        if validate and (X.ndim != 2 or X.shape[1] < 1):
             raise ValueError(
                 f"X must be 2-D with L(t) in column 0, got shape {X.shape}."
             )
@@ -100,6 +101,7 @@ class RegressionPredictor:
     """
 
     is_baseline = False
+    trusted_predict = True
 
     def __init__(
         self,
@@ -144,12 +146,16 @@ class RegressionPredictor:
         self.best_params_ = None
         return self
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X, *, validate: bool = True) -> np.ndarray:
         if not hasattr(self, "model_"):
             raise RuntimeError(
                 f"RegressionPredictor {self.name!r} used before fit()."
             )
-        out = self.model_.predict(np.asarray(X, dtype=np.float64))
+        X = np.asarray(X, dtype=np.float64)
+        if not validate and getattr(self.model_, "trusted_predict", False):
+            out = self.model_.predict(X, validate=False)
+        else:
+            out = self.model_.predict(X)
         if self.clip_negative:
             out = np.maximum(out, 0.0)
         return out

@@ -28,6 +28,7 @@ import itertools
 import numpy as np
 
 from .base import BaseEstimator, RegressorMixin
+from .compiled import gbdt_kernel
 from .validation import (
     check_array,
     check_is_fitted,
@@ -70,21 +71,66 @@ class BinMapper:
         )
         return self
 
-    def transform(self, X: np.ndarray) -> np.ndarray:
-        check_is_fitted(self, "bin_edges_")
-        X = check_array(X)
+    def _rank_tables(self):
+        """Contiguous threshold table for the one-``searchsorted`` path.
+
+        All per-feature cut arrays are merged into one sorted vector;
+        ``table[j, r]`` counts feature-``j`` cuts among the first ``r``
+        sorted entries.  ``searchsorted(sorted_cuts, v, side="left")``
+        returns the count of *global* cuts strictly below ``v``, and
+        those occupy exactly the first ``rank`` sorted slots, so
+        ``table[j, rank]`` equals the per-feature left-searchsorted bin
+        — bit-exact, ties and duplicate cuts included.
+
+        Built lazily, keyed on the identity of ``bin_edges_`` so a refit
+        (or an unpickled artifact) rebuilds; dropped from pickles by
+        :meth:`__getstate__` to keep stored artifacts lean.
+        """
+        cached = getattr(self, "_rank_cache", None)
+        if cached is not None and cached[0] is self.bin_edges_:
+            return cached[1], cached[2]
+        sorted_cuts = np.concatenate(
+            [np.asarray(c, dtype=np.float64) for c in self.bin_edges_]
+        )
+        feature_of = np.concatenate(
+            [
+                np.full(len(c), j, dtype=np.intp)
+                for j, c in enumerate(self.bin_edges_)
+            ]
+        )
+        order = np.argsort(sorted_cuts, kind="stable")
+        sorted_cuts = np.ascontiguousarray(sorted_cuts[order])
+        feature_of = feature_of[order]
+        n_features = len(self.bin_edges_)
+        one_hot = np.zeros((n_features, sorted_cuts.size + 1), dtype=np.int64)
+        if sorted_cuts.size:
+            one_hot[feature_of, np.arange(sorted_cuts.size) + 1] = 1
+        table = np.cumsum(one_hot, axis=1).astype(np.uint8)
+        self._rank_cache = (self.bin_edges_, sorted_cuts, table)
+        return sorted_cuts, table
+
+    def transform(self, X: np.ndarray, *, validate: bool = True) -> np.ndarray:
+        if validate:
+            check_is_fitted(self, "bin_edges_")
+            X = check_array(X)
+        else:
+            X = np.asarray(X, dtype=np.float64)
         if X.shape[1] != len(self.bin_edges_):
             raise ValueError(
                 f"X has {X.shape[1]} features; mapper was fitted with "
                 f"{len(self.bin_edges_)}."
             )
-        binned = np.empty(X.shape, dtype=np.uint8)
-        for j, cuts in enumerate(self.bin_edges_):
-            binned[:, j] = np.searchsorted(cuts, X[:, j], side="left")
-        return binned
+        sorted_cuts, table = self._rank_tables()
+        ranks = np.searchsorted(sorted_cuts, X, side="left")
+        return table[np.arange(X.shape[1])[None, :], ranks]
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.fit(X).transform(X)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_rank_cache", None)
+        return state
 
 
 class _HistNode:
@@ -228,7 +274,15 @@ class HistGradientBoostingRegressor(BaseEstimator, RegressorMixin):
         after ``n_iter_no_change`` rounds without ``tol`` improvement.
     random_state:
         Seed for the validation split.
+
+    Prediction runs through the fused level-wise kernel
+    (:mod:`repro.learn.compiled`): one vectorized binning pass plus one
+    cursor descent over all trees at once, bit-identical to the
+    per-round loop it replaced.  ``validate=False`` skips input
+    re-validation for trusted callers (the serving engine).
     """
+
+    trusted_predict = True
 
     def __init__(
         self,
@@ -419,11 +473,12 @@ class HistGradientBoostingRegressor(BaseEstimator, RegressorMixin):
         self.n_features_in_ = X.shape[1]
         return self
 
-    def predict(self, X) -> np.ndarray:
-        check_is_fitted(self, "estimators_")
-        X = check_array(X)
-        binned = self.bin_mapper_.transform(X)
-        out = np.full(X.shape[0], self.baseline_prediction_)
-        for tree in self.estimators_:
-            out += self.learning_rate * tree.predict_binned(binned)
-        return out
+    def predict(self, X, *, validate: bool = True) -> np.ndarray:
+        if validate:
+            check_is_fitted(self, "estimators_")
+            X = check_array(X)
+        else:
+            X = np.asarray(X, dtype=np.float64)
+        # Width mismatch still raises from the mapper inside the kernel,
+        # exactly as the unfused path did.
+        return gbdt_kernel(self).predict(X)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import BaseEstimator, RegressorMixin
+from .compiled import ensemble_kernel
 from .metrics import r2_score
 from .tree import DecisionTreeRegressor
 from .validation import (
@@ -48,7 +49,14 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
         ``oob_prediction_`` from out-of-bag samples after fitting.
     random_state:
         Seed for bootstrap draws and per-tree feature subsampling.
+
+    Prediction runs through the fused level-wise kernel
+    (:mod:`repro.learn.compiled`), bit-identical to the per-tree loop
+    it replaced; ``validate=False`` additionally skips input
+    re-validation for trusted callers (the serving engine).
     """
+
+    trusted_predict = True
 
     def __init__(
         self,
@@ -132,13 +140,21 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
         self.n_features_in_ = X.shape[1]
         return self
 
-    def predict(self, X) -> np.ndarray:
-        check_is_fitted(self, "estimators_")
-        X = check_array(X)
-        out = np.zeros(X.shape[0])
-        for tree in self.estimators_:
-            out += tree.predict(X)
-        return out / len(self.estimators_)
+    def predict(self, X, *, validate: bool = True) -> np.ndarray:
+        if validate:
+            check_is_fitted(self, "estimators_")
+            X = check_array(X)
+        else:
+            X = np.asarray(X, dtype=np.float64)
+        if X.shape[1] != self.n_features_in_:
+            # Same message the first tree used to raise from its own
+            # re-validation, kept at the forest level because the fused
+            # kernel traverses all trees in one pass.
+            raise ValueError(
+                f"X has {X.shape[1]} features; tree was fitted with "
+                f"{self.n_features_in_}."
+            )
+        return ensemble_kernel(self).predict(X)
 
     def predict_quantiles(self, X, quantiles=(0.1, 0.9)) -> np.ndarray:
         """Empirical quantiles of the per-tree predictions.
@@ -155,7 +171,12 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
             raise ValueError(
                 f"quantiles must lie in [0, 1], got {quantiles.tolist()}."
             )
-        per_tree = np.stack(
-            [tree.predict(X) for tree in self.estimators_], axis=0
-        )
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; tree was fitted with "
+                f"{self.n_features_in_}."
+            )
+        # One fused traversal yields the full (n_trees, n_samples)
+        # matrix — previously this re-ran every tree's Python descent.
+        per_tree = ensemble_kernel(self).predict_per_tree(X)
         return np.quantile(per_tree, quantiles, axis=0).T

@@ -20,14 +20,19 @@ __all__ = ["LinearRegression", "Ridge"]
 class _BaseLinear(BaseEstimator, RegressorMixin):
     """Shared predict path for models exposing ``coef_`` / ``intercept_``."""
 
-    def predict(self, X) -> np.ndarray:
-        check_is_fitted(self, ["coef_", "intercept_"])
-        X = check_array(X)
-        if X.shape[1] != self.coef_.shape[0]:
-            raise ValueError(
-                f"X has {X.shape[1]} features; model was fitted with "
-                f"{self.coef_.shape[0]}."
-            )
+    trusted_predict = True
+
+    def predict(self, X, *, validate: bool = True) -> np.ndarray:
+        if validate:
+            check_is_fitted(self, ["coef_", "intercept_"])
+            X = check_array(X)
+            if X.shape[1] != self.coef_.shape[0]:
+                raise ValueError(
+                    f"X has {X.shape[1]} features; model was fitted with "
+                    f"{self.coef_.shape[0]}."
+                )
+        else:
+            X = np.asarray(X, dtype=np.float64)
         return X @ self.coef_ + self.intercept_
 
 

@@ -26,6 +26,8 @@ class Pipeline(BaseEstimator, RegressorMixin):
         non-empty and free of ``__`` (reserved for nested params).
     """
 
+    trusted_predict = True
+
     def __init__(self, steps):
         self.steps = steps
 
@@ -98,9 +100,14 @@ class Pipeline(BaseEstimator, RegressorMixin):
             X = transformer.transform(X)
         return X
 
-    def predict(self, X) -> np.ndarray:
-        check_is_fitted(self, "fitted_")
-        return self._final_estimator().predict(self._transform(X))
+    def predict(self, X, *, validate: bool = True) -> np.ndarray:
+        if validate:
+            check_is_fitted(self, "fitted_")
+        final = self._final_estimator()
+        Xt = self._transform(X)
+        if not validate and getattr(final, "trusted_predict", False):
+            return final.predict(Xt, validate=False)
+        return final.predict(Xt)
 
     def transform(self, X) -> np.ndarray:
         """Apply all transforms, including a final transformer step."""

@@ -191,6 +191,8 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         Seed controlling feature subsampling order.
     """
 
+    trusted_predict = True
+
     def __init__(
         self,
         max_depth: int | None = None,
@@ -359,14 +361,17 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         self.n_features_in_ = n_features
         return self
 
-    def predict(self, X) -> np.ndarray:
-        check_is_fitted(self, "tree_")
-        X = check_array(X)
-        if X.shape[1] != self.n_features_in_:
-            raise ValueError(
-                f"X has {X.shape[1]} features; tree was fitted with "
-                f"{self.n_features_in_}."
-            )
+    def predict(self, X, *, validate: bool = True) -> np.ndarray:
+        if validate:
+            check_is_fitted(self, "tree_")
+            X = check_array(X)
+            if X.shape[1] != self.n_features_in_:
+                raise ValueError(
+                    f"X has {X.shape[1]} features; tree was fitted with "
+                    f"{self.n_features_in_}."
+                )
+        else:
+            X = np.asarray(X, dtype=np.float64)
         return self.tree_.predict(X)
 
     def apply(self, X) -> np.ndarray:

@@ -68,12 +68,21 @@ class EngineConfig:
         explicit :meth:`FleetEngine.refresh_models` calls or the
         lifecycle controller's evaluation-gated promotions — batch
         prediction then serves whatever champions are installed.
+    batched_predict:
+        Route batch prediction through the service's grouped compiled-
+        kernel path (:meth:`~repro.serving.service.
+        MaintenancePredictionService.predict_batch`): vehicles sharing
+        a model are stacked into one fused kernel call instead of one
+        tiny predict per vehicle.  Forecasts stay bit-identical to the
+        per-vehicle fan-out.  Resilient services (circuit breaker) and
+        injected prediction executors always use the per-vehicle path.
     """
 
     max_workers: int | None = None
     executor: str = "thread"
     use_cycle_cache: bool = True
     auto_refresh: bool = True
+    batched_predict: bool = True
 
     def __post_init__(self) -> None:
         if self.executor not in ("serial", "thread", "process"):
@@ -216,6 +225,9 @@ class FleetEngine:
         )
         obs.registry.register_collector(
             "cache", lambda: self.cache_stats or {}, replace=True
+        )
+        obs.registry.register_collector(
+            "kernel", lambda: self.service.kernel_cache.stats(), replace=True
         )
         if self.durability is not None:
             obs.registry.register_collector(
@@ -553,6 +565,20 @@ class FleetEngine:
 
     # -- prediction --------------------------------------------------------
 
+    def _use_batched(self) -> bool:
+        """Whether batch prediction may take the grouped kernel path.
+
+        Injected prediction executors (the fault harness) keep the
+        per-vehicle fan-out so their failure schedules still apply;
+        resilient services are gated inside ``predict_batch`` itself
+        but skipping here avoids even entering it.
+        """
+        return (
+            self.config.batched_predict
+            and self.service.breaker is None
+            and self._prediction_executor_override is None
+        )
+
     def _ready_ids(self) -> list[str]:
         service = self.service
         return [
@@ -585,6 +611,8 @@ class FleetEngine:
                 # Resilient services skip the pre-warm so every unified
                 # attempt (and failure) is accounted on a vehicle's breaker.
                 service._ensure_unified_model()
+            if self._use_batched():
+                return service.predict_batch(ids)
             return self._prediction_executor().map_ordered(service.predict, ids)
 
     def predict_many(
@@ -617,6 +645,8 @@ class FleetEngine:
                 self._refresh_models()
             ids = list(vehicle_ids)
             if spans is None or not any(s is not None for s in spans):
+                if self._use_batched():
+                    return self.service.predict_batch(sorted(ids))
                 return self._prediction_executor().map_ordered(
                     self.service.predict, sorted(ids)
                 )
@@ -631,6 +661,27 @@ class FleetEngine:
                 return self._prediction_executor().map_ordered(
                     self._predict_traced, jobs
                 )
+            if self._use_batched():
+                # One grouped kernel pass for the whole micro-batch;
+                # each request still gets its own engine.predict child
+                # span (spanning the shared batch window) so traces
+                # keep their per-vehicle attribution.
+                t0 = time.perf_counter()
+                forecasts = self.service.predict_batch(
+                    [vehicle_id for vehicle_id, _ in jobs]
+                )
+                t1 = time.perf_counter()
+                for vehicle_id, span in jobs:
+                    if span is not None:
+                        span.tracer.record_span(
+                            "engine.predict",
+                            span,
+                            t0,
+                            t1,
+                            vehicle_id=vehicle_id,
+                            batched=True,
+                        )
+                return forecasts
             predict = self.service.predict
             timings: list[tuple[float, float] | None] = [None] * len(jobs)
 
@@ -705,6 +756,7 @@ class FleetEngine:
                 {} if service.monitor is None else service.monitor.counters()
             ),
             "cache": self.cache_stats or {},
+            "kernel": service.kernel_cache.stats(),
         }
         if self.durability is not None:
             section["durability"] = self.durability.status()

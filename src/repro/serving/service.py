@@ -37,6 +37,7 @@ from ..dataprep.transformation import (
 )
 from ..similarity.measures import most_similar
 from .cycle_cache import CycleStateCache
+from .kernel_cache import CompiledModelCache
 from .monitoring import DriftMonitor
 from .persistence import ModelStore
 from .reliability import (
@@ -118,9 +119,57 @@ class Forecast:
         )
 
 
+class _UsageBuffer:
+    """Preallocated append-only utilization buffer for one vehicle.
+
+    Replaces the per-vehicle Python list on the serving hot path:
+    readings land in a preallocated float64 ndarray (doubled when
+    full), so every consumer that calls ``np.asarray`` on the history
+    — series derivation, categorization, similarity targets, feature
+    rows — gets a zero-copy view instead of a list conversion.
+
+    Views handed out by ``__array__`` are stable snapshots: appends
+    write past the view's end, and a growth reallocation leaves the old
+    buffer (and any views onto it) untouched.
+    """
+
+    __slots__ = ("_data", "_n")
+
+    def __init__(self, values=()):
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        self._n = values.size
+        self._data = np.empty(max(16, self._n), dtype=np.float64)
+        self._data[: self._n] = values
+
+    def append(self, value: float) -> None:
+        if self._n == self._data.size:
+            grown = np.empty(self._data.size * 2, dtype=np.float64)
+            grown[: self._n] = self._data[: self._n]
+            self._data = grown
+        self._data[self._n] = value
+        self._n += 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self):
+        return iter(self._data[: self._n])
+
+    def __getitem__(self, index):
+        return self._data[: self._n][index]
+
+    def __array__(self, dtype=None, copy=None):
+        view = self._data[: self._n]
+        if dtype is not None and np.dtype(dtype) != view.dtype:
+            return view.astype(dtype)
+        if copy:
+            return view.copy()
+        return view
+
+
 @dataclass
 class _VehicleState:
-    usage: list = field(default_factory=list)
+    usage: _UsageBuffer = field(default_factory=_UsageBuffer)
     model: object | None = None
     model_trained_cycles: int = -1
     model_version: int | None = None  # store version of the serving model
@@ -129,6 +178,12 @@ class _VehicleState:
     sim_key: tuple | None = None  # (donor id, donor cycle count)
     pending: list = field(default_factory=list)  # (day, predicted, strategy)
     resolved_through_cycle: int = 0
+    # (id(usage buffer), n_days) -> category memo: the buffer is
+    # append-only, so a category computed at a given length never
+    # changes; donor scans re-categorize the whole fleet otherwise.
+    category_memo: tuple[int, int, VehicleCategory] | None = field(
+        default=None, repr=False
+    )
 
 
 #: Audit-trail cap for :attr:`MaintenancePredictionService.lifecycle_log`.
@@ -250,6 +305,14 @@ class MaintenancePredictionService:
         self._vehicles: dict[str, _VehicleState] = {}
         self._unified_model = None
         self._unified_trained_on: frozenset[str] = frozenset()
+        #: Compiled-kernel cache for the batched predict path, keyed by
+        #: serving scope with version-token invalidation.
+        self.kernel_cache = CompiledModelCache()
+        # Shared fitted Model_Sim per donor: every semi-new vehicle with
+        # the same (deterministically trained) donor serves the same
+        # predictor object, so the batched path can stack their rows
+        # into one kernel call.  Keyed donor_id -> (sim_key, predictor).
+        self._sim_donor_models: dict[str, tuple[tuple, object]] = {}
         self._persist_lock = threading.Lock()
         self._fallback_counts: dict[str, Counter] = {}
         self._persist_failures = 0
@@ -415,7 +478,13 @@ class MaintenancePredictionService:
 
     def category(self, vehicle_id: str) -> VehicleCategory:
         state = self._state(vehicle_id)
-        return categorize_usage(np.asarray(state.usage), self.t_v)
+        key = (id(state.usage), len(state.usage))
+        memo = state.category_memo
+        if memo is not None and memo[:2] == key:
+            return memo[2]
+        category = categorize_usage(np.asarray(state.usage), self.t_v)
+        state.category_memo = (*key, category)
+        return category
 
     def _old_vehicles(self, exclude: str | None = None) -> list[VehicleSeries]:
         out = []
@@ -590,14 +659,27 @@ class MaintenancePredictionService:
         cache_key = (donor_id, len(donor.completed_cycles))
         if state.sim_model is not None and state.sim_key == cache_key:
             return state.sim_model, donor_id
-        with self._stage(
-            "train", strategy="similarity", vehicle_id=vehicle_id, donor=donor_id
-        ):
-            predictor = self._make_predictor(self.algorithm)
-            predictor.fit(
-                first_cycle_dataset(donor, self.window),
-                usage=donor.usage[: donor.first_cycle().end + 1],
-            )
+        # One fitted model per donor, shared by every target vehicle
+        # that routes to it: training is deterministic (fixed seed,
+        # donor-only data), so sharing is bit-identical to per-target
+        # fits — and a shared object is what lets the batched predict
+        # path stack same-donor vehicles into one kernel call.
+        shared = self._sim_donor_models.get(donor_id)
+        if shared is not None and shared[0] == cache_key:
+            predictor = shared[1]
+        else:
+            with self._stage(
+                "train",
+                strategy="similarity",
+                vehicle_id=vehicle_id,
+                donor=donor_id,
+            ):
+                predictor = self._make_predictor(self.algorithm)
+                predictor.fit(
+                    first_cycle_dataset(donor, self.window),
+                    usage=donor.usage[: donor.first_cycle().end + 1],
+                )
+            self._sim_donor_models[donor_id] = (cache_key, predictor)
         state.sim_model = predictor
         state.sim_key = cache_key
         self._persist(
@@ -655,6 +737,11 @@ class MaintenancePredictionService:
         state.model_trained_cycles = int(trained_cycles)
         state.model_version = None if version is None else int(version)
         state.model = predictor
+        # The old champion's compiled kernel must never serve the new
+        # model (identity/version checks would catch it on lookup, but
+        # dropping the entry keeps the cache from pinning the old
+        # model's flattened tables in memory).
+        self.kernel_cache.invalidate(f"{vehicle_id}:per-vehicle")
 
     def apply_lifecycle_event(
         self,
@@ -766,8 +853,10 @@ class MaintenancePredictionService:
         usage_left = series.usage_left[today]
         row = np.empty((1, self.window + 1))
         row[0, 0] = usage_left
-        for lag in range(1, self.window + 1):
-            row[0, lag] = series.usage[today - lag]
+        if self.window:
+            # Lags 1..W are usage[today-1] down to usage[today-W]: one
+            # reversed slice instead of a per-lag Python loop.
+            row[0, 1:] = series.usage[today - self.window : today][::-1]
         return row, float(usage_left), today
 
     def _attempt_strategy(self, strategy: str, vehicle_id: str):
@@ -905,6 +994,143 @@ class MaintenancePredictionService:
             ),
         )
 
+    def predict_batch(self, vehicle_ids: list[str]) -> list[Forecast]:
+        """Forecast many vehicles through shared compiled kernels.
+
+        Three phases, bit-identical to calling :meth:`predict` per id:
+
+        1. route every vehicle through the Section-4 matrix exactly as
+           the serial path does (same training, same model caches, in
+           the given order);
+        2. group vehicles by the *model object* they resolved to, fetch
+           that model's compiled kernel from :attr:`kernel_cache`, and
+           run one stacked kernel call per group (kernels flagged not
+           batch-safe — linear matvecs — run row-at-a-time through the
+           same kernel; uncompilable models fall back to their own
+           trusted ``predict``);
+        3. record pending forecasts and build the :class:`Forecast`
+           objects in input order.
+
+        Grouping is sound because tree-ensemble kernels are pure
+        gathers plus row-separable elementwise aggregation — row ``i``
+        of a stacked batch is bitwise the single-row prediction.
+        Resilient services (with a circuit breaker) fall back to
+        per-vehicle :meth:`predict` so ladder accounting is unchanged.
+        """
+        ids = list(vehicle_ids)
+        if self.breaker is not None:
+            return [self.predict(vehicle_id) for vehicle_id in ids]
+        with self._stage("predict", vehicles=len(ids)):
+            return self._predict_batch(ids)
+
+    def _predict_batch(self, ids: list[str]) -> list[Forecast]:
+        # Phase 1: serial Section-4 routing (models trained/cached in
+        # input order, exactly like consecutive predict() calls).
+        plans = []
+        for vehicle_id in ids:
+            series = self.series(vehicle_id)
+            if series.n_days == 0:
+                raise ValueError(f"Vehicle {vehicle_id!r} has no data yet.")
+            category = self.category(vehicle_id)
+            with self._stage("feature-build", vehicle_id=vehicle_id):
+                row, usage_left, today = self._feature_row(series)
+            donor_id = None
+            scope = None  # (cache scope, version token); None = uncached
+            if category is VehicleCategory.OLD:
+                model = self._ensure_vehicle_model(vehicle_id)
+                strategy = "per-vehicle"
+                scope = (
+                    f"{vehicle_id}:per-vehicle",
+                    self._state(vehicle_id).model_version,
+                )
+            elif category is VehicleCategory.SEMI_NEW:
+                model, donor_id = self._similarity_model(vehicle_id)
+                strategy = "similarity"
+                if model is None:
+                    model = self._baseline_model(vehicle_id)
+                    strategy = "baseline"
+                else:
+                    scope = (
+                        f"sim:{donor_id}",
+                        self._state(vehicle_id).sim_key,
+                    )
+            else:  # NEW
+                model = self._ensure_unified_model(exclude=vehicle_id)
+                strategy = "unified"
+                if model is None:
+                    model = self._baseline_model(vehicle_id)
+                    strategy = "baseline"
+                else:
+                    scope = ("fleet:unified", self._unified_trained_on)
+            plans.append(
+                (vehicle_id, row, usage_left, today, category, model,
+                 strategy, donor_id, scope)
+            )
+
+        # Phase 2: one kernel call per shared model identity.
+        predictions: list[float | None] = [None] * len(plans)
+        groups: dict[int, list[int]] = {}
+        for index, plan in enumerate(plans):
+            groups.setdefault(id(plan[5]), []).append(index)
+        for indices in groups.values():
+            model = plans[indices[0]][5]
+            scope = plans[indices[0]][8]
+            compiled = (
+                self.kernel_cache.get(scope[0], model, scope[1])
+                if scope is not None
+                else None
+            )
+            if compiled is not None and compiled.batch_safe and len(indices) > 1:
+                X = np.concatenate([plans[i][1] for i in indices], axis=0)
+                out = compiled.predict(X)
+                self.kernel_cache.record_batch(len(indices))
+                for position, i in enumerate(indices):
+                    predictions[i] = float(max(out[position], 0.0))
+            elif compiled is not None:
+                # Not batch-safe (linear matvec) or a single row: the
+                # compiled kernel still skips per-call validation.
+                for i in indices:
+                    out = compiled.predict(plans[i][1])
+                    self.kernel_cache.record_batch(1)
+                    predictions[i] = float(max(out[0], 0.0))
+            else:
+                trusted = getattr(model, "trusted_predict", False)
+                for i in indices:
+                    row = plans[i][1]
+                    out = (
+                        model.predict(row, validate=False)
+                        if trusted
+                        else model.predict(row)
+                    )
+                    predictions[i] = float(max(out[0], 0.0))
+
+        # Phase 3: bookkeeping and Forecast construction, input order.
+        forecasts = []
+        for plan, prediction in zip(plans, predictions):
+            vehicle_id, _, usage_left, today, category = plan[:5]
+            strategy, donor_id = plan[6], plan[7]
+            state = self._state(vehicle_id)
+            state.pending.append((today, prediction, strategy))
+            forecasts.append(
+                Forecast(
+                    vehicle_id=vehicle_id,
+                    category=category,
+                    strategy=strategy,
+                    days_to_maintenance=prediction,
+                    usage_left=usage_left,
+                    as_of_day=today,
+                    donor_id=donor_id,
+                    degraded=False,
+                    fallback_reason=None,
+                    model_version=(
+                        state.model_version
+                        if strategy == "per-vehicle"
+                        else None
+                    ),
+                )
+            )
+        return forecasts
+
     # -- health ----------------------------------------------------------------
 
     def health(self) -> FleetHealth:
@@ -1029,7 +1255,7 @@ class MaintenancePredictionService:
                 )
         self._vehicles = {
             vid: _VehicleState(
-                usage=[float(x) for x in snap["usage"]],
+                usage=_UsageBuffer(snap["usage"]),
                 pending=[
                     (int(day), float(predicted), str(strategy))
                     for day, predicted, strategy in snap.get("pending", [])
@@ -1066,6 +1292,10 @@ class MaintenancePredictionService:
             self.monitor.load_state_dict(state["monitor"])
         self._unified_model = None
         self._unified_trained_on = frozenset()
+        self._sim_donor_models.clear()
+        # Restored states may pin different model versions than the
+        # ones that were serving: every compiled kernel is stale.
+        self.kernel_cache.invalidate()
         if self.cycle_cache is not None:
             self.cycle_cache.invalidate()
 

@@ -340,6 +340,7 @@ class TestGoldenSchemas:
         "fleet",
         "drift",
         "cache",
+        "kernel",
         "tracing",
         "events",
     }

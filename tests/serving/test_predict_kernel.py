@@ -1,0 +1,252 @@
+"""Serving contract of the fused batched predict path.
+
+The batched ``predict_batch`` / engine group-dispatch path swaps the
+per-vehicle Python prediction loop for one compiled-kernel call per
+shared model identity.  That is only legal if it is *invisible*: every
+forecast must equal the serial :class:`MaintenancePredictionService`
+path exactly (``Forecast`` is a frozen dataclass, so ``==`` is exact
+field-for-field equality including the float prediction), and the
+compiled-kernel cache must track lifecycle transitions — promotion,
+rollback, checkpoint restore — so a stale flattened model never serves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_predictor
+from repro.serving.engine import EngineConfig, FleetEngine
+from repro.serving.persistence import ModelStore
+from repro.serving.service import MaintenancePredictionService
+
+T_V = 200_000.0
+
+
+def random_fleet(seed: int) -> dict[str, np.ndarray]:
+    """Old + semi-new + new vehicles: all Section-4 routing strategies."""
+    rng = np.random.default_rng(seed)
+    fleet: dict[str, np.ndarray] = {}
+    for i in range(3):
+        fleet[f"old{i}"] = rng.uniform(14_000, 26_000, size=int(rng.integers(24, 40)))
+    for i in range(2):
+        fleet[f"semi{i}"] = rng.uniform(17_000, 25_000, size=int(rng.integers(5, 9)))
+    fleet["new0"] = rng.uniform(5_000, 20_000, size=2)
+    return fleet
+
+
+def build_serial(usage_map, **kwargs) -> MaintenancePredictionService:
+    service = MaintenancePredictionService(t_v=T_V, **kwargs)
+    for vehicle_id in sorted(usage_map):
+        service.register_vehicle(vehicle_id)
+        service.ingest_series(vehicle_id, usage_map[vehicle_id])
+    return service
+
+
+def serial_forecasts(service):
+    return [
+        service.predict(vehicle_id)
+        for vehicle_id in service.vehicle_ids
+        if service.series(vehicle_id).n_days > service.window
+    ]
+
+
+def build_engine(usage_map, config=None, **kwargs) -> FleetEngine:
+    engine = FleetEngine(
+        t_v=T_V, config=config or EngineConfig(max_workers=1), **kwargs
+    )
+    engine.register_fleet(usage_map)
+    for vehicle_id in sorted(usage_map):
+        engine.ingest_history(vehicle_id, usage_map[vehicle_id])
+    return engine
+
+
+class TestBatchedSerialEquivalence:
+    """Kernel-batched forecasts == the pre-batching serial path, exactly."""
+
+    @pytest.mark.parametrize("algorithm", ["LR", "RF", "XGB", "LSVR"])
+    @pytest.mark.parametrize("window", [0, 3])
+    def test_predict_batch_identical_to_serial(self, algorithm, window):
+        usage_map = random_fleet(17)
+        reference = serial_forecasts(
+            build_serial(usage_map, window=window, algorithm=algorithm)
+        )
+        batched_service = build_serial(
+            usage_map, window=window, algorithm=algorithm
+        )
+        ids = [
+            v
+            for v in batched_service.vehicle_ids
+            if batched_service.series(v).n_days > window
+        ]
+        assert batched_service.predict_batch(ids) == reference
+
+    def test_engine_predict_all_uses_batched_path(self):
+        usage_map = random_fleet(23)
+        reference = serial_forecasts(
+            build_serial(usage_map, window=2, algorithm="RF")
+        )
+        engine = build_engine(usage_map, window=2, algorithm="RF")
+        assert engine.predict_all() == reference
+        stats = engine.service.kernel_cache.stats()
+        assert stats["batches"] > 0  # the kernel actually ran
+        assert stats["batched_rows"] >= stats["batches"]
+
+    def test_batched_flag_off_matches_batched_on(self):
+        usage_map = random_fleet(29)
+        on = build_engine(
+            usage_map,
+            EngineConfig(max_workers=1, batched_predict=True),
+            window=0,
+            algorithm="RF",
+        )
+        off = build_engine(
+            usage_map,
+            EngineConfig(max_workers=2, batched_predict=False),
+            window=0,
+            algorithm="RF",
+        )
+        assert on.predict_all() == off.predict_all()
+        assert off.service.kernel_cache.stats()["batches"] == 0
+
+    def test_repeat_batches_hit_the_kernel_cache(self):
+        usage_map = random_fleet(31)
+        engine = build_engine(usage_map, window=0, algorithm="RF")
+        engine.predict_all()
+        before = engine.service.kernel_cache.stats()
+        engine.predict_all()
+        after = engine.service.kernel_cache.stats()
+        assert after["hits"] > before["hits"]
+        # No models changed between batches, so nothing recompiles.
+        assert after["compile_count"] == before["compile_count"]
+
+    def test_kernel_section_in_engine_metrics(self):
+        engine = build_engine(random_fleet(37), window=0, algorithm="LR")
+        engine.predict_all()
+        section = engine.metrics_section()["kernel"]
+        for key in (
+            "hits",
+            "misses",
+            "hit_rate",
+            "invalidations",
+            "compile_count",
+            "compile_seconds",
+            "batches",
+            "batch_rows",
+        ):
+            assert key in section
+
+
+class _Dataset:
+    def __init__(self, X, y):
+        self.X = np.asarray(X, dtype=np.float64)
+        self.y = np.asarray(y, dtype=np.float64)
+        self.n_records = len(self.X)
+
+
+def _challenger(seed: int):
+    """A fitted RF predictor distinct from any service-trained champion."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(100_000, 200_000, size=(40, 1))
+    y = X[:, 0] / 19_000.0 + rng.normal(0.0, 0.3, size=40)
+    predictor = make_predictor("RF")
+    predictor.fit(_Dataset(X, y))
+    return predictor
+
+
+class TestLifecycleInvalidation:
+    """Promotion -> rollback -> checkpoint restore each recompile."""
+
+    @pytest.fixture
+    def stack(self, tmp_path):
+        usage_map = {"v0": np.random.default_rng(5).uniform(14_000, 26_000, 30)}
+        service = build_serial(
+            usage_map,
+            window=0,
+            algorithm="RF",
+            store=ModelStore(tmp_path / "models"),
+        )
+        service.predict_batch(["v0"])  # trains + stores champion v1
+        return service
+
+    def test_promotion_serves_the_new_compiled_model(self, stack):
+        service = stack
+        assert service.predict_batch(["v0"])[0].model_version == 1
+        before = service.kernel_cache.stats()
+        challenger = _challenger(99)
+        cycles = service._vehicles["v0"].model_trained_cycles
+        version = service.store.save("v0.per-vehicle", challenger)
+        service.apply_lifecycle_event(
+            "promote",
+            "v0",
+            version=version,
+            predictor=challenger,
+            trained_cycles=cycles,
+        )
+        after = service.kernel_cache.stats()
+        assert after["invalidations"] > before["invalidations"]
+        batched = service.predict_batch(["v0"])[0]
+        serial = service.predict("v0")
+        assert batched == serial
+        assert batched.model_version == version
+        # The served number really is the challenger's, not a stale
+        # compiled image of the old champion.
+        row = np.array([[batched.usage_left]])
+        assert batched.days_to_maintenance == float(
+            max(challenger.predict(row)[0], 0.0)
+        )
+        assert service.kernel_cache.stats()["misses"] > before["misses"]
+
+    def test_rollback_recompiles_the_prior_version(self, stack):
+        service = stack
+        challenger = _challenger(101)
+        cycles = service._vehicles["v0"].model_trained_cycles
+        v2 = service.store.save("v0.per-vehicle", challenger)
+        service.apply_lifecycle_event(
+            "promote",
+            "v0",
+            version=v2,
+            predictor=challenger,
+            trained_cycles=cycles,
+        )
+        promoted = service.predict_batch(["v0"])[0]
+        service.apply_lifecycle_event("rollback", "v0", version=1)
+        rolled = service.predict_batch(["v0"])[0]
+        assert rolled.model_version == 1
+        assert rolled == service.predict("v0")
+        # v1 and v2 are different models; serving must actually change.
+        assert rolled.days_to_maintenance != promoted.days_to_maintenance
+        artifact = service.store.load("v0.per-vehicle", 1)
+        row = np.array([[rolled.usage_left]])
+        assert rolled.days_to_maintenance == float(
+            max(artifact.predictor.predict(row)[0], 0.0)
+        )
+
+    def test_checkpoint_restore_invalidates_compiled_kernels(
+        self, stack, tmp_path
+    ):
+        service = stack
+        expected = service.predict_batch(["v0"])[0]
+        snapshot = service.state_dict()
+        restored = build_serial(
+            {},
+            window=0,
+            algorithm="RF",
+            store=ModelStore(tmp_path / "models"),
+        )
+        restored.predict_batch  # the batched entry point must survive restore
+        restored.load_state_dict(snapshot)
+        assert restored.kernel_cache.stats()["entries"] == 0
+        first = restored.predict_batch(["v0"])[0]
+        assert first == expected
+        assert restored.kernel_cache.stats()["misses"] >= 1
+
+    def test_live_restore_drops_stale_compiled_entries(self, stack):
+        service = stack
+        before = service.predict_batch(["v0"])[0]
+        snapshot = service.state_dict()
+        compiled_entries = service.kernel_cache.stats()["entries"]
+        assert compiled_entries >= 1
+        service.load_state_dict(snapshot)
+        stats = service.kernel_cache.stats()
+        assert stats["entries"] == 0
+        assert stats["invalidations"] >= compiled_entries
+        assert service.predict_batch(["v0"])[0] == before
